@@ -1,0 +1,37 @@
+//! Criterion micro-bench: ring vs naive allreduce at the paper's
+//! gradient size (~26.6k f64, the {1350,10240,9760,5301} blocks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_parallel::ring::{naive_allreduce, ring_allreduce};
+use std::hint::black_box;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    let n = 26_651;
+    for &r in &[2usize, 4] {
+        let make = || -> Vec<Vec<f64>> {
+            (0..r)
+                .map(|rank| (0..n).map(|i| (rank * n + i) as f64 * 1e-6).collect())
+                .collect()
+        };
+        group.bench_with_input(BenchmarkId::new("ring", r), &r, |bch, _| {
+            bch.iter_batched(
+                make,
+                |mut bufs| black_box(ring_allreduce(&mut bufs)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("naive", r), &r, |bch, _| {
+            bch.iter_batched(
+                make,
+                |mut bufs| black_box(naive_allreduce(&mut bufs)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-bench: the model's derivative sweeps — manual
+//! (Opt1) vs tape-autograd (baseline) — on one frame. This is the
+//! per-sample cost behind the Figure 7(c) forward/gradient phases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmd_core::config::ModelConfig;
+use deepmd_core::model::DeepPotModel;
+use deepmd_core::tape_path;
+use dp_data::dataset::{Dataset, Snapshot};
+use dp_mdsim::lattice::{fcc, Species};
+use dp_mdsim::Vec3;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn frame(seed: u64) -> Snapshot {
+    let mut s = fcc(Species::new("A", 30.0), 4.0, [2, 2, 2]);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    s.jitter_positions(0.15, &mut rng);
+    Snapshot {
+        cell: s.cell.lengths(),
+        types: s.types.clone(),
+        type_names: s.type_names.clone(),
+        pos: s.pos.clone(),
+        energy: -4.0,
+        forces: vec![Vec3::ZERO; s.n_atoms()],
+        temperature: 300.0,
+    }
+}
+
+fn model() -> DeepPotModel {
+    let mut cfg = ModelConfig::small(1, 3.1);
+    cfg.rcut_smooth = 2.0;
+    let mut ds = Dataset::new("b", vec!["A".into()]);
+    ds.push(frame(1));
+    ds.push(frame(2));
+    DeepPotModel::new(cfg, &ds)
+}
+
+fn bench_derivatives(c: &mut Criterion) {
+    let m = model();
+    let f = frame(3);
+    let coeffs: Vec<f64> = (0..3 * f.types.len())
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let mut group = c.benchmark_group("derivatives");
+    group.sample_size(20);
+    group.bench_function("forward_manual", |b| {
+        b.iter(|| black_box(m.forward(&f).energy))
+    });
+    group.bench_function("forces_manual", |b| {
+        let pass = m.forward(&f);
+        b.iter(|| black_box(m.forces(&pass)))
+    });
+    group.bench_function("forces_tape", |b| {
+        b.iter(|| black_box(tape_path::forces_tape(&m, &f)))
+    });
+    group.bench_function("grad_energy_manual", |b| {
+        let pass = m.forward(&f);
+        b.iter(|| black_box(m.grad_energy_params(&pass)))
+    });
+    group.bench_function("grad_energy_tape", |b| {
+        b.iter(|| black_box(tape_path::grad_energy_params_tape(&m, &f)))
+    });
+    group.bench_function("grad_force_sum_manual", |b| {
+        let pass = m.forward(&f);
+        b.iter(|| black_box(m.grad_force_sum_params(&pass, &coeffs)))
+    });
+    group.bench_function("grad_force_sum_tape", |b| {
+        b.iter(|| black_box(tape_path::grad_force_sum_params_tape(&m, &f, &coeffs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivatives);
+criterion_main!(benches);

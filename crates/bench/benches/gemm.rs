@@ -1,0 +1,41 @@
+//! Criterion micro-bench: the GEMM kernels underlying the model and
+//! the Kalman-filter updates (§3.4 notes the backend GEMMs are the
+//! optimized primitives the custom kernels compete with).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_tensor::Mat;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for &n in &[32usize, 128, 400] {
+        let a = Mat::from_fn(n, n, |r, cc| ((r * 31 + cc * 7) % 13) as f64 - 6.0);
+        let b = Mat::from_fn(n, n, |r, cc| ((r * 3 + cc * 11) % 7) as f64 * 0.25);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("t_matmul", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.t_matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemv");
+    group.sample_size(20);
+    // The P·g product on the paper's largest block dominates the KF
+    // update — benchmark a representative slice of that shape.
+    for &n in &[1024usize, 4096] {
+        let p = Mat::from_fn(n, n, |r, cc| if r == cc { 1.0 } else { 1e-4 });
+        let g: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("p_times_g", n), &n, |bch, _| {
+            bch.iter(|| black_box(p.matvec(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemv);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-bench: fused vs unfused P-matrix update — the
+//! paper's Opt3 ("Rewrite P updating": the handwritten kernel avoids
+//! the `K·Kᵀ` materialization and the transpose-average pass that the
+//! framework composition performs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_optim::blocks::BlockLayout;
+use dp_optim::pmatrix::BlockP;
+use std::hint::black_box;
+
+fn bench_p_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p_update");
+    group.sample_size(10);
+    for &n in &[512usize, 2048] {
+        let layout = BlockLayout::from_layer_sizes(&[n], n);
+        let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos() * 0.01).collect();
+        group.bench_with_input(BenchmarkId::new("fused", n), &n, |bch, _| {
+            let mut p = BlockP::identity(&layout);
+            bch.iter(|| {
+                p.update_fused(0, black_box(&q), 0.5, 0.98);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unfused", n), &n, |bch, _| {
+            let mut p = BlockP::identity(&layout);
+            bch.iter(|| {
+                black_box(p.update_unfused(0, black_box(&q), 0.5, 0.98));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p_update);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Diagnostic: per-epoch RMSE trajectories of Adam / RLEKF / FEKF on
+//! one system (not part of the experiment suite).
+
+use dp_bench::Args;
+use dp_data::generate::GenScale;
+use dp_mdsim::systems::PaperSystem;
+use dp_optim::fekf::FekfConfig;
+use dp_train::recipes::{run_adam, run_fekf, run_rlekf, setup};
+use dp_train::trainer::TrainConfig;
+
+fn main() {
+    let args = Args::parse();
+    let sys = args.systems.clone().map(|v| v[0]).unwrap_or(PaperSystem::Al);
+    let frames = args.frames.unwrap_or(40);
+    let epochs = args.epochs.unwrap_or(10);
+    let bs = args.batch.unwrap_or(32);
+    let scale = GenScale { frames_per_temperature: frames, equilibration: 80, stride: 4 };
+
+    let cfg = TrainConfig { batch_size: bs, max_epochs: epochs, eval_frames: 48, ..Default::default() };
+
+    let mut s = setup(sys, &scale, args.model_scale(), args.seed);
+    let fekf = run_fekf(&mut s, cfg, FekfConfig::default());
+    let mut s = setup(sys, &scale, args.model_scale(), args.seed);
+    let adam = run_adam(&mut s, TrainConfig { batch_size: 1, ..cfg }, false);
+    let mut s = setup(sys, &scale, args.model_scale(), args.seed);
+    let rlekf = run_rlekf(&mut s, TrainConfig { batch_size: 1, max_epochs: (epochs / 2).max(1), ..cfg }, 10240);
+
+    println!("epoch | Adam bs1 (E,F) | RLEKF bs1 (E,F) | FEKF bs{bs} (E,F)");
+    for e in 0..epochs {
+        let get = |h: &dp_train::metrics::TrainHistory| {
+            h.epochs
+                .get(e)
+                .map(|r| format!("{:.4},{:.4}", r.train.energy_rmse, r.train.force_rmse))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:>5} | {:>16} | {:>16} | {:>16}",
+            e + 1,
+            get(&adam.history),
+            get(&rlekf.history),
+            get(&fekf.history)
+        );
+    }
+    println!(
+        "wall: adam {:.1}s rlekf {:.1}s fekf {:.1}s",
+        adam.wall_s, rlekf.wall_s, fekf.wall_s
+    );
+}

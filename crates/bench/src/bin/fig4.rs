@@ -1,0 +1,67 @@
+//! Figure 4 — effect of the quasi-learning-rate factor on the energy
+//! convergence of FEKF.
+//!
+//! Sweeps the weight-increment factor over {1, √bs, bs} (Eq. 2 and
+//! §3.2) and prints the per-epoch Energy-RMSE series. The paper's
+//! finding: √bs converges fastest; factor 1 is slow; factor bs
+//! overshoots.
+
+use dp_bench::{Args, Table};
+use dp_mdsim::systems::PaperSystem;
+use dp_optim::fekf::{FekfConfig, QuasiLr};
+use dp_train::recipes::{run_fekf, setup};
+use dp_train::trainer::TrainConfig;
+
+fn main() {
+    let args = Args::parse();
+    let sys = args.systems_or(&[PaperSystem::Al])[0];
+    let scale = args.gen_scale(40);
+    let bs = args.batch.unwrap_or(16);
+    let epochs = args.epochs.unwrap_or(6);
+
+    println!("# Figure 4: quasi-learning-rate factor vs energy convergence");
+    println!(
+        "# system = {}, bs = {bs}, {} frames/temperature, model = {:?}\n",
+        sys.preset().name,
+        scale.frames_per_temperature,
+        args.model_scale()
+    );
+
+    let factors = [
+        ("factor 1", QuasiLr::One),
+        ("factor sqrt(bs)", QuasiLr::SqrtBs),
+        ("factor bs", QuasiLr::LinearBs),
+    ];
+    let mut series = Vec::new();
+    for (label, q) in factors {
+        let mut s = setup(sys, &scale, args.model_scale(), args.seed);
+        let cfg = TrainConfig {
+            batch_size: bs,
+            max_epochs: epochs,
+            eval_frames: 48,
+            ..Default::default()
+        };
+        let fekf_cfg = FekfConfig { quasi_lr: q, ..FekfConfig::default() };
+        let out = run_fekf(&mut s, cfg, fekf_cfg);
+        series.push((label, out.history));
+    }
+
+    let mut headers = vec!["epoch".to_string()];
+    headers.extend(series.iter().map(|(l, _)| l.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&headers_ref);
+    for e in 0..epochs {
+        let mut row = vec![(e + 1).to_string()];
+        for (_, h) in &series {
+            row.push(
+                h.epochs
+                    .get(e)
+                    .map(|r| format!("{:.5}", r.train.energy_rmse))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        t.row(&row);
+    }
+    t.print();
+    println!("\n# paper (Fig 4): sqrt(bs) converges fastest; the linear-bs factor destabilizes.");
+}

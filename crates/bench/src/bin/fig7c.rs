@@ -1,0 +1,87 @@
+//! Figure 7(c) — iteration-time decomposition under the step-by-step
+//! system optimizations.
+//!
+//! Each iteration splits into three phases (the bar shades of the
+//! figure): network **forward** to predictions/errors, **gradient**
+//! computation for the EKF update, and the **KF** calculation flow. The
+//! paper measures a 3.48× total-iteration speedup from baseline to
+//! opt3; the forward and gradient phases shrink with the manual kernels
+//! and fusion (opt1/opt2), the KF phase with the custom P kernel
+//! (opt3).
+
+use dp_bench::{Args, Table};
+use dp_mdsim::systems::PaperSystem;
+use dp_optim::fekf::FekfConfig;
+use dp_tensor::kernel;
+use dp_train::recipes::{run_fekf, setup};
+use dp_train::targets::Backend;
+use dp_train::trainer::TrainConfig;
+
+fn main() {
+    let args = Args::parse();
+    let sys = args.systems_or(&[PaperSystem::Al])[0];
+    let scale = args.gen_scale(16);
+    let bs = args.batch.unwrap_or(16);
+    let epochs = args.epochs.unwrap_or(1);
+
+    println!("# Figure 7(c): per-iteration time decomposition (forward / gradient / KF)");
+    println!(
+        "# system = {}, bs = {bs}, model = {:?}\n",
+        sys.preset().name,
+        args.model_scale()
+    );
+
+    struct Config {
+        name: &'static str,
+        backend: Backend,
+        fused_p: bool,
+        fusion: bool,
+    }
+    let configs = [
+        Config { name: "baseline (autograd)", backend: Backend::Tape, fused_p: false, fusion: false },
+        Config { name: "opt1 (+manual kernels)", backend: Backend::Manual, fused_p: false, fusion: false },
+        Config { name: "opt2 (+fusion)", backend: Backend::Manual, fused_p: false, fusion: true },
+        Config { name: "opt3 (+P kernel & Pg cache)", backend: Backend::Manual, fused_p: true, fusion: true },
+    ];
+
+    let mut t = Table::new(&[
+        "config",
+        "forward ms/iter",
+        "gradient ms/iter",
+        "KF ms/iter",
+        "total ms/iter",
+        "speedup vs baseline",
+    ]);
+    let mut baseline_total = 0.0f64;
+    for (i, c) in configs.iter().enumerate() {
+        kernel::set_fusion_enabled(c.fusion);
+        let mut s = setup(sys, &scale, args.model_scale(), args.seed);
+        let cfg = TrainConfig {
+            batch_size: bs,
+            max_epochs: epochs,
+            eval_frames: 8,
+            backend: c.backend,
+            ..Default::default()
+        };
+        let out = run_fekf(&mut s, cfg, FekfConfig { fused: c.fused_p, ..FekfConfig::default() });
+        kernel::set_fusion_enabled(false);
+        let iters = out.iterations.max(1) as f64;
+        let fwd = out.phases.forward.as_secs_f64() * 1e3 / iters;
+        let grad = out.phases.gradient.as_secs_f64() * 1e3 / iters;
+        let kf = out.phases.optimizer.as_secs_f64() * 1e3 / iters;
+        let total = fwd + grad + kf;
+        if i == 0 {
+            baseline_total = total;
+        }
+        t.row(&[
+            c.name.to_string(),
+            format!("{fwd:.1}"),
+            format!("{grad:.1}"),
+            format!("{kf:.1}"),
+            format!("{total:.1}"),
+            format!("{:.2}x", baseline_total / total),
+        ]);
+    }
+    t.print();
+    println!("\n# paper (Fig 7c): total iteration time 3.48x faster after all optimizations.");
+}

@@ -1,0 +1,63 @@
+//! Diagnostic probe (not part of the experiment suite): prints
+//! iteration-level RMSE and update norms for FEKF on a small system.
+
+use dp_bench::Args;
+use dp_optim::fekf::{Fekf, FekfConfig};
+use dp_train::recipes::{setup, ModelScale};
+use dp_train::targets::{energy_target, force_targets};
+use dp_data::generate::GenScale;
+use dp_mdsim::systems::PaperSystem;
+use deepmd_core::loss;
+
+fn main() {
+    let args = Args::parse();
+    let scale = GenScale { frames_per_temperature: 24, equilibration: 80, stride: 4 };
+    let sys = args.systems.clone().map(|v| v[0]).unwrap_or(PaperSystem::Al);
+    let mut s = setup(sys, &scale, ModelScale::Small, args.seed);
+    let bs = args.batch.unwrap_or(16);
+    let model = &mut s.model;
+    let mut opt = Fekf::new(&model.layer_sizes(), bs, FekfConfig::default());
+    let n_params = model.n_params();
+    let m0 = loss::evaluate(model, &s.train, 32);
+    println!("init: E_rmse={:.4} F_rmse={:.4}", m0.energy_rmse, m0.force_rmse);
+    let n = s.train.len();
+    for it in 0..30 {
+        let batch: Vec<usize> = (0..bs).map(|k| (it * bs + k) % n).collect();
+        // energy
+        let mut gsum = vec![0.0; n_params];
+        let mut abe = 0.0;
+        for &i in &batch {
+            let pass = model.forward(&s.train.frames[i]);
+            let t = energy_target(model, &pass);
+            for (x, y) in gsum.iter_mut().zip(&t.grad) { *x += y; }
+            abe += t.abe / bs as f64;
+        }
+        let gn = gsum.iter().map(|v| v*v).sum::<f64>().sqrt();
+        let delta = opt.step(&gsum, abe);
+        let dn = delta.iter().map(|v| v*v).sum::<f64>().sqrt();
+        model.apply_update(&delta);
+        print!("it {it}: E abe={abe:.4} |g|={gn:.3} |dw|={dn:.4} ");
+        // force
+        let mut grads = vec![vec![0.0; n_params]; 4];
+        let mut abes = vec![0.0; 4];
+        for &i in &batch {
+            let frame = &s.train.frames[i];
+            let pass = model.forward(frame);
+            let forces = model.forces(&pass);
+            let ts = force_targets(model, &pass, &forces, frame, 4);
+            for (k, t) in ts.iter().enumerate() {
+                for (x, y) in grads[k].iter_mut().zip(&t.grad) { *x += y; }
+                abes[k] += t.abe / bs as f64;
+            }
+        }
+        let mut dtot = 0.0;
+        for k in 0..4 {
+            let delta = opt.step(&grads[k], abes[k]);
+            dtot += delta.iter().map(|v| v*v).sum::<f64>().sqrt();
+            model.apply_update(&delta);
+        }
+        let m = loss::evaluate(model, &s.train, 16);
+        println!("| F abe={:.4} |dwF|={dtot:.4} -> E_rmse={:.4} F_rmse={:.4} lam={:.4}",
+            abes.iter().sum::<f64>()/4.0, m.energy_rmse, m.force_rmse, opt.core().mem.lambda);
+    }
+}

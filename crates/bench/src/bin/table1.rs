@@ -1,0 +1,105 @@
+//! Table 1 — Adam-based DeePMD convergence under different training
+//! batch sizes.
+//!
+//! Protocol (paper §1): train Adam with batch size 1 to its converged
+//! Energy RMSE; then train batch sizes 32 and 64 (learning rate scaled
+//! by √bs, the paper's protocol) and count the epochs needed to reach
+//! the *same* Energy RMSE. The paper observes an epoch growth of
+//! ~12–25× from bs 1 → 32 and ~2× from 32 → 64; "-" marks runs that
+//! never reach the target within the cap.
+
+use dp_bench::{Args, Table};
+use dp_mdsim::systems::PaperSystem;
+use dp_train::recipes::{run_adam, setup};
+use dp_train::trainer::TrainConfig;
+
+fn main() {
+    let args = Args::parse();
+    let systems = args.systems_or(&[PaperSystem::Al]);
+    let scale = args.gen_scale(32);
+    let budget = args.epochs.unwrap_or(if args.paper_scale { 60 } else { 40 });
+    let cap = budget * 10;
+
+    println!("# Table 1: Adam convergence vs batch size (√bs LR scaling)");
+    println!(
+        "# scale: {} frames/temperature, model = {:?}, bs-1 budget = {budget} epochs, cap = {cap}\n",
+        scale.frames_per_temperature,
+        args.model_scale()
+    );
+    let mut table = Table::new(&[
+        "System",
+        "Energy RMSE (eV)",
+        "bs 1",
+        "bs 32",
+        "bs 64",
+        "growth 32/1",
+        "growth 64/32",
+    ]);
+
+    for sys in systems {
+        // Reference: batch size 1.
+        let mut s = setup(sys, &scale, args.model_scale(), args.seed);
+        let cfg1 = TrainConfig {
+            batch_size: 1,
+            max_epochs: budget,
+            eval_frames: 48,
+            ..Default::default()
+        };
+        let out1 = run_adam(&mut s, cfg1, false);
+        // Tight accuracy bar: the best energy RMSE the bs-1 run ever
+        // reached (+2% tolerance) — matching the paper's "converged
+        // Energy RMSE" protocol.
+        let best = out1
+            .history
+            .epochs
+            .iter()
+            .map(|r| r.train.energy_rmse)
+            .fold(f64::INFINITY, f64::min);
+        let target_e = best * 1.02;
+        let epochs1 = out1
+            .history
+            .epochs
+            .iter()
+            .find(|r| r.train.energy_rmse <= target_e)
+            .map(|r| r.epoch)
+            .unwrap_or(budget);
+
+        let epochs_at = |bs: usize| -> Option<usize> {
+            let mut s = setup(sys, &scale, args.model_scale(), args.seed);
+            let cfg = TrainConfig {
+                batch_size: bs,
+                max_epochs: cap,
+                eval_frames: 48,
+                ..Default::default()
+            };
+            let out = run_adam(&mut s, cfg, true);
+            out.history
+                .epochs
+                .iter()
+                .find(|r| r.train.energy_rmse <= target_e)
+                .map(|r| r.epoch)
+        };
+        let e32 = epochs_at(32);
+        let e64 = epochs_at(64);
+        let show = |e: Option<usize>| e.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+        let ratio = |a: Option<usize>, b: usize| {
+            a.map(|v| format!("{:.1}x", v as f64 / b as f64))
+                .unwrap_or_else(|| "-".into())
+        };
+        let ratio2 = |a: Option<usize>, b: Option<usize>| match (a, b) {
+            (Some(x), Some(y)) if y > 0 => format!("{:.1}x", x as f64 / y as f64),
+            _ => "-".into(),
+        };
+        table.row(&[
+            sys.preset().name.to_string(),
+            format!("{:.4}", target_e),
+            epochs1.to_string(),
+            show(e32),
+            show(e64),
+            ratio(e32, epochs1),
+            ratio2(e64, e32),
+        ]);
+    }
+    table.print();
+    println!("\n# paper (Table 1): bs-32 needs 12.1x–25.1x the epochs of bs-1; bs-64 ≈ 2x bs-32.");
+}

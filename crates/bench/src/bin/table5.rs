@@ -1,0 +1,102 @@
+//! Table 5 — Cu training wall time under different (batch size,
+//! #devices) configurations.
+//!
+//! Paper row: RLEKF bs-1 26136 s (1×) → FEKF bs-32/1 GPU 576 s (54×) →
+//! bs-512/4 GPUs 360 s (72×) → bs-4096/16 GPUs 281 s (93×).
+//!
+//! Here: RLEKF sets the accuracy bar and the 1× time; FEKF runs at
+//! growing batch sizes on growing thread-device counts to the same
+//! accuracy. Device counts beyond the physical cores cannot speed up a
+//! 2-core box, so the table also prints the *modeled* per-iteration
+//! communication time on the paper's A100/RoCE cluster
+//! (`dp_parallel::comm_model`) to show the scaling headroom.
+
+use dp_bench::{fmt_secs, Args, Table};
+use dp_mdsim::systems::PaperSystem;
+use dp_optim::fekf::FekfConfig;
+use dp_parallel::comm_model::{fekf_iteration_stats, ClusterModel};
+use dp_train::recipes::{run_fekf_distributed, run_rlekf, setup, ModelScale};
+use dp_train::trainer::TrainConfig;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.gen_scale(20);
+    let budget = args.epochs.unwrap_or(2);
+    let sys = args.systems_or(&[PaperSystem::Cu])[0];
+
+    let model_scale = if args.paper_scale { ModelScale::Paper } else { ModelScale::Medium };
+    println!("# Table 5: training wall time of the {} system", sys.preset().name);
+    println!(
+        "# scale: {} frames/temperature, model = {:?}, RLEKF budget = {budget} epochs\n",
+        scale.frames_per_temperature,
+        model_scale
+    );
+
+    // RLEKF reference.
+    let mut s = setup(sys, &scale, model_scale, args.seed);
+    let cfg = TrainConfig {
+        batch_size: 1,
+        max_epochs: budget,
+        eval_frames: 32,
+        ..Default::default()
+    };
+    let rlekf = run_rlekf(&mut s, cfg, 10240);
+    let target = rlekf.final_train.combined() * 1.1;
+    let base_t = rlekf.wall_s;
+    let n_params = s.model.n_params();
+
+    let mut t = Table::new(&[
+        "config (bs, devices)",
+        "wall time",
+        "speedup",
+        "epochs",
+        "reached target",
+        "comm/iter (measured)",
+        "comm time/iter (A100 model)",
+    ]);
+    t.row(&[
+        "RLEKF bs 1 (1 dev)".into(),
+        fmt_secs(base_t),
+        "1.0x".into(),
+        rlekf.epochs_run.to_string(),
+        "ref".into(),
+        "0 B".into(),
+        "-".into(),
+    ]);
+
+    let cluster = ClusterModel::paper_cluster();
+    for &(bs, devs) in &[(16usize, 1usize), (32, 2), (64, 2)] {
+        let mut s = setup(sys, &scale, model_scale, args.seed);
+        let cfg = TrainConfig {
+            batch_size: bs,
+            max_epochs: budget * 10,
+            target: Some(target),
+            eval_frames: 32,
+            eval_every: 4,
+            ..Default::default()
+        };
+        let out = run_fekf_distributed(&mut s, cfg, FekfConfig::default(), devs);
+        let comm_per_iter = if out.iterations > 0 {
+            out.comm_bytes_per_rank / out.iterations as usize
+        } else {
+            0
+        };
+        let modeled = cluster.time(&fekf_iteration_stats(n_params, devs, 4));
+        t.row(&[
+            format!("FEKF bs {bs} ({devs} dev)"),
+            fmt_secs(out.wall_s),
+            format!("{:.1}x", base_t / out.wall_s),
+            out.epochs_run.to_string(),
+            if out.converged { "yes".into() } else { "cap".into() },
+            format!("{:.2} KB", comm_per_iter as f64 / 1024.0),
+            format!("{:.1} µs", modeled * 1e6),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n# paper (Table 5): 26136s (1x) → 576s (54x) → 360s (72x) → 281s (93x)."
+    );
+    println!("# note: this box has 2 physical cores; >2 devices oversubscribe, so the measured");
+    println!("# curve flattens where the paper's 4/16-GPU rows keep improving — the modeled");
+    println!("# communication column shows FEKF's comm stays in the microsecond range there.");
+}

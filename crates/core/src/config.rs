@@ -1,0 +1,135 @@
+//! Model hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// DeePMD model configuration.
+///
+/// The `paper()` preset matches §4 "Model parameters": embedding net
+/// `[25, 25, 25]`, fitting net `[400, 50, 50, 50, 1]` (400 = M·M^< with
+/// M = 25, M^< = 16), ~26.6k parameters for a single-species system.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Number of atom types in the system.
+    pub n_types: usize,
+    /// Outer cutoff r_c (Å) of the neighbour environment.
+    pub rcut: f64,
+    /// Inner smoothing onset r_cs (Å); `s(r) = 1/r` below it.
+    pub rcut_smooth: f64,
+    /// Symmetry order M: width of the embedding output.
+    pub m: usize,
+    /// Truncated symmetry order M^< (paper: 16): number of leading
+    /// embedding columns used on the right side of the descriptor.
+    pub m_sub: usize,
+    /// Hidden widths of the three embedding layers (first maps 1 → `w[0]`;
+    /// equal consecutive widths become residual layers).
+    pub embedding_widths: [usize; 3],
+    /// Hidden widths of the three fitting layers before the final
+    /// scalar layer.
+    pub fitting_widths: [usize; 3],
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The paper's network (§4): `[25,25,25]` embedding,
+    /// `[400,50,50,50,1]` fitting, M^< = 16.
+    pub fn paper(n_types: usize, rcut: f64) -> Self {
+        ModelConfig {
+            n_types,
+            rcut,
+            rcut_smooth: 0.6 * rcut,
+            m: 25,
+            m_sub: 16,
+            embedding_widths: [25, 25, 25],
+            fitting_widths: [50, 50, 50],
+            seed: 20240302,
+        }
+    }
+
+    /// A mid-size network for the `--quick` wall-time experiments: big
+    /// enough that the Kalman-filter `P` update dominates the
+    /// per-sample cost (the regime the paper's speedups live in), small
+    /// enough for a 2-core box.
+    pub fn medium(n_types: usize, rcut: f64) -> Self {
+        ModelConfig {
+            n_types,
+            rcut,
+            rcut_smooth: 0.6 * rcut,
+            m: 12,
+            m_sub: 6,
+            embedding_widths: [12, 12, 12],
+            fitting_widths: [24, 24, 24],
+            seed: 20240302,
+        }
+    }
+
+    /// A scaled-down network for tests and the `--quick` experiment
+    /// mode (2-core CPU substrate; see DESIGN.md §1).
+    pub fn small(n_types: usize, rcut: f64) -> Self {
+        ModelConfig {
+            n_types,
+            rcut,
+            rcut_smooth: 0.6 * rcut,
+            m: 8,
+            m_sub: 4,
+            embedding_widths: [8, 8, 8],
+            fitting_widths: [16, 16, 16],
+            seed: 20240302,
+        }
+    }
+
+    /// Descriptor dimension `M · M^<` — the fitting-net input width.
+    pub fn descriptor_dim(&self) -> usize {
+        self.m * self.m_sub
+    }
+
+    /// Validate the invariants the model relies on.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(self.n_types >= 1, "need at least one type");
+        assert!(self.rcut > 0.0, "rcut must be positive");
+        assert!(
+            self.rcut_smooth > 0.0 && self.rcut_smooth < self.rcut,
+            "rcut_smooth must be in (0, rcut)"
+        );
+        assert!(self.m >= 1 && self.m_sub >= 1, "symmetry orders must be ≥ 1");
+        assert!(self.m_sub <= self.m, "M^< must not exceed M");
+        assert_eq!(
+            self.embedding_widths[2], self.m,
+            "embedding output width must equal M"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_section_4() {
+        let c = ModelConfig::paper(1, 5.0);
+        c.validate();
+        assert_eq!(c.m, 25);
+        assert_eq!(c.m_sub, 16);
+        assert_eq!(c.descriptor_dim(), 400);
+        assert_eq!(c.embedding_widths, [25, 25, 25]);
+        assert_eq!(c.fitting_widths, [50, 50, 50]);
+    }
+
+    #[test]
+    fn small_preset_is_consistent() {
+        let c = ModelConfig::small(2, 4.0);
+        c.validate();
+        assert_eq!(c.descriptor_dim(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "M^< must not exceed M")]
+    fn oversized_m_sub_rejected() {
+        let mut c = ModelConfig::small(1, 4.0);
+        c.m_sub = c.m + 1;
+        c.validate();
+    }
+}

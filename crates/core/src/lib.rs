@@ -1,0 +1,41 @@
+//! # deepmd-core — the DeePMD model
+//!
+//! A from-scratch implementation of the Deep Potential model of §2.1 of
+//! *"Training one DeePMD Model in Minutes"* (PPoPP '24):
+//!
+//! 1. the smooth environment matrix `R̃ᵢ ∈ R^{n_i×4}` with rows
+//!    `s(r)·(1, r̂)` and the switching function `s(r)` (1/r below
+//!    `r_cs`, a quintic-smoothed decay to zero at `r_c`),
+//! 2. per-type-pair three-layer **embedding networks**
+//!    `G = E₂∘E₁∘E₀(s)`,
+//! 3. the **symmetry-preserving descriptor**
+//!    `D = (GᵀR̃)(R̃ᵀG^<)` (translation/rotation/permutation invariant —
+//!    property-tested in [`model`]),
+//! 4. per-type **fitting networks** mapping `D` to atomic energies, with
+//!    `E_tot = Σᵢ Eᵢ` and forces `F = −∇_r E_tot`.
+//!
+//! Derivatives are *handwritten* (the paper's Opt1 — §3.4 replaces the
+//! framework Autograd with manual kernels, including the product-rule
+//! derivative of the symmetry-preserving operator, its Eq. 4):
+//!
+//! * [`mlp`] implements forward / reverse / JVP / dual-reverse sweeps for
+//!   the embedding and fitting networks,
+//! * [`model`] assembles analytic forces and the two parameter-gradients
+//!   the Kalman-filter optimizers need — `∇_θ E` and
+//!   `∇_θ (cᵀF)` (the latter via a forward-tangent + reverse sweep,
+//!   avoiding `create_graph`-style double backprop),
+//! * [`tape_path`] provides the *baseline* implementation built on the
+//!   [`dp_tensor::tape`] autograd engine, used by the Figure 7 kernel
+//!   accounting experiments and as an oracle in the tests.
+
+pub mod config;
+pub mod env;
+pub mod loss;
+pub mod mlp;
+pub mod model;
+pub mod model_io;
+pub mod nnmd;
+pub mod tape_path;
+
+pub use config::ModelConfig;
+pub use model::{DeepPotModel, ForwardPass, Prediction};

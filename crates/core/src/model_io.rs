@@ -1,0 +1,312 @@
+//! Model persistence: a compact, versioned binary format for trained
+//! Deep Potential models (the artifact an online-learning loop keeps
+//! updating and an MD engine consumes).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "DPMD" | version u32 | config | stats | bias | mlps…
+//! config := n_types u64 | rcut f64 | rcut_smooth f64 | m u64 |
+//!           m_sub u64 | emb widths 3×u64 | fit widths 3×u64 | seed u64
+//! stats  := 3 × f64 vec (mean/std radial, std angular) | n_scale f64
+//! bias   := f64 vec
+//! mlp    := n_layers u64 | layer…
+//! layer  := kind u8 | rows u64 | cols u64 | w (rows·cols)×f64 | b cols×f64
+//! f64 vec := len u64 | data
+//! ```
+
+use crate::config::ModelConfig;
+use crate::env::EnvStats;
+use crate::mlp::{Layer, LayerKind, Mlp};
+use crate::model::DeepPotModel;
+use dp_data::stats::EnergyBias;
+use dp_tensor::Mat;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DPMD";
+const VERSION: u32 = 1;
+
+fn err(m: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, m.to_string())
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64_vec(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(err("truncated model file"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64_vec(&mut self) -> io::Result<Vec<f64>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() / 8 + 1 {
+            return Err(err("implausible vector length"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+fn write_mlp(w: &mut Writer, mlp: &Mlp) {
+    w.u64(mlp.layers.len() as u64);
+    for l in &mlp.layers {
+        w.u8(match l.kind {
+            LayerKind::Tanh => 0,
+            LayerKind::TanhResidual => 1,
+            LayerKind::Linear => 2,
+        });
+        w.u64(l.w.rows() as u64);
+        w.u64(l.w.cols() as u64);
+        for &x in l.w.as_slice() {
+            w.f64(x);
+        }
+        for &x in l.b.as_slice() {
+            w.f64(x);
+        }
+    }
+}
+
+fn read_mlp(r: &mut Reader) -> io::Result<Mlp> {
+    let n_layers = r.u64()? as usize;
+    if n_layers > 64 {
+        return Err(err("implausible layer count"));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let kind = match r.u8()? {
+            0 => LayerKind::Tanh,
+            1 => LayerKind::TanhResidual,
+            2 => LayerKind::Linear,
+            _ => return Err(err("unknown layer kind")),
+        };
+        let rows = r.u64()? as usize;
+        let cols = r.u64()? as usize;
+        if rows.saturating_mul(cols) > r.buf.len() / 8 + 1 {
+            return Err(err("implausible layer shape"));
+        }
+        let mut wdata = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            wdata.push(r.f64()?);
+        }
+        let mut bdata = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            bdata.push(r.f64()?);
+        }
+        layers.push(Layer {
+            w: Mat::from_vec(rows, cols, wdata),
+            b: Mat::from_vec(1, cols, bdata),
+            kind,
+        });
+    }
+    Ok(Mlp { layers })
+}
+
+/// Serialize a model to bytes.
+pub fn to_bytes(model: &DeepPotModel) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    let c = &model.cfg;
+    w.u64(c.n_types as u64);
+    w.f64(c.rcut);
+    w.f64(c.rcut_smooth);
+    w.u64(c.m as u64);
+    w.u64(c.m_sub as u64);
+    for &x in &c.embedding_widths {
+        w.u64(x as u64);
+    }
+    for &x in &c.fitting_widths {
+        w.u64(x as u64);
+    }
+    w.u64(c.seed);
+    w.f64_vec(&model.stats.mean_radial);
+    w.f64_vec(&model.stats.std_radial);
+    w.f64_vec(&model.stats.std_angular);
+    w.f64(model.stats.n_scale);
+    w.f64_vec(&model.bias.per_type);
+    w.u64(model.embeddings.len() as u64);
+    for m in &model.embeddings {
+        write_mlp(&mut w, m);
+    }
+    w.u64(model.fittings.len() as u64);
+    for m in &model.fittings {
+        write_mlp(&mut w, m);
+    }
+    w.buf
+}
+
+/// Deserialize a model from bytes.
+pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if r.u32()? != VERSION {
+        return Err(err("unsupported version"));
+    }
+    let cfg = ModelConfig {
+        n_types: r.u64()? as usize,
+        rcut: r.f64()?,
+        rcut_smooth: r.f64()?,
+        m: r.u64()? as usize,
+        m_sub: r.u64()? as usize,
+        embedding_widths: [r.u64()? as usize, r.u64()? as usize, r.u64()? as usize],
+        fitting_widths: [r.u64()? as usize, r.u64()? as usize, r.u64()? as usize],
+        seed: r.u64()?,
+    };
+    let stats = EnvStats {
+        mean_radial: r.f64_vec()?,
+        std_radial: r.f64_vec()?,
+        std_angular: r.f64_vec()?,
+        n_scale: r.f64()?,
+    };
+    let bias = EnergyBias { per_type: r.f64_vec()? };
+    let n_emb = r.u64()? as usize;
+    if n_emb != cfg.n_types * cfg.n_types {
+        return Err(err("embedding count mismatch"));
+    }
+    let mut embeddings = Vec::with_capacity(n_emb);
+    for _ in 0..n_emb {
+        embeddings.push(read_mlp(&mut r)?);
+    }
+    let n_fit = r.u64()? as usize;
+    if n_fit != cfg.n_types {
+        return Err(err("fitting count mismatch"));
+    }
+    let mut fittings = Vec::with_capacity(n_fit);
+    for _ in 0..n_fit {
+        fittings.push(read_mlp(&mut r)?);
+    }
+    cfg.validate();
+    Ok(DeepPotModel { cfg, stats, bias, embeddings, fittings })
+}
+
+/// Write a model to `path`.
+pub fn save(model: &DeepPotModel, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_bytes(model))
+}
+
+/// Read a model from `path`.
+pub fn load(path: impl AsRef<Path>) -> io::Result<DeepPotModel> {
+    from_bytes(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_data::dataset::{Dataset, Snapshot};
+    use dp_mdsim::lattice::{rocksalt, Species};
+    use dp_mdsim::Vec3;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_frame(seed: u64) -> Snapshot {
+        let mut s = rocksalt(Species::new("A", 20.0), Species::new("B", 30.0), 4.4, [1, 1, 1]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        s.jitter_positions(0.25, &mut rng);
+        Snapshot {
+            cell: s.cell.lengths(),
+            types: s.types.clone(),
+            type_names: s.type_names.clone(),
+            pos: s.pos.clone(),
+            energy: -10.0,
+            forces: vec![Vec3::ZERO; s.n_atoms()],
+            temperature: 300.0,
+        }
+    }
+
+    fn toy_model() -> DeepPotModel {
+        let mut cfg = ModelConfig::small(2, 2.1);
+        cfg.rcut_smooth = 1.2;
+        let mut ds = Dataset::new("toy", vec!["A".into(), "B".into()]);
+        ds.push(toy_frame(1));
+        ds.push(toy_frame(2));
+        DeepPotModel::new(cfg, &ds)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_exactly() {
+        let m = toy_model();
+        let bytes = to_bytes(&m);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.n_params(), m.n_params());
+        assert_eq!(back.get_params(), m.get_params());
+        let f = toy_frame(3);
+        let p1 = m.predict(&f);
+        let p2 = back.predict(&f);
+        assert_eq!(p1.energy, p2.energy);
+        for (a, b) in p1.forces.iter().zip(&p2.forces) {
+            assert_eq!(a.0, b.0);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = toy_model();
+        let path = std::env::temp_dir().join("dp_model_io_test.dpmd");
+        save(&m, &path).unwrap();
+        let back = load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.get_params(), m.get_params());
+    }
+
+    #[test]
+    fn corrupted_files_are_rejected() {
+        let m = toy_model();
+        let bytes = to_bytes(&m);
+        assert!(from_bytes(b"XXXX").is_err());
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'Z';
+        assert!(from_bytes(&bad_magic).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests for the physical invariances of the Deep Potential
+//! model: the symmetry-preserving descriptor must make the energy
+//! invariant — and the forces equivariant — under translations, the 48
+//! cube symmetries (axis permutations × sign flips, the rigid motions
+//! that map a cubic periodic cell onto itself) and same-type atom
+//! permutations, for *random* configurations and random weights.
+
+use deepmd_core::config::ModelConfig;
+use deepmd_core::env::EnvStats;
+use deepmd_core::model::DeepPotModel;
+use dp_data::dataset::Snapshot;
+use dp_data::stats::EnergyBias;
+use dp_mdsim::Vec3;
+use proptest::prelude::*;
+
+const BOX_L: f64 = 8.0;
+
+fn model(seed: u64, n_types: usize) -> DeepPotModel {
+    let mut cfg = ModelConfig::small(n_types, 3.0);
+    cfg.rcut_smooth = 1.8;
+    cfg.seed = seed;
+    DeepPotModel::with_stats(
+        cfg,
+        EnvStats::identity(n_types),
+        EnergyBias { per_type: vec![0.0; n_types] },
+    )
+}
+
+fn frame(positions: &[[f64; 3]], types: &[usize]) -> Snapshot {
+    Snapshot {
+        cell: [BOX_L; 3],
+        types: types.to_vec(),
+        type_names: vec!["A".into(), "B".into()],
+        pos: positions.iter().map(|p| Vec3(*p)).collect(),
+        energy: 0.0,
+        forces: vec![Vec3::ZERO; positions.len()],
+        temperature: 300.0,
+    }
+}
+
+/// Random configuration: 6–10 atoms, 2 types, positions inside the box.
+fn config_strategy() -> impl Strategy<Value = (Vec<[f64; 3]>, Vec<usize>)> {
+    (6usize..=10)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(
+                    [0.2..BOX_L - 0.2, 0.2..BOX_L - 0.2, 0.2..BOX_L - 0.2],
+                    n,
+                ),
+                proptest::collection::vec(0usize..2, n),
+            )
+        })
+        .prop_filter("atoms must not overlap", |(pos, _)| {
+            for i in 0..pos.len() {
+                for j in (i + 1)..pos.len() {
+                    let d2: f64 = (0..3)
+                        .map(|k| {
+                            let mut x: f64 = pos[i][k] - pos[j][k];
+                            x -= BOX_L * (x / BOX_L).round();
+                            x * x
+                        })
+                        .sum();
+                    if d2 < 0.64 {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+}
+
+/// One of the 48 cube symmetries: an axis permutation + sign flips.
+fn cube_symmetry_strategy() -> impl Strategy<Value = ([usize; 3], [f64; 3])> {
+    (0usize..6, proptest::array::uniform3(proptest::bool::ANY)).prop_map(|(p, flips)| {
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let signs = [
+            if flips[0] { -1.0 } else { 1.0 },
+            if flips[1] { -1.0 } else { 1.0 },
+            if flips[2] { -1.0 } else { 1.0 },
+        ];
+        (perms[p], signs)
+    })
+}
+
+fn apply_symmetry(p: &[f64; 3], perm: &[usize; 3], signs: &[f64; 3]) -> [f64; 3] {
+    // Rotate/reflect about the box centre so the cell maps onto itself.
+    let centred = [p[0] - BOX_L / 2.0, p[1] - BOX_L / 2.0, p[2] - BOX_L / 2.0];
+    [
+        signs[0] * centred[perm[0]] + BOX_L / 2.0,
+        signs[1] * centred[perm[1]] + BOX_L / 2.0,
+        signs[2] * centred[perm[2]] + BOX_L / 2.0,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn energy_is_translation_invariant(
+        (pos, types) in config_strategy(),
+        shift in proptest::array::uniform3(-5.0f64..5.0),
+    ) {
+        let m = model(1, 2);
+        let f0 = frame(&pos, &types);
+        let shifted: Vec<[f64; 3]> = pos
+            .iter()
+            .map(|p| [p[0] + shift[0], p[1] + shift[1], p[2] + shift[2]])
+            .collect();
+        let f1 = frame(&shifted, &types);
+        let e0 = m.forward(&f0).energy;
+        let e1 = m.forward(&f1).energy;
+        prop_assert!((e0 - e1).abs() < 1e-9, "{e0} vs {e1}");
+    }
+
+    #[test]
+    fn energy_invariant_and_forces_equivariant_under_cube_symmetries(
+        (pos, types) in config_strategy(),
+        (perm, signs) in cube_symmetry_strategy(),
+    ) {
+        let m = model(2, 2);
+        let f0 = frame(&pos, &types);
+        let rotated: Vec<[f64; 3]> = pos.iter().map(|p| apply_symmetry(p, &perm, &signs)).collect();
+        let f1 = frame(&rotated, &types);
+        let p0 = m.predict(&f0);
+        let p1 = m.predict(&f1);
+        prop_assert!((p0.energy - p1.energy).abs() < 1e-9, "energy changed under rotation");
+        for (a, b) in p0.forces.iter().zip(&p1.forces) {
+            // The force must co-rotate: rotate a and compare to b.
+            let ar = [
+                signs[0] * a.0[perm[0]],
+                signs[1] * a.0[perm[1]],
+                signs[2] * a.0[perm[2]],
+            ];
+            for k in 0..3 {
+                prop_assert!((ar[k] - b.0[k]).abs() < 1e-9, "force not equivariant");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_invariant_under_same_type_permutation(
+        (pos, types) in config_strategy(),
+        swap in (0usize..6, 0usize..6),
+    ) {
+        let m = model(3, 2);
+        let f0 = frame(&pos, &types);
+        let e0 = m.forward(&f0).energy;
+        // Find two same-type atoms to swap (guided by the random pair).
+        let n = pos.len();
+        let (i0, j0) = (swap.0 % n, swap.1 % n);
+        let mut found = None;
+        'outer: for di in 0..n {
+            for dj in 0..n {
+                let (i, j) = ((i0 + di) % n, (j0 + dj) % n);
+                if i != j && types[i] == types[j] {
+                    found = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(found.is_some());
+        let (i, j) = found.unwrap();
+        let mut pos2 = pos.clone();
+        pos2.swap(i, j);
+        let f1 = frame(&pos2, &types);
+        let e1 = m.forward(&f1).energy;
+        prop_assert!((e0 - e1).abs() < 1e-9, "permutation changed energy: {e0} vs {e1}");
+    }
+
+    #[test]
+    fn forces_sum_to_zero_for_random_configurations(
+        (pos, types) in config_strategy(),
+    ) {
+        let m = model(4, 2);
+        let f = frame(&pos, &types);
+        let pred = m.predict(&f);
+        let total = pred.forces.iter().fold(Vec3::ZERO, |acc, v| acc + *v);
+        prop_assert!(total.norm() < 1e-9, "net force {total:?}");
+    }
+}

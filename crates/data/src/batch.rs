@@ -1,0 +1,117 @@
+//! Minibatch sampling.
+//!
+//! The paper's entire study revolves around the *training batch size*
+//! (`bs`): RLEKF uses `bs = 1`, FEKF scales it to 32…4096. The sampler
+//! draws random permutations per epoch and yields contiguous index
+//! batches, mirroring the random-without-replacement sampling of the
+//! reference implementation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Epoch-wise shuffled minibatch sampler over `n` samples.
+#[derive(Clone, Debug)]
+pub struct BatchSampler {
+    n: usize,
+    batch_size: usize,
+    drop_last: bool,
+}
+
+impl BatchSampler {
+    /// Create a sampler over `n` samples with the given batch size.
+    ///
+    /// `drop_last` discards a trailing ragged batch (the reference
+    /// implementation's behaviour when the dataset size is not a
+    /// multiple of `bs`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, drop_last: bool) -> Self {
+        assert!(n > 0, "BatchSampler: empty dataset");
+        assert!(batch_size > 0, "BatchSampler: zero batch size");
+        BatchSampler { n, batch_size, drop_last }
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        if self.drop_last {
+            self.n / self.batch_size
+        } else {
+            self.n.div_ceil(self.batch_size)
+        }
+    }
+
+    /// Produce one epoch of shuffled index batches.
+    pub fn epoch(&self, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.shuffle(rng);
+        let mut out = Vec::with_capacity(self.batches_per_epoch());
+        for chunk in idx.chunks(self.batch_size) {
+            if self.drop_last && chunk.len() < self.batch_size {
+                break;
+            }
+            out.push(chunk.to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn epoch_covers_all_samples_without_drop() {
+        let s = BatchSampler::new(10, 3, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let batches = s.epoch(&mut rng);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_last_discards_ragged_batch() {
+        let s = BatchSampler::new(10, 3, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let batches = s.epoch(&mut rng);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.len() == 3));
+        assert_eq!(s.batches_per_epoch(), 3);
+    }
+
+    #[test]
+    fn shuffling_differs_between_epochs() {
+        let s = BatchSampler::new(64, 8, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let e1 = s.epoch(&mut rng);
+        let e2 = s.epoch(&mut rng);
+        assert_ne!(e1, e2, "two epochs should rarely coincide");
+    }
+
+    #[test]
+    fn batch_size_one_yields_singletons() {
+        let s = BatchSampler::new(5, 1, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let batches = s.epoch(&mut rng);
+        assert_eq!(batches.len(), 5);
+        assert!(batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn oversized_batch_returns_single_full_batch() {
+        let s = BatchSampler::new(4, 100, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let batches = s.epoch(&mut rng);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 4);
+    }
+}

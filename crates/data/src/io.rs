@@ -1,0 +1,274 @@
+//! Compact binary on-disk format for datasets.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "DPDS" | version u32 | name | type_names | n_frames u64 | frames…
+//! frame := cell 3×f64 | n_atoms u64 | types n×u64 | pos 3n×f64 |
+//!          energy f64 | forces 3n×f64 | temperature f64
+//! string := len u64 | utf8 bytes
+//! ```
+//!
+//! The paper's artifact ships `npy` feature files ("Saving npy file
+//! done"); this plays the same role for our pipeline.
+
+use crate::dataset::{Dataset, Snapshot};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dp_mdsim::Vec3;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DPDS";
+const VERSION: u32 = 1;
+
+/// Serialize a dataset to bytes.
+pub fn to_bytes(ds: &Dataset) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    put_string(&mut buf, &ds.name);
+    buf.put_u64_le(ds.type_names.len() as u64);
+    for t in &ds.type_names {
+        put_string(&mut buf, t);
+    }
+    buf.put_u64_le(ds.frames.len() as u64);
+    for f in &ds.frames {
+        for c in f.cell {
+            buf.put_f64_le(c);
+        }
+        buf.put_u64_le(f.types.len() as u64);
+        for &t in &f.types {
+            buf.put_u64_le(t as u64);
+        }
+        for p in &f.pos {
+            for c in p.0 {
+                buf.put_f64_le(c);
+            }
+        }
+        buf.put_f64_le(f.energy);
+        for v in &f.forces {
+            for c in v.0 {
+                buf.put_f64_le(c);
+            }
+        }
+        buf.put_f64_le(f.temperature);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a dataset from bytes.
+pub fn from_bytes(mut b: &[u8]) -> io::Result<Dataset> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if b.remaining() < 8 || &b[..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    b.advance(4);
+    let version = b.get_u32_le();
+    if version != VERSION {
+        return Err(err("unsupported version"));
+    }
+    let name = get_string(&mut b)?;
+    let n_types = get_u64(&mut b)? as usize;
+    let mut type_names = Vec::with_capacity(n_types);
+    for _ in 0..n_types {
+        type_names.push(get_string(&mut b)?);
+    }
+    let n_frames = get_u64(&mut b)? as usize;
+    let mut ds = Dataset::new(&name, type_names.clone());
+    for _ in 0..n_frames {
+        if b.remaining() < 3 * 8 + 8 {
+            return Err(err("truncated frame header"));
+        }
+        let cell = [b.get_f64_le(), b.get_f64_le(), b.get_f64_le()];
+        let n = b.get_u64_le() as usize;
+        let need = n * 8 + n * 24 + 8 + n * 24 + 8;
+        if b.remaining() < need {
+            return Err(err("truncated frame body"));
+        }
+        let mut types = Vec::with_capacity(n);
+        for _ in 0..n {
+            types.push(b.get_u64_le() as usize);
+        }
+        let mut pos = Vec::with_capacity(n);
+        for _ in 0..n {
+            pos.push(Vec3::new(b.get_f64_le(), b.get_f64_le(), b.get_f64_le()));
+        }
+        let energy = b.get_f64_le();
+        let mut forces = Vec::with_capacity(n);
+        for _ in 0..n {
+            forces.push(Vec3::new(b.get_f64_le(), b.get_f64_le(), b.get_f64_le()));
+        }
+        let temperature = b.get_f64_le();
+        ds.push(Snapshot {
+            cell,
+            types,
+            type_names: type_names.clone(),
+            pos,
+            energy,
+            forces,
+            temperature,
+        });
+    }
+    Ok(ds)
+}
+
+/// Write a dataset to `path`.
+pub fn save(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_bytes(ds))
+}
+
+/// Read a dataset from `path`.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let bytes = fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u64_le(s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_u64(b: &mut &[u8]) -> io::Result<u64> {
+    if b.remaining() < 8 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated u64"));
+    }
+    Ok(b.get_u64_le())
+}
+
+fn get_string(b: &mut &[u8]) -> io::Result<String> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if b.remaining() < 8 {
+        return Err(err("truncated string length"));
+    }
+    let len = b.get_u64_le() as usize;
+    if b.remaining() < len {
+        return Err(err("truncated string body"));
+    }
+    let s = String::from_utf8(b[..len].to_vec()).map_err(|_| err("invalid utf8"))?;
+    b.advance(len);
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let mut d = Dataset::new("NaCl", vec!["Na".into(), "Cl".into()]);
+        for k in 0..3 {
+            d.push(Snapshot {
+                cell: [5.64, 5.64, 5.64],
+                types: vec![0, 1],
+                type_names: vec!["Na".into(), "Cl".into()],
+                pos: vec![Vec3::new(0.1 * k as f64, 0.0, 0.0), Vec3::new(2.8, 0.0, 0.0)],
+                energy: -3.1 - k as f64,
+                forces: vec![Vec3::new(0.5, -0.25, 0.0), Vec3::new(-0.5, 0.25, 0.0)],
+                temperature: 300.0 + k as f64,
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample_dataset();
+        let bytes = to_bytes(&d);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.type_names, d.type_names);
+        assert_eq!(back.len(), d.len());
+        for (a, b) in back.frames.iter().zip(&d.frames) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.types, b.types);
+            assert_eq!(a.energy, b.energy);
+            assert_eq!(a.temperature, b.temperature);
+            for (p, q) in a.pos.iter().zip(&b.pos) {
+                assert_eq!(p.0, q.0);
+            }
+            for (p, q) in a.forces.iter().zip(&b.forces) {
+                assert_eq!(p.0, q.0);
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = sample_dataset();
+        let path = std::env::temp_dir().join("dp_data_io_test.dpds");
+        save(&d, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), d.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(from_bytes(b"NOPE....").is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn frame_strategy() -> impl Strategy<Value = Snapshot> {
+            (1usize..6).prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(0usize..2, n),
+                    proptest::collection::vec(
+                        proptest::array::uniform3(-10.0f64..10.0),
+                        n,
+                    ),
+                    proptest::collection::vec(
+                        proptest::array::uniform3(-5.0f64..5.0),
+                        n,
+                    ),
+                    -100.0f64..100.0,
+                    1.0f64..3000.0,
+                )
+                    .prop_map(|(types, pos, forces, energy, temperature)| Snapshot {
+                        cell: [10.0, 11.0, 12.0],
+                        types,
+                        type_names: vec!["A".into(), "B".into()],
+                        pos: pos.into_iter().map(Vec3).collect(),
+                        forces: forces.into_iter().map(Vec3).collect(),
+                        energy,
+                        temperature,
+                    })
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn roundtrip_is_lossless(frames in proptest::collection::vec(frame_strategy(), 0..5)) {
+                let mut ds = Dataset::new("prop", vec!["A".into(), "B".into()]);
+                for f in frames {
+                    ds.push(f);
+                }
+                let back = from_bytes(&to_bytes(&ds)).unwrap();
+                prop_assert_eq!(back.len(), ds.len());
+                for (a, b) in back.frames.iter().zip(&ds.frames) {
+                    prop_assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                    prop_assert_eq!(&a.types, &b.types);
+                    for (p, q) in a.pos.iter().zip(&b.pos) {
+                        prop_assert_eq!(p.0, q.0);
+                    }
+                    for (p, q) in a.forces.iter().zip(&b.forces) {
+                        prop_assert_eq!(p.0, q.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicking() {
+        let d = sample_dataset();
+        let bytes = to_bytes(&d);
+        for cut in [4usize, 9, 20, bytes.len() - 5] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must error");
+        }
+    }
+}

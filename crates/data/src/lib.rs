@@ -1,0 +1,18 @@
+//! # dp-data — dataset layer
+//!
+//! Containers and plumbing between the MD labelling oracle
+//! ([`dp_mdsim`]) and the DeePMD training stack: labelled snapshots,
+//! train/test splits, minibatch sampling (the paper's central object of
+//! study is the training *batch size*), per-type energy-bias fitting, a
+//! compact binary on-disk format, and the generators that realize the
+//! paper's Table 3 datasets.
+
+pub mod batch;
+pub mod dataset;
+pub mod generate;
+pub mod io;
+pub mod split;
+pub mod stats;
+
+pub use batch::BatchSampler;
+pub use dataset::{Dataset, Snapshot};

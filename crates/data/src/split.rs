@@ -1,0 +1,102 @@
+//! Deterministic train/test splitting.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Split `dataset` into `(train, test)` with `train_frac` of the frames
+/// in the training set, shuffled deterministically by `seed`.
+///
+/// # Panics
+/// Panics unless `0 < train_frac < 1` and the dataset has ≥ 2 frames.
+pub fn train_test_split(dataset: &Dataset, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train_frac must be in (0, 1)"
+    );
+    assert!(dataset.len() >= 2, "need at least 2 frames to split");
+    let mut idx: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = ((dataset.len() as f64 * train_frac).round() as usize)
+        .clamp(1, dataset.len() - 1);
+    let mut train = Dataset::new(&dataset.name, dataset.type_names.clone());
+    let mut test = Dataset::new(&dataset.name, dataset.type_names.clone());
+    for (k, &i) in idx.iter().enumerate() {
+        if k < n_train {
+            train.push(dataset.frames[i].clone());
+        } else {
+            test.push(dataset.frames[i].clone());
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Snapshot;
+    use dp_mdsim::Vec3;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new("toy", vec!["A".into()]);
+        for i in 0..n {
+            d.push(Snapshot {
+                cell: [5.0; 3],
+                types: vec![0],
+                type_names: vec!["A".into()],
+                pos: vec![Vec3::new(i as f64, 0.0, 0.0)],
+                energy: i as f64,
+                forces: vec![Vec3::ZERO],
+                temperature: 300.0,
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = dataset(100);
+        let (train, test) = train_test_split(&d, 0.8, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        // Energies are unique frame ids here; the union must be complete
+        // and disjoint.
+        let mut seen: Vec<i64> = train
+            .frames
+            .iter()
+            .chain(&test.frames)
+            .map(|f| f.energy as i64)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = dataset(50);
+        let (a, _) = train_test_split(&d, 0.5, 7);
+        let (b, _) = train_test_split(&d, 0.5, 7);
+        let (c, _) = train_test_split(&d, 0.5, 8);
+        let ea: Vec<i64> = a.frames.iter().map(|f| f.energy as i64).collect();
+        let eb: Vec<i64> = b.frames.iter().map(|f| f.energy as i64).collect();
+        let ec: Vec<i64> = c.frames.iter().map(|f| f.energy as i64).collect();
+        assert_eq!(ea, eb);
+        assert_ne!(ea, ec, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn extreme_fraction_keeps_both_sides_nonempty() {
+        let d = dataset(3);
+        let (train, test) = train_test_split(&d, 0.99, 0);
+        assert!(train.len() >= 1 && test.len() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac must be in")]
+    fn bad_fraction_panics() {
+        let d = dataset(10);
+        let _ = train_test_split(&d, 1.0, 0);
+    }
+}

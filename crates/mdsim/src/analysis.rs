@@ -1,0 +1,231 @@
+//! Trajectory analysis: structural and thermodynamic diagnostics used
+//! to validate NNMD simulations against the labelling oracle.
+//!
+//! * [`Rdf`] — radial distribution function g(r), the standard
+//!   structural fingerprint: if a trained potential reproduces the
+//!   oracle's g(r), the learned physics is right where it matters,
+//! * [`energy_drift_per_atom`] — NVE conservation measure,
+//! * [`TemperatureSeries`] — running thermostat diagnostics.
+
+use crate::cell::Cell;
+use crate::state::State;
+use crate::vec3::Vec3;
+
+/// Radial distribution function accumulator.
+#[derive(Clone, Debug)]
+pub struct Rdf {
+    r_max: f64,
+    bins: Vec<f64>,
+    n_frames: usize,
+    n_atoms: usize,
+    volume: f64,
+}
+
+impl Rdf {
+    /// Create with `n_bins` bins up to `r_max` (Å).
+    ///
+    /// # Panics
+    /// Panics if `r_max ≤ 0` or `n_bins == 0`.
+    pub fn new(r_max: f64, n_bins: usize) -> Self {
+        assert!(r_max > 0.0 && n_bins > 0, "Rdf: bad parameters");
+        Rdf { r_max, bins: vec![0.0; n_bins], n_frames: 0, n_atoms: 0, volume: 0.0 }
+    }
+
+    /// Accumulate one configuration (positions under PBC).
+    ///
+    /// # Panics
+    /// Panics if `r_max` exceeds half the box (minimum-image limit).
+    pub fn accumulate(&mut self, cell: &Cell, pos: &[Vec3]) {
+        assert!(
+            self.r_max <= 0.5 * cell.min_length() + 1e-9,
+            "Rdf r_max beyond the minimum-image limit"
+        );
+        let n = pos.len();
+        let n_bins = self.bins.len();
+        let dr = self.r_max / n_bins as f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = cell.min_image(&pos[i], &pos[j]).norm();
+                if d < self.r_max {
+                    let bin = ((d / dr) as usize).min(n_bins - 1);
+                    // Each pair counts twice (i sees j, j sees i).
+                    self.bins[bin] += 2.0;
+                }
+            }
+        }
+        self.n_frames += 1;
+        self.n_atoms = n;
+        self.volume = cell.volume();
+    }
+
+    /// Normalized `g(r)`: returns `(r_mid, g)` pairs. Empty if nothing
+    /// was accumulated.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        if self.n_frames == 0 || self.n_atoms == 0 {
+            return Vec::new();
+        }
+        let dr = self.r_max / self.bins.len() as f64;
+        let rho = self.n_atoms as f64 / self.volume;
+        let norm_frames = self.n_frames as f64 * self.n_atoms as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let r_lo = k as f64 * dr;
+                let r_hi = r_lo + dr;
+                let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+                let ideal = rho * shell;
+                (r_lo + 0.5 * dr, count / (norm_frames * ideal))
+            })
+            .collect()
+    }
+
+    /// L1 distance between two normalized RDFs (same binning assumed):
+    /// a scalar "structural error" for potential validation.
+    pub fn l1_distance(&self, other: &Rdf) -> f64 {
+        let a = self.normalized();
+        let b = other.normalized();
+        assert_eq!(a.len(), b.len(), "Rdf::l1_distance: binning mismatch");
+        let n = a.len().max(1) as f64;
+        a.iter().zip(&b).map(|((_, x), (_, y))| (x - y).abs()).sum::<f64>() / n
+    }
+}
+
+/// Absolute total-energy drift per atom between the start and end of an
+/// NVE trajectory, given `(potential, kinetic)` samples.
+pub fn energy_drift_per_atom(series: &[(f64, f64)], n_atoms: usize) -> f64 {
+    if series.len() < 2 || n_atoms == 0 {
+        return 0.0;
+    }
+    let first = series.first().map(|(p, k)| p + k).unwrap();
+    let last = series.last().map(|(p, k)| p + k).unwrap();
+    (last - first).abs() / n_atoms as f64
+}
+
+/// Running temperature statistics of a trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct TemperatureSeries {
+    samples: Vec<f64>,
+}
+
+impl TemperatureSeries {
+    /// Record the instantaneous temperature of a state.
+    pub fn record(&mut self, state: &State) {
+        self.samples.push(state.temperature());
+    }
+
+    /// Mean over the recorded window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Standard deviation over the recorded window.
+    pub fn std(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.samples.iter().map(|t| (t - m) * (t - m)).sum::<f64>()
+            / (self.samples.len() - 1) as f64)
+            .sqrt()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{fcc, Species};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ideal_gas_rdf_is_flat_near_one() {
+        // Uniform random positions → g(r) ≈ 1 (away from tiny r where
+        // statistics are thin).
+        let cell = Cell::cubic(12.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rdf = Rdf::new(5.0, 25);
+        for _ in 0..40 {
+            let pos: Vec<Vec3> = (0..200)
+                .map(|_| {
+                    Vec3::new(
+                        rng.gen_range(0.0..12.0),
+                        rng.gen_range(0.0..12.0),
+                        rng.gen_range(0.0..12.0),
+                    )
+                })
+                .collect();
+            rdf.accumulate(&cell, &pos);
+        }
+        let g = rdf.normalized();
+        for &(r, v) in g.iter().filter(|(r, _)| *r > 1.0) {
+            assert!((v - 1.0).abs() < 0.15, "g({r:.2}) = {v:.3} should be ≈ 1");
+        }
+    }
+
+    #[test]
+    fn crystal_rdf_peaks_at_neighbour_shells() {
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [3, 3, 3]);
+        let mut rdf = Rdf::new(5.0, 50);
+        rdf.accumulate(&s.cell, &s.pos);
+        let g = rdf.normalized();
+        // First fcc shell at a/√2 ≈ 2.546.
+        let nn = 3.6 / 2f64.sqrt();
+        let peak_bin = g
+            .iter()
+            .filter(|(r, _)| (*r - nn).abs() < 0.2)
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        assert!(peak_bin > 5.0, "first-shell peak missing: {peak_bin}");
+        // No density below the nearest-neighbour distance.
+        for &(r, v) in g.iter().filter(|(r, _)| *r < nn - 0.3) {
+            assert!(v < 1e-9, "unexpected density at r = {r}");
+        }
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_rdf_distance() {
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [2, 2, 2]);
+        let mut a = Rdf::new(3.5, 20);
+        let mut b = Rdf::new(3.5, 20);
+        a.accumulate(&s.cell, &s.pos);
+        b.accumulate(&s.cell, &s.pos);
+        assert!(a.l1_distance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn energy_drift_measures_endpoints() {
+        let series = vec![(-10.0, 1.0), (-10.5, 1.4), (-10.2, 1.5)];
+        // Total: -9.0 → -8.7 over 3 atoms → 0.1 per atom.
+        assert!((energy_drift_per_atom(&series, 3) - 0.1).abs() < 1e-12);
+        assert_eq!(energy_drift_per_atom(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn temperature_series_statistics() {
+        let mut s = fcc(Species::new("Cu", 63.5), 3.6, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut series = TemperatureSeries::default();
+        assert!(series.is_empty());
+        for _ in 0..10 {
+            s.init_velocities(300.0, &mut rng);
+            series.record(&s);
+        }
+        assert_eq!(series.len(), 10);
+        assert!((series.mean() - 300.0).abs() < 100.0);
+        assert!(series.std() >= 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Time integration: velocity Verlet (NVE) and a Langevin thermostat
+//! (NVT) used to sample the mixed-temperature datasets of Table 3.
+
+use crate::neighbor::NeighborList;
+use crate::potential::Potential;
+use crate::state::State;
+use crate::units::{ACC_CONV, KB_EV, KE_CONV};
+use crate::vec3::Vec3;
+use rand::Rng;
+
+/// Evaluate forces for the current positions, rebuilding the neighbour
+/// list. Returns `(potential energy, forces)`.
+pub fn evaluate(pot: &dyn Potential, state: &State) -> (f64, Vec<Vec3>) {
+    let nl = NeighborList::build(&state.cell, &state.pos, pot.cutoff());
+    let mut forces = vec![Vec3::ZERO; state.n_atoms()];
+    let e = pot.compute(state, &nl, &mut forces);
+    (e, forces)
+}
+
+/// One velocity-Verlet step of size `dt` (fs). `forces` must hold the
+/// forces at the current positions and is updated to the new ones.
+/// Returns the new potential energy.
+pub fn velocity_verlet_step(
+    pot: &dyn Potential,
+    state: &mut State,
+    forces: &mut Vec<Vec3>,
+    dt: f64,
+) -> f64 {
+    let n = state.n_atoms();
+    // Half kick + drift.
+    for i in 0..n {
+        let inv_m = ACC_CONV / state.mass_of(i);
+        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+        state.pos[i] += state.vel[i] * dt;
+    }
+    // New forces.
+    let (e, f_new) = evaluate(pot, state);
+    *forces = f_new;
+    // Second half kick.
+    for i in 0..n {
+        let inv_m = ACC_CONV / state.mass_of(i);
+        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+    }
+    e
+}
+
+/// Langevin thermostat parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Langevin {
+    /// Target temperature (K).
+    pub temperature: f64,
+    /// Friction coefficient γ (1/fs). Typical 0.01–0.1.
+    pub friction: f64,
+}
+
+impl Langevin {
+    /// Apply the stochastic O-step of a BAOAB-style splitting for time
+    /// `dt`: `v ← c·v + σ·ξ` with `c = e^{−γ·dt}` per component.
+    pub fn apply(&self, state: &mut State, dt: f64, rng: &mut impl Rng) {
+        let c = (-self.friction * dt).exp();
+        let var_scale = 1.0 - c * c;
+        for i in 0..state.n_atoms() {
+            let m = state.mass_of(i);
+            // Maxwell–Boltzmann component variance: kB T / m in Å²/fs²
+            // (via the KE_CONV unit bridge: ½ m v² · (1/ACC_CONV) = E).
+            let sigma = (KB_EV * self.temperature / (2.0 * KE_CONV * m) * var_scale).sqrt();
+            for k in 0..3 {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let xi = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                state.vel[i].0[k] = c * state.vel[i].0[k] + sigma * xi;
+            }
+        }
+    }
+}
+
+/// One BAOAB Langevin NVT step. Returns the new potential energy.
+pub fn langevin_step(
+    pot: &dyn Potential,
+    state: &mut State,
+    forces: &mut Vec<Vec3>,
+    dt: f64,
+    thermostat: &Langevin,
+    rng: &mut impl Rng,
+) -> f64 {
+    let n = state.n_atoms();
+    // B: half kick.
+    for i in 0..n {
+        let inv_m = ACC_CONV / state.mass_of(i);
+        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+    }
+    // A: half drift.
+    for i in 0..n {
+        state.pos[i] += state.vel[i] * (0.5 * dt);
+    }
+    // O: thermostat over the full dt.
+    thermostat.apply(state, dt, rng);
+    // A: half drift.
+    for i in 0..n {
+        state.pos[i] += state.vel[i] * (0.5 * dt);
+    }
+    // Recompute forces and final half kick.
+    let (e, f_new) = evaluate(pot, state);
+    *forces = f_new;
+    for i in 0..n {
+        let inv_m = ACC_CONV / state.mass_of(i);
+        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{fcc, Species};
+    use crate::potential::sutton_chen::{SuttonChen, SuttonChenParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn copper() -> (State, SuttonChen) {
+        let mut s = fcc(Species::new("Cu", 63.546), 3.61, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        s.jitter_positions(0.05, &mut rng);
+        s.init_velocities(300.0, &mut rng);
+        (s, SuttonChen::new(SuttonChenParams::copper(), 3.5))
+    }
+
+    #[test]
+    fn nve_conserves_total_energy() {
+        let (mut s, pot) = copper();
+        let (e0_pot, mut forces) = evaluate(&pot, &s);
+        let e0 = e0_pot + s.kinetic_energy();
+        let mut e_pot = e0_pot;
+        for _ in 0..200 {
+            e_pot = velocity_verlet_step(&pot, &mut s, &mut forces, 1.0);
+        }
+        let e1 = e_pot + s.kinetic_energy();
+        let drift = (e1 - e0).abs() / s.n_atoms() as f64;
+        assert!(drift < 2e-4, "NVE energy drift per atom {drift} eV too large");
+    }
+
+    #[test]
+    fn langevin_reaches_target_temperature() {
+        let (mut s, pot) = copper();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        s.init_velocities(50.0, &mut rng); // start cold
+        let th = Langevin { temperature: 600.0, friction: 0.05 };
+        let (_, mut forces) = evaluate(&pot, &s);
+        let mut t_acc = 0.0;
+        let mut count = 0.0;
+        for step in 0..1500 {
+            langevin_step(&pot, &mut s, &mut forces, 1.0, &th, &mut rng);
+            if step >= 700 {
+                t_acc += s.temperature();
+                count += 1.0;
+            }
+        }
+        let t_mean = t_acc / count;
+        assert!(
+            (t_mean - 600.0).abs() < 120.0,
+            "mean temperature {t_mean} too far from 600 K"
+        );
+    }
+
+    #[test]
+    fn timestep_zero_is_identity() {
+        let (mut s, pot) = copper();
+        let pos0 = s.pos.clone();
+        let (_, mut forces) = evaluate(&pot, &s);
+        velocity_verlet_step(&pot, &mut s, &mut forces, 0.0);
+        for (a, b) in s.pos.iter().zip(&pos0) {
+            assert!((*a - *b).norm() < 1e-15);
+        }
+    }
+}

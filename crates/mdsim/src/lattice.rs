@@ -1,0 +1,330 @@
+//! Crystal-structure builders for the paper's eight systems.
+//!
+//! Each builder produces a [`State`] with zero velocities; callers
+//! typically jitter positions and draw Maxwell–Boltzmann velocities
+//! before running MD.
+
+use crate::cell::Cell;
+use crate::state::{Angle, Bond, State, Topology};
+use crate::vec3::Vec3;
+
+/// Species description: name and mass (amu).
+#[derive(Clone, Debug)]
+pub struct Species {
+    /// Element symbol.
+    pub name: String,
+    /// Atomic mass in amu.
+    pub mass: f64,
+}
+
+impl Species {
+    /// Convenience constructor.
+    pub fn new(name: &str, mass: f64) -> Self {
+        Species { name: name.to_string(), mass }
+    }
+}
+
+fn build(
+    species: Vec<Species>,
+    cell: Cell,
+    sites: Vec<(usize, Vec3)>,
+    topology: Topology,
+) -> State {
+    let (types, pos): (Vec<usize>, Vec<Vec3>) = sites.into_iter().unzip();
+    let n = pos.len();
+    State {
+        cell,
+        type_names: species.iter().map(|s| s.name.clone()).collect(),
+        masses: species.iter().map(|s| s.mass).collect(),
+        types,
+        pos,
+        vel: vec![Vec3::ZERO; n],
+        topology,
+    }
+}
+
+/// Replicate fractional basis sites over an `nx × ny × nz` supercell of a
+/// cubic conventional cell with lattice constant `a`.
+fn replicate_cubic(
+    a: f64,
+    n: [usize; 3],
+    basis: &[(usize, [f64; 3])],
+) -> (Cell, Vec<(usize, Vec3)>) {
+    let cell = Cell::orthorhombic(a * n[0] as f64, a * n[1] as f64, a * n[2] as f64);
+    let mut sites = Vec::with_capacity(basis.len() * n[0] * n[1] * n[2]);
+    for ix in 0..n[0] {
+        for iy in 0..n[1] {
+            for iz in 0..n[2] {
+                for &(t, f) in basis {
+                    sites.push((
+                        t,
+                        Vec3::new(
+                            (ix as f64 + f[0]) * a,
+                            (iy as f64 + f[1]) * a,
+                            (iz as f64 + f[2]) * a,
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    (cell, sites)
+}
+
+/// FCC crystal (4 atoms per conventional cell): Cu, Al.
+pub fn fcc(species: Species, a: f64, n: [usize; 3]) -> State {
+    let basis = [
+        (0, [0.0, 0.0, 0.0]),
+        (0, [0.5, 0.5, 0.0]),
+        (0, [0.5, 0.0, 0.5]),
+        (0, [0.0, 0.5, 0.5]),
+    ];
+    let (cell, sites) = replicate_cubic(a, n, &basis);
+    build(vec![species], cell, sites, Topology::default())
+}
+
+/// BCC crystal (2 atoms per conventional cell).
+pub fn bcc(species: Species, a: f64, n: [usize; 3]) -> State {
+    let basis = [(0, [0.0, 0.0, 0.0]), (0, [0.5, 0.5, 0.5])];
+    let (cell, sites) = replicate_cubic(a, n, &basis);
+    build(vec![species], cell, sites, Topology::default())
+}
+
+/// HCP crystal in an orthorhombic setting (4 atoms per orthorhombic
+/// cell): Mg. `a` is the hexagonal lattice constant, `c` the axial one.
+pub fn hcp(species: Species, a: f64, c: f64, n: [usize; 3]) -> State {
+    let b = a * 3.0f64.sqrt();
+    let cell = Cell::orthorhombic(a * n[0] as f64, b * n[1] as f64, c * n[2] as f64);
+    // Orthorhombic-conventional HCP basis (fractions of (a, √3·a, c)).
+    let basis = [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 1.0 / 6.0, 0.5],
+        [0.0, 2.0 / 3.0, 0.5],
+    ];
+    let mut sites = Vec::new();
+    for ix in 0..n[0] {
+        for iy in 0..n[1] {
+            for iz in 0..n[2] {
+                for f in &basis {
+                    sites.push((
+                        0,
+                        Vec3::new(
+                            (ix as f64 + f[0]) * a,
+                            (iy as f64 + f[1]) * b,
+                            (iz as f64 + f[2]) * c,
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    build(vec![species], cell, sites, Topology::default())
+}
+
+/// Diamond cubic crystal (8 atoms per conventional cell): Si.
+pub fn diamond(species: Species, a: f64, n: [usize; 3]) -> State {
+    let mut basis: Vec<(usize, [f64; 3])> = Vec::new();
+    for f in [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ] {
+        basis.push((0, f));
+        basis.push((0, [f[0] + 0.25, f[1] + 0.25, f[2] + 0.25]));
+    }
+    let (cell, sites) = replicate_cubic(a, n, &basis);
+    build(vec![species], cell, sites, Topology::default())
+}
+
+/// Rocksalt AB crystal (4 formula units per conventional cell): NaCl,
+/// and the simplified CuO surrogate.
+pub fn rocksalt(cation: Species, anion: Species, a: f64, n: [usize; 3]) -> State {
+    let mut basis: Vec<(usize, [f64; 3])> = Vec::new();
+    for f in [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ] {
+        basis.push((0, f));
+        basis.push((1, [f[0] + 0.5, f[1], f[2]]));
+    }
+    let (cell, sites) = replicate_cubic(a, n, &basis);
+    build(vec![cation, anion], cell, sites, Topology::default())
+}
+
+/// Fluorite AB₂ crystal (4 formula units per conventional cell): the
+/// cubic HfO₂ surrogate.
+pub fn fluorite(cation: Species, anion: Species, a: f64, n: [usize; 3]) -> State {
+    let mut basis: Vec<(usize, [f64; 3])> = Vec::new();
+    for f in [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ] {
+        basis.push((0, f));
+        basis.push((1, [f[0] + 0.25, f[1] + 0.25, f[2] + 0.25]));
+        basis.push((1, [f[0] + 0.75, f[1] + 0.75, f[2] + 0.75]));
+    }
+    let (cell, sites) = replicate_cubic(a, n, &basis);
+    build(vec![cation, anion], cell, sites, Topology::default())
+}
+
+/// Water box: `n_mol` H₂O molecules on a cubic grid inside a box sized
+/// for liquid density (~0.997 g/cm³), with O–H bonds and H–O–H angles in
+/// the topology. Type 0 is O, type 1 is H.
+pub fn water_box(n_mol: usize) -> State {
+    assert!(n_mol > 0, "water_box: need at least one molecule");
+    // Liquid water: ~29.9 Å³ per molecule.
+    let vol = 29.9 * n_mol as f64;
+    let l = vol.cbrt();
+    let per_side = (n_mol as f64).cbrt().ceil() as usize;
+    let spacing = l / per_side as f64;
+    let r_oh = 1.012;
+    let half_angle = (113.24f64).to_radians() / 2.0;
+
+    let mut sites = Vec::new();
+    let mut topology = Topology::default();
+    let mut placed = 0;
+    'outer: for ix in 0..per_side {
+        for iy in 0..per_side {
+            for iz in 0..per_side {
+                if placed == n_mol {
+                    break 'outer;
+                }
+                let o = Vec3::new(
+                    (ix as f64 + 0.5) * spacing,
+                    (iy as f64 + 0.5) * spacing,
+                    (iz as f64 + 0.5) * spacing,
+                );
+                // Alternate the molecular plane orientation with position
+                // so the initial configuration is not fully ordered.
+                let flip = if (ix + iy + iz) % 2 == 0 { 1.0 } else { -1.0 };
+                let h1 = o + Vec3::new(
+                    r_oh * half_angle.sin(),
+                    flip * r_oh * half_angle.cos(),
+                    0.0,
+                );
+                let h2 = o + Vec3::new(
+                    -r_oh * half_angle.sin(),
+                    flip * r_oh * half_angle.cos(),
+                    0.0,
+                );
+                let oi = sites.len();
+                sites.push((0, o));
+                sites.push((1, h1));
+                sites.push((1, h2));
+                topology.bonds.push(Bond { i: oi, j: oi + 1 });
+                topology.bonds.push(Bond { i: oi, j: oi + 2 });
+                topology.angles.push(Angle { i: oi + 1, j: oi, k: oi + 2 });
+                placed += 1;
+            }
+        }
+    }
+    build(
+        vec![Species::new("O", 15.999), Species::new("H", 1.008)],
+        Cell::cubic(l),
+        sites,
+        topology,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcc_atom_count_and_nearest_neighbour() {
+        let s = fcc(Species::new("Cu", 63.546), 3.615, [3, 3, 3]);
+        assert_eq!(s.n_atoms(), 4 * 27);
+        // Nearest-neighbour distance in fcc is a/√2.
+        let d_expect = 3.615 / 2f64.sqrt();
+        let mut d_min = f64::INFINITY;
+        for j in 1..s.n_atoms() {
+            d_min = d_min.min(s.cell.min_image(&s.pos[0], &s.pos[j]).norm());
+        }
+        assert!((d_min - d_expect).abs() < 1e-9, "d_min = {d_min}");
+    }
+
+    #[test]
+    fn diamond_has_tetrahedral_first_shell() {
+        let s = diamond(Species::new("Si", 28.085), 5.431, [2, 2, 2]);
+        assert_eq!(s.n_atoms(), 8 * 8);
+        let d_expect = 5.431 * 3f64.sqrt() / 4.0;
+        let count = (1..s.n_atoms())
+            .filter(|&j| {
+                (s.cell.min_image(&s.pos[0], &s.pos[j]).norm() - d_expect).abs() < 1e-6
+            })
+            .count();
+        assert_eq!(count, 4, "diamond first shell must have 4 neighbours");
+    }
+
+    #[test]
+    fn rocksalt_alternates_types() {
+        let s = rocksalt(
+            Species::new("Na", 22.99),
+            Species::new("Cl", 35.45),
+            5.64,
+            [2, 2, 2],
+        );
+        assert_eq!(s.n_atoms(), 64);
+        let counts = s.type_counts();
+        assert_eq!(counts, vec![32, 32]);
+        // Nearest neighbour of a Na must be a Cl at a/2.
+        let mut best = (f64::INFINITY, 0usize);
+        for j in 1..s.n_atoms() {
+            let d = s.cell.min_image(&s.pos[0], &s.pos[j]).norm();
+            if d < best.0 {
+                best = (d, j);
+            }
+        }
+        assert!((best.0 - 2.82).abs() < 1e-9);
+        assert_eq!(s.types[best.1], 1);
+    }
+
+    #[test]
+    fn fluorite_stoichiometry() {
+        let s = fluorite(
+            Species::new("Hf", 178.49),
+            Species::new("O", 15.999),
+            5.08,
+            [2, 2, 2],
+        );
+        let counts = s.type_counts();
+        assert_eq!(counts[1], 2 * counts[0]);
+    }
+
+    #[test]
+    fn hcp_density_and_count() {
+        let s = hcp(Species::new("Mg", 24.305), 3.209, 5.211, [2, 2, 2]);
+        assert_eq!(s.n_atoms(), 4 * 8);
+        // First-neighbour distance should be ≈ a.
+        let mut d_min = f64::INFINITY;
+        for j in 1..s.n_atoms() {
+            d_min = d_min.min(s.cell.min_image(&s.pos[0], &s.pos[j]).norm());
+        }
+        assert!((d_min - 3.209).abs() < 0.12, "d_min = {d_min}");
+    }
+
+    #[test]
+    fn water_box_topology_consistent() {
+        let s = water_box(16);
+        assert_eq!(s.n_atoms(), 48);
+        assert_eq!(s.topology.bonds.len(), 32);
+        assert_eq!(s.topology.angles.len(), 16);
+        assert_eq!(s.type_counts(), vec![16, 32]);
+        for b in &s.topology.bonds {
+            let d = s.cell.min_image(&s.pos[b.i], &s.pos[b.j]).norm();
+            assert!((d - 1.012).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bcc_count() {
+        let s = bcc(Species::new("Fe", 55.845), 2.87, [3, 3, 3]);
+        assert_eq!(s.n_atoms(), 54);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dp-mdsim — classical molecular-dynamics engine
+//!
+//! The paper trains DeePMD models on *ab initio* (DFT) trajectories of
+//! eight bulk systems (its Table 3), generated with the PWmat plane-wave
+//! code on a GPU cluster. Neither DFT labels nor that hardware are
+//! available here, so this crate implements the closest synthetic
+//! equivalent: a classical-potential MD engine that generates snapshots of
+//! the same eight systems at the same temperatures and sampling strides,
+//! labelled with exact energies and forces of smooth, physically-shaped
+//! potentials (EAM metals, Stillinger–Weber silicon, Buckingham/Coulomb
+//! ionic crystals, flexible SPC-like water).
+//!
+//! The substitution preserves everything the optimizer study depends on:
+//! mixed-temperature configuration diversity, 32–108 atoms per frame,
+//! energy labels consistent with force labels (forces are exact analytic
+//! gradients — verified by finite differences in the tests), and identical
+//! downstream code paths. See `DESIGN.md` §1.
+//!
+//! Modules:
+//! * [`units`] — eV/Å/fs/amu unit system constants,
+//! * [`vec3`], [`cell`] — geometry and periodic boundary conditions,
+//! * [`lattice`] — crystal builders (fcc, bcc, hcp, diamond, rocksalt,
+//!   fluorite, water boxes),
+//! * [`neighbor`] — minimum-image and cell-list neighbour search,
+//! * [`potential`] — the potential-energy models and their forces,
+//! * [`integrate`] — velocity-Verlet and Langevin dynamics,
+//! * [`md`] — the simulation driver producing labelled frames,
+//! * [`systems`] — presets for the paper's eight datasets (Table 3),
+//! * [`analysis`] — RDF / drift / temperature diagnostics for
+//!   validating NNMD runs against the oracle.
+
+pub mod analysis;
+pub mod cell;
+pub mod integrate;
+pub mod lattice;
+pub mod md;
+pub mod neighbor;
+pub mod potential;
+pub mod state;
+pub mod systems;
+pub mod units;
+pub mod vec3;
+
+pub use cell::Cell;
+pub use md::{LabeledFrame, MdConfig, MdRunner};
+pub use state::State;
+pub use vec3::Vec3;

@@ -1,0 +1,228 @@
+//! Neighbour search under periodic boundary conditions.
+//!
+//! Produces both a half list of unique pairs (for pair potentials) and
+//! per-atom full lists (for the embedding-density EAM terms, the
+//! three-body Stillinger–Weber terms, and the DeePMD environment
+//! matrix).
+//!
+//! For the box sizes of the paper's datasets (32–108 atoms) the
+//! minimum-image `O(N²)` search is fastest; a linked-cell search is used
+//! automatically once the box is at least three cutoffs wide so larger
+//! systems stay `O(N)`.
+
+use crate::cell::Cell;
+use crate::vec3::Vec3;
+
+/// One directed neighbour record: atom `j` is within the cutoff of the
+/// owning atom `i`, displaced by `rij = rj − ri` (minimum image).
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbor {
+    /// Neighbour atom index.
+    pub j: usize,
+    /// Minimum-image displacement from the owner to `j` (Å).
+    pub rij: Vec3,
+    /// Distance |rij| (Å).
+    pub dist: f64,
+}
+
+/// Unique unordered pair within the cutoff.
+#[derive(Clone, Copy, Debug)]
+pub struct Pair {
+    /// Lower atom index.
+    pub i: usize,
+    /// Higher atom index.
+    pub j: usize,
+    /// Minimum-image displacement `rj − ri` (Å).
+    pub rij: Vec3,
+    /// Distance (Å).
+    pub dist: f64,
+}
+
+/// Neighbour list for a fixed configuration.
+#[derive(Clone, Debug)]
+pub struct NeighborList {
+    cutoff: f64,
+    pairs: Vec<Pair>,
+    full: Vec<Vec<Neighbor>>,
+}
+
+impl NeighborList {
+    /// Build the list for `pos` in `cell` with interaction `cutoff`.
+    ///
+    /// # Panics
+    /// Panics if the cutoff exceeds half the shortest box length (the
+    /// minimum-image convention would otherwise miss images).
+    pub fn build(cell: &Cell, pos: &[Vec3], cutoff: f64) -> Self {
+        assert!(
+            cutoff <= 0.5 * cell.min_length() + 1e-9,
+            "cutoff {} exceeds half the min box length {}",
+            cutoff,
+            0.5 * cell.min_length()
+        );
+        let n = pos.len();
+        let mut pairs = Vec::new();
+        let mut full: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let cut2 = cutoff * cutoff;
+
+        let use_cells = cutoff > 0.0 && cell.min_length() >= 3.0 * cutoff && n >= 64;
+        if use_cells {
+            Self::build_celllist(cell, pos, cutoff, cut2, &mut pairs, &mut full);
+        } else {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let rij = cell.min_image(&pos[i], &pos[j]);
+                    let d2 = rij.norm2();
+                    if d2 < cut2 && d2 > 0.0 {
+                        let dist = d2.sqrt();
+                        pairs.push(Pair { i, j, rij, dist });
+                        full[i].push(Neighbor { j, rij, dist });
+                        full[j].push(Neighbor { j: i, rij: -rij, dist });
+                    }
+                }
+            }
+        }
+        NeighborList { cutoff, pairs, full }
+    }
+
+    fn build_celllist(
+        cell: &Cell,
+        pos: &[Vec3],
+        cutoff: f64,
+        cut2: f64,
+        pairs: &mut Vec<Pair>,
+        full: &mut [Vec<Neighbor>],
+    ) {
+        let lens = cell.lengths();
+        let nbin: [usize; 3] = std::array::from_fn(|k| ((lens[k] / cutoff).floor() as usize).max(1));
+        let bin_of = |r: &Vec3| -> [usize; 3] {
+            let w = cell.wrap(r);
+            std::array::from_fn(|k| {
+                let b = (w.0[k] / lens[k] * nbin[k] as f64).floor() as usize;
+                b.min(nbin[k] - 1)
+            })
+        };
+        let idx = |b: &[usize; 3]| (b[0] * nbin[1] + b[1]) * nbin[2] + b[2];
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); nbin[0] * nbin[1] * nbin[2]];
+        for (i, p) in pos.iter().enumerate() {
+            bins[idx(&bin_of(p))].push(i);
+        }
+        for (i, p) in pos.iter().enumerate() {
+            let b = bin_of(p);
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        let nb: [usize; 3] = std::array::from_fn(|k| {
+                            let d = [dx, dy, dz][k];
+                            ((b[k] as i64 + d).rem_euclid(nbin[k] as i64)) as usize
+                        });
+                        for &j in &bins[idx(&nb)] {
+                            if j <= i {
+                                continue;
+                            }
+                            let rij = cell.min_image(&pos[i], &pos[j]);
+                            let d2 = rij.norm2();
+                            if d2 < cut2 && d2 > 0.0 {
+                                let dist = d2.sqrt();
+                                pairs.push(Pair { i, j, rij, dist });
+                                full[i].push(Neighbor { j, rij, dist });
+                                full[j].push(Neighbor { j: i, rij: -rij, dist });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cutoff used to build the list.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Unique pairs (each unordered pair once, `i < j`).
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Full neighbour list of atom `i`.
+    pub fn neighbors_of(&self, i: usize) -> &[Neighbor] {
+        &self.full[i]
+    }
+
+    /// Number of atoms the list covers.
+    pub fn n_atoms(&self) -> usize {
+        self.full.len()
+    }
+
+    /// Maximum neighbour count over all atoms.
+    pub fn max_neighbors(&self) -> usize {
+        self.full.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{fcc, Species};
+
+    #[test]
+    fn fcc_first_shell_has_12_neighbors() {
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [3, 3, 3]);
+        let nn_dist = 3.6 / 2f64.sqrt();
+        let nl = NeighborList::build(&s.cell, &s.pos, nn_dist * 1.1);
+        for i in 0..s.n_atoms() {
+            assert_eq!(nl.neighbors_of(i).len(), 12, "atom {i}");
+        }
+    }
+
+    #[test]
+    fn pairs_and_full_lists_are_consistent() {
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [2, 2, 2]);
+        let nl = NeighborList::build(&s.cell, &s.pos, 1.7);
+        let full_count: usize = (0..s.n_atoms()).map(|i| nl.neighbors_of(i).len()).sum();
+        assert_eq!(full_count, 2 * nl.pairs().len());
+        for p in nl.pairs() {
+            assert!(p.i < p.j);
+            assert!((p.rij.norm() - p.dist).abs() < 1e-12);
+            assert!(p.dist < 1.7);
+        }
+    }
+
+    #[test]
+    fn celllist_matches_n_squared() {
+        // A box big enough to trigger the cell-list path.
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [4, 4, 4]);
+        let cutoff = 3.0;
+        assert!(s.cell.min_length() >= 3.0 * cutoff);
+        let nl = NeighborList::build(&s.cell, &s.pos, cutoff);
+        // Brute-force reference.
+        let mut count = 0;
+        for i in 0..s.n_atoms() {
+            for j in (i + 1)..s.n_atoms() {
+                if s.cell.min_image(&s.pos[i], &s.pos[j]).norm() < cutoff {
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(nl.pairs().len(), count);
+    }
+
+    #[test]
+    fn neighbor_displacements_are_minimum_image() {
+        let s = fcc(Species::new("Al", 27.0), 4.05, [2, 2, 2]);
+        let nl = NeighborList::build(&s.cell, &s.pos, 3.0);
+        for i in 0..s.n_atoms() {
+            for nb in nl.neighbors_of(i) {
+                let expect = s.cell.min_image(&s.pos[i], &s.pos[nb.j]);
+                assert!((expect - nb.rij).norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds half the min box length")]
+    fn oversized_cutoff_panics() {
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [1, 1, 1]);
+        let _ = NeighborList::build(&s.cell, &s.pos, 3.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Buckingham (Born–Mayer + dispersion) short-range potential,
+//! energy-shifted at the cutoff.
+//!
+//! `u(r) = A·e^{−r/ρ} − C/r⁶ − u_raw(r_c)`.
+//!
+//! Used for the short-range repulsion of the ionic systems (NaCl, HfO₂,
+//! CuO oxygen–oxygen). A cubic core guard is added below `r_core` to
+//! remove the classic "Buckingham catastrophe" (the −C/r⁶ term diverging
+//! at tiny separations), keeping high-temperature MD labelling stable.
+//! The guard is C²-continuous at `r_core`.
+
+use super::Potential;
+use crate::neighbor::NeighborList;
+use crate::state::State;
+use crate::vec3::Vec3;
+
+/// Buckingham parameters for one type pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuckPair {
+    /// Repulsion amplitude A (eV). Zero disables the pair.
+    pub a: f64,
+    /// Repulsion decay ρ (Å).
+    pub rho: f64,
+    /// Dispersion coefficient C (eV·Å⁶).
+    pub c: f64,
+    /// Hard-core guard radius (Å). Zero disables the guard.
+    pub r_core: f64,
+}
+
+/// Buckingham potential over all type pairs.
+pub struct Buckingham {
+    params: Vec<Vec<BuckPair>>,
+    cutoff: f64,
+    shift: Vec<Vec<f64>>,
+}
+
+const CORE_K: f64 = 2000.0; // eV/Å³ guard stiffness
+
+fn raw_energy(p: &BuckPair, r: f64) -> f64 {
+    if p.a == 0.0 {
+        return 0.0;
+    }
+    let mut u = p.a * (-r / p.rho).exp() - p.c / r.powi(6);
+    if p.r_core > 0.0 && r < p.r_core {
+        let d = p.r_core - r;
+        u += CORE_K * d * d * d;
+    }
+    u
+}
+
+fn raw_dudr(p: &BuckPair, r: f64) -> f64 {
+    if p.a == 0.0 {
+        return 0.0;
+    }
+    let mut du = -p.a / p.rho * (-r / p.rho).exp() + 6.0 * p.c / r.powi(7);
+    if p.r_core > 0.0 && r < p.r_core {
+        let d = p.r_core - r;
+        du -= 3.0 * CORE_K * d * d;
+    }
+    du
+}
+
+impl Buckingham {
+    /// Build from a symmetric per-type-pair table.
+    pub fn new(params: Vec<Vec<BuckPair>>, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "Buckingham cutoff must be positive");
+        let nt = params.len();
+        for row in &params {
+            assert_eq!(row.len(), nt, "Buckingham parameter table must be square");
+        }
+        let mut shift = vec![vec![0.0; nt]; nt];
+        for (i, row) in params.iter().enumerate() {
+            for (j, p) in row.iter().enumerate() {
+                shift[i][j] = raw_energy(p, cutoff);
+            }
+        }
+        Buckingham { params, cutoff, shift }
+    }
+}
+
+impl Potential for Buckingham {
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn name(&self) -> &'static str {
+        "buckingham"
+    }
+
+    fn compute(&self, state: &State, nl: &NeighborList, forces: &mut [Vec3]) -> f64 {
+        let mut energy = 0.0;
+        for pair in nl.pairs() {
+            if pair.dist >= self.cutoff {
+                continue;
+            }
+            let (ti, tj) = (state.types[pair.i], state.types[pair.j]);
+            let p = &self.params[ti][tj];
+            if p.a == 0.0 {
+                continue;
+            }
+            energy += raw_energy(p, pair.dist) - self.shift[ti][tj];
+            let f = pair.rij * (raw_dudr(p, pair.dist) / pair.dist);
+            forces[pair.i] += f;
+            forces[pair.j] -= f;
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{rocksalt, Species};
+    use crate::potential::check_forces_fd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn nacl_params() -> Vec<Vec<BuckPair>> {
+        // Fumi–Tosi-style Na–Cl repulsion.
+        let mut t = vec![vec![BuckPair::default(); 2]; 2];
+        t[0][1] = BuckPair { a: 1256.31, rho: 0.3169, c: 0.0, r_core: 0.8 };
+        t[1][0] = t[0][1];
+        t[1][1] = BuckPair { a: 3485.0, rho: 0.2964, c: 29.06, r_core: 1.6 };
+        t
+    }
+
+    #[test]
+    fn repulsion_grows_at_short_range() {
+        let p = BuckPair { a: 1000.0, rho: 0.3, c: 0.0, r_core: 0.0 };
+        assert!(raw_energy(&p, 1.5) > raw_energy(&p, 2.5));
+        assert!(raw_dudr(&p, 2.0) < 0.0);
+    }
+
+    #[test]
+    fn core_guard_dominates_dispersion() {
+        // With C ≠ 0 the unguarded energy dives to −∞ as r → 0; the guard
+        // must flip it repulsive below r_core.
+        let p = BuckPair { a: 100.0, rho: 0.3, c: 50.0, r_core: 1.5 };
+        assert!(raw_energy(&p, 0.8) > 0.0, "guarded core must be repulsive");
+    }
+
+    #[test]
+    fn guard_is_continuous_at_r_core() {
+        let p = BuckPair { a: 100.0, rho: 0.3, c: 50.0, r_core: 1.5 };
+        let below = raw_energy(&p, 1.5 - 1e-9);
+        let above = raw_energy(&p, 1.5 + 1e-9);
+        assert!((below - above).abs() < 1e-6);
+        let dbelow = raw_dudr(&p, 1.5 - 1e-9);
+        let dabove = raw_dudr(&p, 1.5 + 1e-9);
+        assert!((dbelow - dabove).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forces_match_finite_difference() {
+        let mut s = rocksalt(Species::new("Na", 23.0), Species::new("Cl", 35.5), 5.64, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        s.jitter_positions(0.1, &mut rng);
+        let pot = Buckingham::new(nacl_params(), 5.0);
+        check_forces_fd(&pot, &s, 1e-5, 1e-5);
+    }
+}

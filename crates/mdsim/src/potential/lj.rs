@@ -1,0 +1,201 @@
+//! Lennard-Jones 12-6 pair potential, energy-shifted at the cutoff.
+//!
+//! `u(r) = 4ε[(σ/r)¹² − (σ/r)⁶] − u_raw(r_c)` for `r < r_c`.
+//!
+//! Supports per-type-pair parameters and an exclusion list (bonded
+//! 1-2/1-3 pairs in molecular systems are excluded from non-bonded
+//! interactions, as is standard).
+
+use super::Potential;
+use crate::neighbor::NeighborList;
+use crate::state::State;
+use crate::vec3::Vec3;
+use std::collections::HashSet;
+
+/// Parameters for one type pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LjPair {
+    /// Well depth ε (eV). Zero disables the pair.
+    pub epsilon: f64,
+    /// Length scale σ (Å).
+    pub sigma: f64,
+}
+
+/// Lennard-Jones potential over all type pairs.
+pub struct LennardJones {
+    /// `params[ti][tj]`, symmetric.
+    params: Vec<Vec<LjPair>>,
+    cutoff: f64,
+    /// Energy shift per type pair so `u(r_c) = 0`.
+    shift: Vec<Vec<f64>>,
+    /// Excluded (unordered) atom pairs.
+    exclusions: HashSet<(usize, usize)>,
+}
+
+impl LennardJones {
+    /// Build from a symmetric per-type-pair table.
+    pub fn new(params: Vec<Vec<LjPair>>, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "LJ cutoff must be positive");
+        let nt = params.len();
+        for row in &params {
+            assert_eq!(row.len(), nt, "LJ parameter table must be square");
+        }
+        let mut shift = vec![vec![0.0; nt]; nt];
+        for (i, row) in params.iter().enumerate() {
+            for (j, p) in row.iter().enumerate() {
+                shift[i][j] = raw_energy(p, cutoff);
+            }
+        }
+        LennardJones { params, cutoff, shift, exclusions: HashSet::new() }
+    }
+
+    /// Single-species convenience constructor.
+    pub fn single(epsilon: f64, sigma: f64, cutoff: f64) -> Self {
+        LennardJones::new(vec![vec![LjPair { epsilon, sigma }]], cutoff)
+    }
+
+    /// Exclude the given unordered atom pairs from the interaction.
+    pub fn with_exclusions(mut self, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.exclusions = pairs
+            .into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        self
+    }
+}
+
+fn raw_energy(p: &LjPair, r: f64) -> f64 {
+    if p.epsilon == 0.0 {
+        return 0.0;
+    }
+    let sr6 = (p.sigma / r).powi(6);
+    4.0 * p.epsilon * (sr6 * sr6 - sr6)
+}
+
+/// `du/dr`.
+fn raw_dudr(p: &LjPair, r: f64) -> f64 {
+    if p.epsilon == 0.0 {
+        return 0.0;
+    }
+    let sr6 = (p.sigma / r).powi(6);
+    4.0 * p.epsilon * (-12.0 * sr6 * sr6 + 6.0 * sr6) / r
+}
+
+impl Potential for LennardJones {
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn name(&self) -> &'static str {
+        "lennard-jones"
+    }
+
+    fn compute(&self, state: &State, nl: &NeighborList, forces: &mut [Vec3]) -> f64 {
+        let mut energy = 0.0;
+        for pair in nl.pairs() {
+            if pair.dist >= self.cutoff {
+                continue;
+            }
+            if !self.exclusions.is_empty()
+                && self.exclusions.contains(&(pair.i.min(pair.j), pair.i.max(pair.j)))
+            {
+                continue;
+            }
+            let (ti, tj) = (state.types[pair.i], state.types[pair.j]);
+            let p = &self.params[ti][tj];
+            if p.epsilon == 0.0 {
+                continue;
+            }
+            energy += raw_energy(p, pair.dist) - self.shift[ti][tj];
+            let dudr = raw_dudr(p, pair.dist);
+            // f_i = dU/dr · r̂_ij ; f_j = −f_i (r̂ points from i to j).
+            let f = pair.rij * (dudr / pair.dist);
+            forces[pair.i] += f;
+            forces[pair.j] -= f;
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{fcc, water_box, Species};
+    use crate::potential::check_forces_fd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn minimum_at_r_min() {
+        let p = LjPair { epsilon: 1.0, sigma: 1.0 };
+        let r_min = 2f64.powf(1.0 / 6.0);
+        assert!(raw_dudr(&p, r_min).abs() < 1e-12);
+        assert!((raw_energy(&p, r_min) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_zero_at_cutoff() {
+        let lj = LennardJones::single(0.5, 2.3, 5.0);
+        let p = LjPair { epsilon: 0.5, sigma: 2.3 };
+        assert!((raw_energy(&p, 5.0) - lj.shift[0][0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn forces_match_finite_difference_on_perturbed_fcc() {
+        let mut s = fcc(Species::new("Ar", 39.9), 5.26, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        s.jitter_positions(0.15, &mut rng);
+        let lj = LennardJones::single(0.0104, 3.4, 5.2);
+        check_forces_fd(&lj, &s, 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn excluded_pairs_do_not_interact() {
+        let s = water_box(8);
+        let nt = 2;
+        let mut params = vec![vec![LjPair::default(); nt]; nt];
+        params[0][0] = LjPair { epsilon: 0.0067, sigma: 3.165 };
+        let excl: Vec<(usize, usize)> = s.topology.bonds.iter().map(|b| (b.i, b.j)).collect();
+        let lj_excl = LennardJones::new(params.clone(), 3.0).with_exclusions(excl);
+        let lj_all = LennardJones::new(params, 3.0);
+        let nl = crate::neighbor::NeighborList::build(&s.cell, &s.pos, 3.0);
+        let mut f1 = vec![Vec3::ZERO; s.n_atoms()];
+        let mut f2 = vec![Vec3::ZERO; s.n_atoms()];
+        let e1 = lj_excl.compute(&s, &nl, &mut f1);
+        let e2 = lj_all.compute(&s, &nl, &mut f2);
+        // O–H bonds involve type 1 whose ε is zero here, so exclusion
+        // should not change anything in this configuration…
+        assert!((e1 - e2).abs() < 1e-12);
+        // …but with H–H interactions enabled it must.
+        let mut params = vec![vec![LjPair::default(); nt]; nt];
+        params[1][1] = LjPair { epsilon: 0.01, sigma: 1.2 };
+        let hh_excl: Vec<(usize, usize)> = s
+            .topology
+            .angles
+            .iter()
+            .map(|a| (a.i, a.k))
+            .collect();
+        let lj_excl = LennardJones::new(params.clone(), 3.0).with_exclusions(hh_excl);
+        let lj_all = LennardJones::new(params, 3.0);
+        let mut f = vec![Vec3::ZERO; s.n_atoms()];
+        let e_excl = lj_excl.compute(&s, &nl, &mut f);
+        let e_all = lj_all.compute(&s, &nl, &mut f);
+        assert!(e_excl != e_all, "exclusions must remove intra-molecular H–H terms");
+    }
+
+    #[test]
+    fn multi_type_table_respected() {
+        // Two types where only cross interactions are active.
+        let mut s = fcc(Species::new("A", 10.0), 4.0, [2, 2, 2]);
+        s.type_names = vec!["A".into(), "B".into()];
+        s.masses = vec![10.0, 20.0];
+        for (i, t) in s.types.iter_mut().enumerate() {
+            *t = i % 2;
+        }
+        let mut params = vec![vec![LjPair::default(); 2]; 2];
+        params[0][1] = LjPair { epsilon: 0.3, sigma: 2.2 };
+        params[1][0] = LjPair { epsilon: 0.3, sigma: 2.2 };
+        let lj = LennardJones::new(params, 3.9);
+        check_forces_fd(&lj, &s, 1e-5, 1e-5);
+    }
+}

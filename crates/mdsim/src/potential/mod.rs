@@ -1,0 +1,151 @@
+//! Potential-energy models with analytic forces.
+//!
+//! These are the synthetic stand-ins for the DFT labelling engine the
+//! paper used (see `DESIGN.md` §1): smooth, physically-shaped classical
+//! potentials whose energies and exact analytic forces label the training
+//! snapshots. Every implementation is verified against central finite
+//! differences in the test suites, which guarantees the crucial property
+//! the DeePMD loss relies on: `F = −∇E` exactly.
+//!
+//! Families:
+//! * [`lj`] — Lennard-Jones 12-6 (cut/shifted),
+//! * [`morse`] — Morse pair potential (metals without EAM parameters,
+//!   metal–oxygen bonds in the CuO surrogate),
+//! * [`sutton_chen`] — Sutton–Chen EAM (Cu, Al),
+//! * [`stillinger_weber`] — three-body Stillinger–Weber (Si),
+//! * [`coulomb`] — damped-shifted-force electrostatics (ionic crystals,
+//!   water),
+//! * [`buckingham`] — Buckingham/Born–Mayer short-range repulsion
+//!   (NaCl, HfO₂, CuO oxygen–oxygen),
+//! * [`bonded`] — harmonic bonds and angles (flexible SPC-like water).
+
+pub mod bonded;
+pub mod buckingham;
+pub mod coulomb;
+pub mod lj;
+pub mod morse;
+pub mod stillinger_weber;
+pub mod sutton_chen;
+
+use crate::neighbor::NeighborList;
+use crate::state::State;
+use crate::vec3::Vec3;
+
+/// A potential-energy model over a periodic atomic configuration.
+pub trait Potential: Send + Sync {
+    /// Interaction cutoff (Å). The caller builds a neighbour list with at
+    /// least this cutoff; implementations must ignore pairs beyond it.
+    fn cutoff(&self) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Accumulate forces (eV/Å) into `forces` and return the potential
+    /// energy contribution (eV). `forces` is *not* zeroed here so that
+    /// composite potentials can accumulate.
+    fn compute(&self, state: &State, nl: &NeighborList, forces: &mut [Vec3]) -> f64;
+}
+
+/// Sum of component potentials (e.g. Buckingham + Coulomb + bonded).
+pub struct Composite {
+    parts: Vec<Box<dyn Potential>>,
+}
+
+impl Composite {
+    /// Build from parts. Panics if empty.
+    pub fn new(parts: Vec<Box<dyn Potential>>) -> Self {
+        assert!(!parts.is_empty(), "Composite: needs at least one part");
+        Composite { parts }
+    }
+}
+
+impl Potential for Composite {
+    fn cutoff(&self) -> f64 {
+        self.parts
+            .iter()
+            .map(|p| p.cutoff())
+            .fold(0.0, f64::max)
+    }
+
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+
+    fn compute(&self, state: &State, nl: &NeighborList, forces: &mut [Vec3]) -> f64 {
+        self.parts
+            .iter()
+            .map(|p| p.compute(state, nl, forces))
+            .sum()
+    }
+}
+
+/// Evaluate energy and freshly-allocated forces in one call.
+pub fn energy_forces(pot: &dyn Potential, state: &State, nl: &NeighborList) -> (f64, Vec<Vec3>) {
+    let mut forces = vec![Vec3::ZERO; state.n_atoms()];
+    let e = pot.compute(state, nl, &mut forces);
+    (e, forces)
+}
+
+/// Test helper (exposed for the other potential modules and downstream
+/// crates): verify `forces == −∇E` by central finite differences on a
+/// handful of atoms.
+///
+/// `h` is the displacement step; `tol` the relative tolerance.
+pub fn check_forces_fd(pot: &dyn Potential, state: &State, h: f64, tol: f64) {
+    let nl = NeighborList::build(&state.cell, &state.pos, pot.cutoff());
+    let (_, forces) = energy_forces(pot, state, &nl);
+    let n = state.n_atoms();
+    // Probe a deterministic subset of atoms to keep tests fast.
+    let stride = (n / 6).max(1);
+    for i in (0..n).step_by(stride) {
+        for k in 0..3 {
+            let eval = |delta: f64| -> f64 {
+                let mut s = state.clone();
+                s.pos[i].0[k] += delta;
+                let nl = NeighborList::build(&s.cell, &s.pos, pot.cutoff());
+                let mut f = vec![Vec3::ZERO; n];
+                pot.compute(&s, &nl, &mut f)
+            };
+            let fd = -(eval(h) - eval(-h)) / (2.0 * h);
+            let an = forces[i].0[k];
+            let scale = 1.0 + fd.abs().max(an.abs());
+            assert!(
+                (fd - an).abs() <= tol * scale,
+                "{}: atom {i} comp {k}: fd={fd:.8} analytic={an:.8}",
+                pot.name()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{fcc, Species};
+    use crate::neighbor::NeighborList;
+
+    #[test]
+    fn composite_sums_energy_and_forces() {
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [2, 2, 2]);
+        let a = lj::LennardJones::single(0.4, 2.3, 3.5);
+        let b = lj::LennardJones::single(0.2, 2.1, 3.5);
+        let nl = NeighborList::build(&s.cell, &s.pos, 3.5);
+        let (ea, fa) = energy_forces(&a, &s, &nl);
+        let (eb, fb) = energy_forces(&b, &s, &nl);
+        let comp = Composite::new(vec![
+            Box::new(lj::LennardJones::single(0.4, 2.3, 3.5)),
+            Box::new(lj::LennardJones::single(0.2, 2.1, 3.5)),
+        ]);
+        let (ec, fc) = energy_forces(&comp, &s, &nl);
+        assert!((ec - (ea + eb)).abs() < 1e-10);
+        for i in 0..s.n_atoms() {
+            assert!((fc[i] - (fa[i] + fb[i])).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one part")]
+    fn empty_composite_panics() {
+        let _ = Composite::new(Vec::new());
+    }
+}

@@ -1,0 +1,129 @@
+//! Morse pair potential, energy-shifted at the cutoff.
+//!
+//! `u(r) = D[e^{−2a(r−r₀)} − 2e^{−a(r−r₀)}] − u_raw(r_c)`.
+//!
+//! Used for Mg (no Sutton–Chen parameters in our table) and for the
+//! Cu–O bond of the CuO surrogate system.
+
+use super::Potential;
+use crate::neighbor::NeighborList;
+use crate::state::State;
+use crate::vec3::Vec3;
+
+/// Morse parameters for one type pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MorsePair {
+    /// Dissociation energy D (eV). Zero disables the pair.
+    pub d: f64,
+    /// Width parameter a (1/Å).
+    pub a: f64,
+    /// Equilibrium distance r₀ (Å).
+    pub r0: f64,
+}
+
+/// Morse potential over all type pairs.
+pub struct Morse {
+    params: Vec<Vec<MorsePair>>,
+    cutoff: f64,
+    shift: Vec<Vec<f64>>,
+}
+
+fn raw_energy(p: &MorsePair, r: f64) -> f64 {
+    if p.d == 0.0 {
+        return 0.0;
+    }
+    let e1 = (-p.a * (r - p.r0)).exp();
+    p.d * (e1 * e1 - 2.0 * e1)
+}
+
+fn raw_dudr(p: &MorsePair, r: f64) -> f64 {
+    if p.d == 0.0 {
+        return 0.0;
+    }
+    let e1 = (-p.a * (r - p.r0)).exp();
+    p.d * (-2.0 * p.a * e1 * e1 + 2.0 * p.a * e1)
+}
+
+impl Morse {
+    /// Build from a symmetric per-type-pair table.
+    pub fn new(params: Vec<Vec<MorsePair>>, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "Morse cutoff must be positive");
+        let nt = params.len();
+        for row in &params {
+            assert_eq!(row.len(), nt, "Morse parameter table must be square");
+        }
+        let mut shift = vec![vec![0.0; nt]; nt];
+        for (i, row) in params.iter().enumerate() {
+            for (j, p) in row.iter().enumerate() {
+                shift[i][j] = raw_energy(p, cutoff);
+            }
+        }
+        Morse { params, cutoff, shift }
+    }
+
+    /// Single-species convenience constructor.
+    pub fn single(d: f64, a: f64, r0: f64, cutoff: f64) -> Self {
+        Morse::new(vec![vec![MorsePair { d, a, r0 }]], cutoff)
+    }
+}
+
+impl Potential for Morse {
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn name(&self) -> &'static str {
+        "morse"
+    }
+
+    fn compute(&self, state: &State, nl: &NeighborList, forces: &mut [Vec3]) -> f64 {
+        let mut energy = 0.0;
+        for pair in nl.pairs() {
+            if pair.dist >= self.cutoff {
+                continue;
+            }
+            let (ti, tj) = (state.types[pair.i], state.types[pair.j]);
+            let p = &self.params[ti][tj];
+            if p.d == 0.0 {
+                continue;
+            }
+            energy += raw_energy(p, pair.dist) - self.shift[ti][tj];
+            let f = pair.rij * (raw_dudr(p, pair.dist) / pair.dist);
+            forces[pair.i] += f;
+            forces[pair.j] -= f;
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{hcp, Species};
+    use crate::potential::check_forces_fd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn minimum_at_r0() {
+        let p = MorsePair { d: 0.5, a: 1.3, r0: 3.0 };
+        assert!(raw_dudr(&p, 3.0).abs() < 1e-12);
+        assert!((raw_energy(&p, 3.0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repulsive_inside_attractive_outside() {
+        let p = MorsePair { d: 0.5, a: 1.3, r0: 3.0 };
+        assert!(raw_dudr(&p, 2.5) < 0.0, "du/dr < 0 inside the minimum");
+        assert!(raw_dudr(&p, 3.5) > 0.0, "du/dr > 0 outside the minimum");
+    }
+
+    #[test]
+    fn forces_match_finite_difference_on_perturbed_hcp() {
+        let mut s = hcp(Species::new("Mg", 24.3), 3.209, 5.211, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        s.jitter_positions(0.12, &mut rng);
+        let pot = Morse::single(0.23, 1.32, 3.19, 3.2);
+        check_forces_fd(&pot, &s, 1e-5, 1e-5);
+    }
+}

@@ -1,0 +1,242 @@
+//! Stillinger–Weber potential for silicon (two-body + three-body terms).
+//!
+//! Two-body: `v₂(r) = A·ε·[B(σ/r)ᵖ − (σ/r)^q]·exp(σ/(r − aσ))` for
+//! `r < aσ`, zero (with all derivatives) beyond.
+//!
+//! Three-body: `v₃ = λ·ε·(cosθ_jik − cos θ₀)²·exp(γσ/(r_ij − aσ))·
+//! exp(γσ/(r_ik − aσ))` summed over neighbour pairs of every centre
+//! atom, with `cos θ₀ = −1/3` (tetrahedral angle).
+//!
+//! The angular term gives genuinely three-body forces, providing the
+//! hardest finite-difference target of all our labelling potentials.
+
+use super::Potential;
+use crate::neighbor::NeighborList;
+use crate::state::State;
+use crate::vec3::Vec3;
+
+/// Stillinger–Weber parameter set.
+#[derive(Clone, Copy, Debug)]
+pub struct SwParams {
+    /// Energy scale ε (eV).
+    pub epsilon: f64,
+    /// Length scale σ (Å).
+    pub sigma: f64,
+    /// Reduced cutoff a (cutoff = a·σ).
+    pub a: f64,
+    /// Three-body strength λ.
+    pub lambda: f64,
+    /// Three-body decay γ.
+    pub gamma: f64,
+    /// Two-body prefactor A.
+    pub big_a: f64,
+    /// Two-body prefactor B.
+    pub big_b: f64,
+    /// Repulsive exponent p.
+    pub p: i32,
+    /// Attractive exponent q.
+    pub q: i32,
+    /// Reference cosine (−1/3 for tetrahedral).
+    pub cos_theta0: f64,
+}
+
+impl SwParams {
+    /// Original Stillinger–Weber parameters for silicon.
+    pub fn silicon() -> Self {
+        SwParams {
+            epsilon: 2.1683,
+            sigma: 2.0951,
+            a: 1.80,
+            lambda: 21.0,
+            gamma: 1.20,
+            big_a: 7.049_556_277,
+            big_b: 0.602_224_558_4,
+            p: 4,
+            q: 0,
+            cos_theta0: -1.0 / 3.0,
+        }
+    }
+}
+
+/// Single-species Stillinger–Weber potential.
+pub struct StillingerWeber {
+    p: SwParams,
+}
+
+impl StillingerWeber {
+    /// Build from parameters.
+    pub fn new(p: SwParams) -> Self {
+        StillingerWeber { p }
+    }
+
+    /// `(v₂, dv₂/dr)`; zero at and beyond the cutoff.
+    fn two_body(&self, r: f64) -> (f64, f64) {
+        let p = &self.p;
+        let rc = p.a * p.sigma;
+        if r >= rc {
+            return (0.0, 0.0);
+        }
+        let sr = p.sigma / r;
+        let srp = sr.powi(p.p);
+        let srq = sr.powi(p.q);
+        let expo = (p.sigma / (r - rc)).exp();
+        let poly = p.big_b * srp - srq;
+        let v = p.big_a * p.epsilon * poly * expo;
+        let dpoly = (-(p.p as f64) * p.big_b * srp + (p.q as f64) * srq) / r;
+        let dexpo = -p.sigma / ((r - rc) * (r - rc));
+        let dv = p.big_a * p.epsilon * expo * (dpoly + poly * dexpo);
+        (v, dv)
+    }
+
+    /// Radial decay `h(r) = exp(γσ/(r − aσ))` and its log-derivative,
+    /// zero beyond the cutoff.
+    fn decay(&self, r: f64) -> (f64, f64) {
+        let p = &self.p;
+        let rc = p.a * p.sigma;
+        if r >= rc {
+            return (0.0, 0.0);
+        }
+        let g = (p.gamma * p.sigma / (r - rc)).exp();
+        let dlog = -p.gamma * p.sigma / ((r - rc) * (r - rc));
+        (g, dlog)
+    }
+}
+
+impl Potential for StillingerWeber {
+    fn cutoff(&self) -> f64 {
+        self.p.a * self.p.sigma
+    }
+
+    fn name(&self) -> &'static str {
+        "stillinger-weber"
+    }
+
+    fn compute(&self, state: &State, nl: &NeighborList, forces: &mut [Vec3]) -> f64 {
+        let mut energy = 0.0;
+
+        // Two-body part over unique pairs.
+        for pair in nl.pairs() {
+            let (v, dv) = self.two_body(pair.dist);
+            if v == 0.0 && dv == 0.0 {
+                continue;
+            }
+            energy += v;
+            let f = pair.rij * (dv / pair.dist);
+            forces[pair.i] += f;
+            forces[pair.j] -= f;
+        }
+
+        // Three-body part: for every centre i, all unordered neighbour
+        // pairs (j, k).
+        let p = &self.p;
+        for i in 0..state.n_atoms() {
+            let nbrs = nl.neighbors_of(i);
+            for jj in 0..nbrs.len() {
+                let nj = &nbrs[jj];
+                let (gj, gj_dlog) = self.decay(nj.dist);
+                if gj == 0.0 {
+                    continue;
+                }
+                for nk in &nbrs[jj + 1..] {
+                    let (gk, gk_dlog) = self.decay(nk.dist);
+                    if gk == 0.0 {
+                        continue;
+                    }
+                    let u = nj.rij; // i → j
+                    let v = nk.rij; // i → k
+                    let ru = nj.dist;
+                    let rv = nk.dist;
+                    let cos = u.dot(&v) / (ru * rv);
+                    let dc = cos - p.cos_theta0;
+                    let pref = p.lambda * p.epsilon * gj * gk;
+                    energy += pref * dc * dc;
+
+                    // ∂cos/∂u and ∂cos/∂v.
+                    let dcos_du = (v * (1.0 / (ru * rv))) - (u * (cos / (ru * ru)));
+                    let dcos_dv = (u * (1.0 / (ru * rv))) - (v * (cos / (rv * rv)));
+
+                    // Gradient wrt r_j = ∂/∂u; wrt r_k = ∂/∂v; r_i gets
+                    // the negative sum (translation invariance).
+                    let grad_j = dcos_du * (2.0 * pref * dc)
+                        + u * (pref * dc * dc * gj_dlog / ru);
+                    let grad_k = dcos_dv * (2.0 * pref * dc)
+                        + v * (pref * dc * dc * gk_dlog / rv);
+
+                    forces[nj.j] -= grad_j;
+                    forces[nk.j] -= grad_k;
+                    forces[i] += grad_j + grad_k;
+                }
+            }
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{diamond, Species};
+    use crate::neighbor::NeighborList;
+    use crate::potential::{check_forces_fd, energy_forces};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn perfect_diamond_has_zero_three_body_energy_and_forces() {
+        // In the ideal diamond lattice every bond angle is tetrahedral,
+        // so the angular term vanishes and forces cancel by symmetry.
+        let s = diamond(Species::new("Si", 28.085), 5.431, [2, 2, 2]);
+        let pot = StillingerWeber::new(SwParams::silicon());
+        let nl = NeighborList::build(&s.cell, &s.pos, pot.cutoff());
+        let (_, f) = energy_forces(&pot, &s, &nl);
+        for fi in &f {
+            assert!(fi.norm() < 1e-9, "forces must cancel on the ideal lattice");
+        }
+    }
+
+    #[test]
+    fn cohesive_energy_close_to_reference() {
+        // SW silicon is fitted to E_coh = −4.336 eV/atom (at its own
+        // equilibrium a ≈ 5.431 Å).
+        let s = diamond(Species::new("Si", 28.085), 5.431, [2, 2, 2]);
+        let pot = StillingerWeber::new(SwParams::silicon());
+        let nl = NeighborList::build(&s.cell, &s.pos, pot.cutoff());
+        let (e, _) = energy_forces(&pot, &s, &nl);
+        let per_atom = e / s.n_atoms() as f64;
+        assert!(
+            (per_atom + 4.336).abs() < 0.05,
+            "SW cohesive energy per atom {per_atom}, expected ≈ −4.336"
+        );
+    }
+
+    #[test]
+    fn forces_match_finite_difference() {
+        let mut s = diamond(Species::new("Si", 28.085), 5.431, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        s.jitter_positions(0.15, &mut rng);
+        let pot = StillingerWeber::new(SwParams::silicon());
+        check_forces_fd(&pot, &s, 1e-5, 2e-5);
+    }
+
+    #[test]
+    fn two_body_term_vanishes_smoothly_at_cutoff() {
+        let pot = StillingerWeber::new(SwParams::silicon());
+        let rc = pot.cutoff();
+        let (v, dv) = pot.two_body(rc - 1e-6);
+        assert!(v.abs() < 1e-10 && dv.abs() < 1e-4, "v={v}, dv={dv}");
+        assert_eq!(pot.two_body(rc), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bond_angle_distortion_costs_energy() {
+        let s = diamond(Species::new("Si", 28.085), 5.431, [2, 2, 2]);
+        let pot = StillingerWeber::new(SwParams::silicon());
+        let nl = NeighborList::build(&s.cell, &s.pos, pot.cutoff());
+        let (e0, _) = energy_forces(&pot, &s, &nl);
+        let mut s2 = s.clone();
+        s2.pos[0].0[0] += 0.4;
+        let nl2 = NeighborList::build(&s2.cell, &s2.pos, pot.cutoff());
+        let (e1, _) = energy_forces(&pot, &s2, &nl2);
+        assert!(e1 > e0, "distortion must raise energy: {e1} vs {e0}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Sutton–Chen embedded-atom potential for fcc metals (Cu, Al).
+//!
+//! `E = ε Σᵢ [ ½ Σ_{j≠i} (a/r)ⁿ − c·√ρᵢ ]`, `ρᵢ = Σ_{j≠i} (a/r)ᵐ`,
+//! with both the pair term and the density kernel energy-shifted at the
+//! cutoff for continuity.
+//!
+//! The many-body embedding term `−c√ρ` makes the force on a pair depend
+//! on *both* atoms' local densities, which exercises exactly the kind of
+//! environment dependence the DeePMD descriptor has to learn.
+
+use super::Potential;
+use crate::neighbor::NeighborList;
+use crate::state::State;
+use crate::vec3::Vec3;
+
+/// Sutton–Chen parameter set (single species).
+#[derive(Clone, Copy, Debug)]
+pub struct SuttonChenParams {
+    /// Energy scale ε (eV).
+    pub epsilon: f64,
+    /// Lattice length scale a (Å).
+    pub a: f64,
+    /// Embedding strength c (dimensionless).
+    pub c: f64,
+    /// Pair exponent n.
+    pub n: i32,
+    /// Density exponent m.
+    pub m: i32,
+}
+
+impl SuttonChenParams {
+    /// Published Sutton–Chen parameters for copper.
+    pub fn copper() -> Self {
+        SuttonChenParams { epsilon: 1.2382e-2, a: 3.61, c: 39.432, n: 9, m: 6 }
+    }
+
+    /// Published Sutton–Chen parameters for aluminium.
+    pub fn aluminium() -> Self {
+        SuttonChenParams { epsilon: 3.3147e-2, a: 4.05, c: 16.399, n: 7, m: 6 }
+    }
+}
+
+/// Single-species Sutton–Chen EAM.
+pub struct SuttonChen {
+    p: SuttonChenParams,
+    cutoff: f64,
+    /// Pair-kernel shift `(a/r_c)^n`.
+    pair_shift: f64,
+    /// Density-kernel shift `(a/r_c)^m`.
+    dens_shift: f64,
+}
+
+impl SuttonChen {
+    /// Build with the given cutoff (Å).
+    pub fn new(p: SuttonChenParams, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "Sutton-Chen cutoff must be positive");
+        SuttonChen {
+            p,
+            cutoff,
+            pair_shift: (p.a / cutoff).powi(p.n),
+            dens_shift: (p.a / cutoff).powi(p.m),
+        }
+    }
+
+    #[inline]
+    fn pair_kernel(&self, r: f64) -> f64 {
+        (self.p.a / r).powi(self.p.n) - self.pair_shift
+    }
+
+    #[inline]
+    fn pair_kernel_deriv(&self, r: f64) -> f64 {
+        -(self.p.n as f64) * (self.p.a / r).powi(self.p.n) / r
+    }
+
+    #[inline]
+    fn dens_kernel(&self, r: f64) -> f64 {
+        (self.p.a / r).powi(self.p.m) - self.dens_shift
+    }
+
+    #[inline]
+    fn dens_kernel_deriv(&self, r: f64) -> f64 {
+        -(self.p.m as f64) * (self.p.a / r).powi(self.p.m) / r
+    }
+}
+
+impl Potential for SuttonChen {
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn name(&self) -> &'static str {
+        "sutton-chen"
+    }
+
+    fn compute(&self, state: &State, nl: &NeighborList, forces: &mut [Vec3]) -> f64 {
+        let n_atoms = state.n_atoms();
+        // Pass 1: local densities.
+        let mut rho = vec![0.0; n_atoms];
+        for pair in nl.pairs() {
+            if pair.dist >= self.cutoff {
+                continue;
+            }
+            let k = self.dens_kernel(pair.dist);
+            rho[pair.i] += k;
+            rho[pair.j] += k;
+        }
+        // Embedding energy; guard isolated atoms (ρ = 0).
+        let mut energy = 0.0;
+        let mut inv_sqrt_rho = vec![0.0; n_atoms];
+        for i in 0..n_atoms {
+            if rho[i] > 0.0 {
+                let s = rho[i].sqrt();
+                energy -= self.p.epsilon * self.p.c * s;
+                inv_sqrt_rho[i] = 1.0 / s;
+            }
+        }
+        // Pass 2: pair energy + combined forces.
+        for pair in nl.pairs() {
+            if pair.dist >= self.cutoff {
+                continue;
+            }
+            energy += self.p.epsilon * self.pair_kernel(pair.dist);
+            let dpair = self.p.epsilon * self.pair_kernel_deriv(pair.dist);
+            let demb = -self.p.epsilon
+                * self.p.c
+                * 0.5
+                * (inv_sqrt_rho[pair.i] + inv_sqrt_rho[pair.j])
+                * self.dens_kernel_deriv(pair.dist);
+            let dudr = dpair + demb;
+            let f = pair.rij * (dudr / pair.dist);
+            forces[pair.i] += f;
+            forces[pair.j] -= f;
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{fcc, Species};
+    use crate::neighbor::NeighborList;
+    use crate::potential::{check_forces_fd, energy_forces};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn perfect_lattice_has_zero_net_forces() {
+        let s = fcc(Species::new("Cu", 63.546), 3.61, [3, 3, 3]);
+        let pot = SuttonChen::new(SuttonChenParams::copper(), 5.4);
+        let nl = NeighborList::build(&s.cell, &s.pos, pot.cutoff());
+        let (_, f) = energy_forces(&pot, &s, &nl);
+        for fi in &f {
+            assert!(fi.norm() < 1e-9, "symmetry should cancel forces, got {fi:?}");
+        }
+    }
+
+    #[test]
+    fn cohesive_energy_is_negative_and_per_atom_reasonable() {
+        let s = fcc(Species::new("Cu", 63.546), 3.61, [3, 3, 3]);
+        let pot = SuttonChen::new(SuttonChenParams::copper(), 5.4);
+        let nl = NeighborList::build(&s.cell, &s.pos, pot.cutoff());
+        let (e, _) = energy_forces(&pot, &s, &nl);
+        let per_atom = e / s.n_atoms() as f64;
+        // Cu cohesive energy ≈ −3.5 eV; truncated SC lands in the ballpark.
+        assert!(per_atom < -1.0 && per_atom > -6.0, "per-atom energy {per_atom}");
+    }
+
+    #[test]
+    fn forces_match_finite_difference_copper() {
+        let mut s = fcc(Species::new("Cu", 63.546), 3.61, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        s.jitter_positions(0.1, &mut rng);
+        let pot = SuttonChen::new(SuttonChenParams::copper(), 3.55);
+        check_forces_fd(&pot, &s, 1e-5, 2e-5);
+    }
+
+    #[test]
+    fn forces_match_finite_difference_aluminium() {
+        let mut s = fcc(Species::new("Al", 26.98), 4.05, [2, 2, 2]);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        s.jitter_positions(0.1, &mut rng);
+        let pot = SuttonChen::new(SuttonChenParams::aluminium(), 4.0);
+        check_forces_fd(&pot, &s, 1e-5, 2e-5);
+    }
+
+    #[test]
+    fn compression_raises_energy() {
+        let pot = SuttonChen::new(SuttonChenParams::copper(), 4.5);
+        let e_at = |a: f64| {
+            let s = fcc(Species::new("Cu", 63.546), a, [3, 3, 3]);
+            let nl = NeighborList::build(&s.cell, &s.pos, pot.cutoff());
+            energy_forces(&pot, &s, &nl).0 / s.n_atoms() as f64
+        };
+        let e_eq = e_at(3.61);
+        assert!(e_at(3.2) > e_eq, "compressed lattice must be higher in energy");
+        assert!(e_at(4.2) > e_eq, "stretched lattice must be higher in energy");
+    }
+}

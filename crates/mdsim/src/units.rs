@@ -1,0 +1,55 @@
+//! Unit system: energies in eV, lengths in Å, time in fs, masses in amu,
+//! temperatures in K.
+
+/// Boltzmann constant in eV/K.
+pub const KB_EV: f64 = 8.617_333_262e-5;
+
+/// Acceleration conversion: `a[Å/fs²] = ACC_CONV · F[eV/Å] / m[amu]`.
+///
+/// 1 eV/(Å·amu) = 9.648533e-3 Å/fs².
+pub const ACC_CONV: f64 = 9.648_533_212e-3;
+
+/// Kinetic-energy conversion: `E_kin[eV] = KE_CONV · m[amu] · v²[Å²/fs²]`.
+///
+/// (1/2) amu·(Å/fs)² = 0.5 / ACC_CONV eV.
+pub const KE_CONV: f64 = 0.5 / ACC_CONV;
+
+/// Coulomb constant `e²/(4πε₀)` in eV·Å.
+pub const COULOMB_EV_A: f64 = 14.399_645;
+
+/// Instantaneous temperature of `n` atoms with total kinetic energy
+/// `ekin` (eV), using 3n degrees of freedom.
+pub fn temperature_from_kinetic(ekin: f64, n_atoms: usize) -> f64 {
+    if n_atoms == 0 {
+        return 0.0;
+    }
+    2.0 * ekin / (3.0 * n_atoms as f64 * KB_EV)
+}
+
+/// Kinetic energy (eV) corresponding to temperature `t` for `n` atoms.
+pub fn kinetic_from_temperature(t: f64, n_atoms: usize) -> f64 {
+    1.5 * n_atoms as f64 * KB_EV * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_roundtrip() {
+        let ekin = kinetic_from_temperature(300.0, 64);
+        assert!((temperature_from_kinetic(ekin, 64) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ke_conv_is_consistent_with_acc_conv() {
+        // KE = 1/2 m v²  in mixed units must invert the acceleration
+        // conversion factor.
+        assert!((KE_CONV * ACC_CONV - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_atoms_zero_temperature() {
+        assert_eq!(temperature_from_kinetic(1.0, 0), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Naive-EKF — the fusiform-shaped "computing-then-aggregation"
+//! multi-sample EKF of §3.1 (the third row of the paper's Table 2:
+//! `E(K·ABE)`).
+//!
+//! Every sample in the minibatch carries its **own** error covariance
+//! matrix and performs its own full Kalman update; the weight
+//! increments are then averaged. The per-sample `P` replicas are what
+//! make this approach "unbearable when a large batch is adopted"
+//! (§3.3): memory scales as `bs × |P|` and distributed training would
+//! have to communicate the `P`s. This implementation exists to
+//! quantify exactly that, next to FEKF which shares one `P`.
+
+use crate::ekf::KfCore;
+use crate::lambda::MemoryFactor;
+
+/// The Naive-EKF optimizer: one KF lane per batch slot.
+#[derive(Clone, Debug)]
+pub struct NaiveEkf {
+    lanes: Vec<KfCore>,
+}
+
+impl NaiveEkf {
+    /// Build with `batch_size` independent lanes.
+    pub fn new(
+        layer_sizes: &[usize],
+        blocksize: usize,
+        batch_size: usize,
+        mem: Option<MemoryFactor>,
+        fused: bool,
+    ) -> Self {
+        assert!(batch_size >= 1, "batch size must be ≥ 1");
+        let mem = mem.unwrap_or_else(MemoryFactor::paper_default);
+        NaiveEkf {
+            lanes: (0..batch_size)
+                .map(|_| KfCore::new(layer_sizes, blocksize, mem, fused))
+                .collect(),
+        }
+    }
+
+    /// Batch size (number of lanes).
+    pub fn batch_size(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.lanes[0].n_params()
+    }
+
+    /// Total resident bytes of all per-sample `P` replicas — the §3.3
+    /// memory argument against the fusiform dataflow.
+    pub fn p_memory_bytes(&self) -> usize {
+        self.lanes.iter().map(|l| l.p.memory_bytes()).sum()
+    }
+
+    /// One batch update: each lane consumes its own sample's signed
+    /// gradient and absolute error; the mean increment is returned
+    /// (`E(K·ABE)`).
+    ///
+    /// # Panics
+    /// Panics if the number of samples differs from the lane count.
+    pub fn step_batch(&mut self, grads: &[Vec<f64>], abes: &[f64]) -> Vec<f64> {
+        assert_eq!(grads.len(), self.lanes.len(), "batch size mismatch");
+        assert_eq!(abes.len(), self.lanes.len(), "ABE count mismatch");
+        let n = self.n_params();
+        let mut mean = vec![0.0; n];
+        let inv = 1.0 / self.lanes.len() as f64;
+        for ((lane, g), &abe) in self.lanes.iter_mut().zip(grads).zip(abes) {
+            let delta = lane.update(g, abe, 1.0);
+            for (m, d) in mean.iter_mut().zip(&delta) {
+                *m += inv * d;
+            }
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn memory_scales_linearly_with_batch_size() {
+        let one = NaiveEkf::new(&[16, 16], 16, 1, None, true);
+        let eight = NaiveEkf::new(&[16, 16], 16, 8, None, true);
+        assert_eq!(eight.p_memory_bytes(), 8 * one.p_memory_bytes());
+    }
+
+    #[test]
+    fn batch_of_identical_samples_matches_single_lane() {
+        let mut naive = NaiveEkf::new(&[8], 8, 4, None, true);
+        let mut single = KfCore::new(&[8], 8, MemoryFactor::paper_default(), true);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..5 {
+            let g: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let abe = rng.gen_range(0.0..0.5);
+            let mean = naive.step_batch(&vec![g.clone(); 4], &[abe; 4]);
+            let ref_delta = single.update(&g, abe, 1.0);
+            for (a, b) in mean.iter().zip(&ref_delta) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_ekf_converges_on_batched_regression() {
+        let n = 8;
+        let bs = 4;
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let w_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut w = vec![0.0; n];
+        let mut opt = NaiveEkf::new(&[n], n, bs, None, true);
+        for _ in 0..80 {
+            let mut grads = Vec::with_capacity(bs);
+            let mut abes = Vec::with_capacity(bs);
+            for _ in 0..bs {
+                let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let y: f64 = w_true.iter().zip(&x).map(|(a, b)| a * b).sum();
+                let yhat: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+                let err = y - yhat;
+                let sign = if err >= 0.0 { 1.0 } else { -1.0 };
+                grads.push(x.iter().map(|v| sign * v).collect());
+                abes.push(err.abs());
+            }
+            let delta = opt.step_batch(&grads, &abes);
+            for (wi, d) in w.iter_mut().zip(&delta) {
+                *wi += d;
+            }
+        }
+        let dist: f64 = w
+            .iter()
+            .zip(&w_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist < 0.2, "Naive-EKF failed to converge: {dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn wrong_batch_size_panics() {
+        let mut opt = NaiveEkf::new(&[4], 4, 2, None, true);
+        let _ = opt.step_batch(&[vec![0.0; 4]], &[0.1]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Logical "devices": a group of worker threads that process minibatch
+//! shards in parallel and reduce flat vectors — the thread-level
+//! stand-in for the paper's multi-GPU data parallelism (Figure 5:
+//! samples split into chunks, each chunk computed on one device, then
+//! reduced).
+
+use crate::comm_model::CommStats;
+use crate::ring::ring_allreduce;
+use std::thread;
+
+/// A fixed-size group of logical devices.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceGroup {
+    n_devices: usize,
+}
+
+/// Result of a sharded map-reduce: the reduced vector and scalar, plus
+/// the communication statistics of the gradient allreduce.
+#[derive(Clone, Debug)]
+pub struct ShardedReduce {
+    /// Element-wise sum of per-device vectors.
+    pub vector: Vec<f64>,
+    /// Sum of per-device scalars.
+    pub scalar: f64,
+    /// Ring-allreduce accounting for the vector exchange.
+    pub comm: CommStats,
+}
+
+impl DeviceGroup {
+    /// Create a group of `n_devices` logical devices.
+    ///
+    /// # Panics
+    /// Panics if `n_devices == 0`.
+    pub fn new(n_devices: usize) -> Self {
+        assert!(n_devices > 0, "need at least one device");
+        DeviceGroup { n_devices }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// Split `items` into `n_devices` contiguous shards (the Figure 5
+    /// chunking). Devices past the item count get empty shards.
+    pub fn shards<'a, T>(&self, items: &'a [T]) -> Vec<&'a [T]> {
+        let per = items.len().div_ceil(self.n_devices);
+        (0..self.n_devices)
+            .map(|d| {
+                let a = (d * per).min(items.len());
+                let b = ((d + 1) * per).min(items.len());
+                &items[a..b]
+            })
+            .collect()
+    }
+
+    /// Run `work` once per device on its shard of `items`, in parallel
+    /// on real threads; each device returns `(vector, scalar)`; the
+    /// vectors are combined with a genuine ring allreduce and the
+    /// scalars summed (the ABE reduction).
+    ///
+    /// `work` receives `(device index, shard)`.
+    pub fn map_reduce<T: Sync>(
+        &self,
+        items: &[T],
+        vec_len: usize,
+        work: impl Fn(usize, &[T]) -> (Vec<f64>, f64) + Sync,
+    ) -> ShardedReduce {
+        let shards = self.shards(items);
+        let mut buffers: Vec<Vec<f64>> = Vec::with_capacity(self.n_devices);
+        let mut scalars = vec![0.0; self.n_devices];
+        thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(d, shard)| {
+                    let work = &work;
+                    scope.spawn(move || work(d, shard))
+                })
+                .collect();
+            for (d, h) in handles.into_iter().enumerate() {
+                let (v, s) = h.join().expect("device worker panicked");
+                assert_eq!(v.len(), vec_len, "device {d} returned a wrong-size vector");
+                buffers.push(v);
+                scalars[d] = s;
+            }
+        });
+        let comm = ring_allreduce(&mut buffers);
+        ShardedReduce {
+            vector: buffers.into_iter().next().unwrap(),
+            scalar: scalars.iter().sum(),
+            comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_all_items_in_order() {
+        let g = DeviceGroup::new(3);
+        let items: Vec<usize> = (0..10).collect();
+        let shards = g.shards(&items);
+        assert_eq!(shards.len(), 3);
+        let flat: Vec<usize> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn more_devices_than_items_yields_empty_shards() {
+        let g = DeviceGroup::new(8);
+        let items = [1, 2, 3];
+        let shards = g.shards(&items);
+        let nonempty = shards.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(nonempty, 3);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn map_reduce_sums_vectors_and_scalars() {
+        let g = DeviceGroup::new(4);
+        let items: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let out = g.map_reduce(&items, 2, |_, shard| {
+            let s: f64 = shard.iter().sum();
+            (vec![s, shard.len() as f64], s)
+        });
+        let total: f64 = items.iter().sum();
+        assert!((out.vector[0] - total).abs() < 1e-12);
+        assert!((out.vector[1] - 20.0).abs() < 1e-12);
+        assert!((out.scalar - total).abs() < 1e-12);
+        assert_eq!(out.comm.ranks, 4);
+    }
+
+    #[test]
+    fn single_device_has_zero_comm() {
+        let g = DeviceGroup::new(1);
+        let out = g.map_reduce(&[1, 2, 3], 1, |_, shard| (vec![shard.len() as f64], 0.0));
+        assert_eq!(out.comm.bytes_sent_per_rank, 0);
+        assert_eq!(out.vector, vec![3.0]);
+    }
+
+    #[test]
+    fn work_receives_correct_device_indices() {
+        let g = DeviceGroup::new(3);
+        let items: Vec<usize> = (0..9).collect();
+        let out = g.map_reduce(&items, 3, |d, _| {
+            let mut v = vec![0.0; 3];
+            v[d] = 1.0;
+            (v, 0.0)
+        });
+        assert_eq!(out.vector, vec![1.0, 1.0, 1.0]);
+    }
+}

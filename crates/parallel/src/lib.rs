@@ -1,0 +1,28 @@
+//! # dp-parallel — data-parallel runtime
+//!
+//! The paper distributes FEKF training over up to 16 GPUs with
+//! Horovod's ring-allreduce; the *only* communicated state is the
+//! batch-reduced gradient (plus the scalar absolute errors), because
+//! the error covariance matrix `P` stays bit-identical on every device
+//! (§3.3 "Communication avoidance").
+//!
+//! This crate provides the equivalent runtime on OS threads:
+//!
+//! * [`ring`] — a real chunked ring-allreduce over crossbeam channels
+//!   (r − 1 scatter-reduce steps + r − 1 allgather steps), with
+//!   per-device byte accounting,
+//! * [`comm_model`] — the §3.3/§5.3 communication-volume formulas and a
+//!   latency/bandwidth time model parameterized with the paper's
+//!   cluster numbers (RoCE at 25 GB/s), used to extrapolate beyond the
+//!   physical core count,
+//! * [`device`] — a group of persistent worker threads ("devices") that
+//!   map shards of a minibatch and reduce flat vectors, the substrate
+//!   for the distributed trainer in `dp-train`.
+
+pub mod comm_model;
+pub mod device;
+pub mod ring;
+
+pub use comm_model::{ClusterModel, CommStats};
+pub use device::DeviceGroup;
+pub use ring::ring_allreduce;

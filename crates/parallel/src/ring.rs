@@ -1,0 +1,214 @@
+//! Chunked ring-allreduce over crossbeam channels.
+//!
+//! The classic two-phase algorithm Horovod uses: with `r` ranks the
+//! vector is cut into `r` chunks; in `r − 1` *scatter-reduce* steps
+//! each rank sends one chunk to its successor and accumulates the
+//! chunk it receives, after which every rank owns one fully-reduced
+//! chunk; `r − 1` *allgather* steps then circulate the reduced chunks.
+//! Every rank sends `2·(r−1)·(N/r)` elements — the bandwidth-optimal
+//! volume the paper's §3.3 analysis builds on.
+
+use crate::comm_model::CommStats;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread;
+
+/// In-place allreduce (sum) across `buffers`, one buffer per rank, each
+/// rank running on its own OS thread connected to its neighbours by
+/// channels. Returns per-rank communication statistics.
+///
+/// # Panics
+/// Panics if buffers are empty or have mismatched lengths.
+pub fn ring_allreduce(buffers: &mut [Vec<f64>]) -> CommStats {
+    let r = buffers.len();
+    assert!(r > 0, "ring_allreduce: no ranks");
+    let n = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == n),
+        "ring_allreduce: mismatched buffer lengths"
+    );
+    if r == 1 || n == 0 {
+        return CommStats { ranks: r, bytes_sent_per_rank: 0, steps: 0 };
+    }
+
+    // Chunk boundaries (ceil split keeps every index covered).
+    let chunk = n.div_ceil(r);
+    let bounds: Vec<(usize, usize)> = (0..r)
+        .map(|c| ((c * chunk).min(n), ((c + 1) * chunk).min(n)))
+        .collect();
+
+    // Channels: rank i sends to (i + 1) % r.
+    let mut senders: Vec<Option<Sender<Vec<f64>>>> = Vec::with_capacity(r);
+    let mut receivers: Vec<Option<Receiver<Vec<f64>>>> = vec![None; r];
+    for _ in 0..r {
+        senders.push(None);
+    }
+    for i in 0..r {
+        let (tx, rx) = bounded::<Vec<f64>>(1);
+        senders[i] = Some(tx);
+        receivers[(i + 1) % r] = Some(rx);
+    }
+
+    let mut bytes_per_rank = 0usize;
+    thread::scope(|scope| {
+        let handles: Vec<_> = buffers
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, buf)| {
+                let tx = senders[rank].take().unwrap();
+                let rx = receivers[rank].take().unwrap();
+                let bounds = bounds.clone();
+                scope.spawn(move || -> usize {
+                    let mut sent = 0usize;
+                    // Scatter-reduce: in step s, rank sends chunk
+                    // (rank − s) and receives + accumulates chunk
+                    // (rank − s − 1).
+                    for s in 0..(r - 1) {
+                        let send_c = (rank + r - s) % r;
+                        let (a, b) = bounds[send_c];
+                        let payload = buf[a..b].to_vec();
+                        sent += payload.len() * std::mem::size_of::<f64>();
+                        tx.send(payload).expect("ring send");
+                        let incoming = rx.recv().expect("ring recv");
+                        let recv_c = (rank + r - s - 1) % r;
+                        let (a, b) = bounds[recv_c];
+                        for (dst, src) in buf[a..b].iter_mut().zip(&incoming) {
+                            *dst += src;
+                        }
+                    }
+                    // Allgather: circulate the reduced chunks.
+                    for s in 0..(r - 1) {
+                        let send_c = (rank + 1 + r - s) % r;
+                        let (a, b) = bounds[send_c];
+                        let payload = buf[a..b].to_vec();
+                        sent += payload.len() * std::mem::size_of::<f64>();
+                        tx.send(payload).expect("ring send");
+                        let incoming = rx.recv().expect("ring recv");
+                        let recv_c = (rank + r - s) % r;
+                        let (a, b) = bounds[recv_c];
+                        buf[a..b].copy_from_slice(&incoming);
+                    }
+                    sent
+                })
+            })
+            .collect();
+        for h in handles {
+            bytes_per_rank = bytes_per_rank.max(h.join().expect("ring worker panicked"));
+        }
+    });
+
+    CommStats {
+        ranks: r,
+        bytes_sent_per_rank: bytes_per_rank,
+        steps: 2 * (r - 1),
+    }
+}
+
+/// Reference implementation: serial sum + broadcast (for testing and
+/// as the "naive" comparison in the allreduce benches).
+pub fn naive_allreduce(buffers: &mut [Vec<f64>]) -> CommStats {
+    let r = buffers.len();
+    assert!(r > 0, "naive_allreduce: no ranks");
+    let n = buffers[0].len();
+    let mut total = vec![0.0; n];
+    for b in buffers.iter() {
+        for (t, v) in total.iter_mut().zip(b) {
+            *t += v;
+        }
+    }
+    for b in buffers.iter_mut() {
+        b.copy_from_slice(&total);
+    }
+    CommStats {
+        ranks: r,
+        // Gather + broadcast: every non-root rank sends N and receives
+        // N; the root sends (r−1)·N.
+        bytes_sent_per_rank: (r - 1) * n * std::mem::size_of::<f64>(),
+        steps: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn make_buffers(r: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..r)
+            .map(|rank| (0..n).map(|i| (rank * n + i) as f64 * 0.1 - 3.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ring_matches_naive_for_various_shapes() {
+        for (r, n) in [(2, 10), (3, 17), (4, 64), (5, 7), (7, 100), (4, 3)] {
+            let mut a = make_buffers(r, n);
+            let mut b = a.clone();
+            ring_allreduce(&mut a);
+            naive_allreduce(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                for (u, v) in x.iter().zip(y) {
+                    assert!((u - v).abs() < 1e-9, "r={r} n={n}: {u} vs {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ranks_agree_after_ring() {
+        let mut bufs = make_buffers(4, 33);
+        ring_allreduce(&mut bufs);
+        for rank in 1..4 {
+            assert_eq!(bufs[0], bufs[rank], "rank {rank} diverged");
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let mut bufs = make_buffers(1, 20);
+        let orig = bufs[0].clone();
+        let stats = ring_allreduce(&mut bufs);
+        assert_eq!(bufs[0], orig);
+        assert_eq!(stats.bytes_sent_per_rank, 0);
+    }
+
+    #[test]
+    fn ring_volume_is_bandwidth_optimal() {
+        // 2·(r−1)·⌈N/r⌉ elements per rank.
+        let r = 4;
+        let n = 100;
+        let mut bufs = make_buffers(r, n);
+        let stats = ring_allreduce(&mut bufs);
+        let chunk = n.div_ceil(r);
+        let expect_max = 2 * (r - 1) * chunk * 8;
+        assert!(stats.bytes_sent_per_rank <= expect_max);
+        assert!(stats.bytes_sent_per_rank >= 2 * (r - 1) * (n / r) * 8 / 2);
+        assert_eq!(stats.steps, 2 * (r - 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn ring_allreduce_property(
+            r in 1usize..6,
+            n in 0usize..80,
+            seed in 0u64..1000,
+        ) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 30) as f64) - 4.0
+            };
+            let bufs: Vec<Vec<f64>> =
+                (0..r).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let mut ring = bufs.clone();
+            let mut naive = bufs.clone();
+            ring_allreduce(&mut ring);
+            naive_allreduce(&mut naive);
+            for (x, y) in ring.iter().zip(&naive) {
+                for (u, v) in x.iter().zip(y) {
+                    prop_assert!((u - v).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

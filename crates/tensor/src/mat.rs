@@ -1,0 +1,561 @@
+//! Row-major dense `f64` matrices and the GEMM-family kernels built on
+//! them.
+//!
+//! Dimensions in the DeePMD workload are small-to-medium (neighbour counts
+//! ≲ 200, feature widths ≤ 400), so the kernels favour a cache-friendly
+//! `i-k-j` loop order with an optional rayon split over row blocks for the
+//! larger products (notably the Kalman-filter `P·g` GEMVs over blocks of
+//! up to 10240×10240). Every public kernel reports one launch to
+//! [`crate::kernel`].
+
+use crate::kernel;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense matrix of `f64`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Minimum `rows * cols * inner` work before a GEMM is split across rayon
+/// workers; below this the sequential kernel wins.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
+
+impl Mat {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Create a matrix that owns `data` (row-major, `rows*cols` long).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Mat::from_vec: length mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        kernel::launch("transpose");
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `C = A · B`.
+    pub fn matmul(&self, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(self.rows, b.cols);
+        self.matmul_into(b, &mut c, 0.0);
+        c
+    }
+
+    /// `C = A · B + beta · C`, writing into a preallocated `out`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, b: &Mat, out: &mut Mat, beta: f64) {
+        assert_eq!(self.cols, b.rows, "matmul: inner dims {} vs {}", self.cols, b.rows);
+        assert_eq!(out.shape(), (self.rows, b.cols), "matmul: bad out shape");
+        kernel::launch("gemm");
+        let n = b.cols;
+        let work = self.rows * self.cols * n;
+        if beta == 0.0 {
+            out.data.fill(0.0);
+        } else if beta != 1.0 {
+            for v in &mut out.data {
+                *v *= beta;
+            }
+        }
+        let a = &self.data;
+        let bd = &b.data;
+        let k = self.cols;
+        let body = |i: usize, crow: &mut [f64]| {
+            let arow = &a[i * k..(i + 1) * k];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (cj, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += aik * bkj;
+                }
+            }
+        };
+        if work >= PAR_FLOPS_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, crow)| body(i, crow));
+        } else {
+            for (i, crow) in out.data.chunks_mut(n).enumerate() {
+                body(i, crow);
+            }
+        }
+    }
+
+    /// `C = Aᵀ · B` without materializing the transpose.
+    pub fn t_matmul(&self, b: &Mat) -> Mat {
+        assert_eq!(self.rows, b.rows, "t_matmul: inner dims {} vs {}", self.rows, b.rows);
+        kernel::launch("gemm_tn");
+        let (m, n) = (self.cols, b.cols);
+        let mut out = Mat::zeros(m, n);
+        // C[i][j] = sum_k A[k][i] * B[k][j]  — accumulate rank-1 updates.
+        for kk in 0..self.rows {
+            let arow = self.row(kk);
+            let brow = b.row(kk);
+            for (i, &aki) in arow.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let crow = &mut out.data[i * n..(i + 1) * n];
+                for (cij, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                    *cij += aki * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = A · Bᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.cols, "matmul_t: inner dims {} vs {}", self.cols, b.cols);
+        kernel::launch("gemm_nt");
+        let (m, n, k) = (self.rows, b.rows, self.cols);
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let crow = &mut out.data[i * n..(i + 1) * n];
+            for (j, cij) in crow.iter_mut().enumerate() {
+                let brow = &b.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                *cij = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `y = A · x`.
+    ///
+    /// Parallelized over row blocks for the large Kalman-filter blocks.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec: dims {} vs {}", self.cols, x.len());
+        kernel::launch("gemv");
+        let n = self.cols;
+        if self.rows * n >= PAR_FLOPS_THRESHOLD {
+            self.data
+                .par_chunks(n)
+                .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+                .collect()
+        } else {
+            self.data
+                .chunks(n)
+                .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+                .collect()
+        }
+    }
+
+    /// Elementwise map (counts as one kernel).
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Mat {
+        kernel::launch("map");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&self) -> Mat {
+        kernel::launch("tanh");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v.tanh()).collect(),
+        }
+    }
+
+    /// Elementwise sum with another matrix of the same shape.
+    pub fn add(&self, b: &Mat) -> Mat {
+        assert_eq!(self.shape(), b.shape(), "add: shape mismatch");
+        kernel::launch("add");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&b.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, b: &Mat) -> Mat {
+        assert_eq!(self.shape(), b.shape(), "sub: shape mismatch");
+        kernel::launch("sub");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&b.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn hadamard(&self, b: &Mat) -> Mat {
+        assert_eq!(self.shape(), b.shape(), "hadamard: shape mismatch");
+        kernel::launch("mul");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&b.data).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> Mat {
+        kernel::launch("scale");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * s).collect(),
+        }
+    }
+
+    /// In-place `self += alpha * b`.
+    pub fn axpy(&mut self, alpha: f64, b: &Mat) {
+        assert_eq!(self.shape(), b.shape(), "axpy: shape mismatch");
+        kernel::launch("axpy");
+        for (a, b) in self.data.iter_mut().zip(&b.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Broadcast-add a `1 × cols` row vector onto every row.
+    pub fn add_row_broadcast(&self, row: &Mat) -> Mat {
+        assert_eq!(row.rows, 1, "add_row_broadcast: row must be 1×n");
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: width mismatch");
+        kernel::launch("add_bcast");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        kernel::launch("sum");
+        self.data.iter().sum()
+    }
+
+    /// Copy of the column slice `[c0, c1)`.
+    pub fn slice_cols(&self, c0: usize, c1: usize) -> Mat {
+        assert!(c0 <= c1 && c1 <= self.cols, "slice_cols: bad range");
+        kernel::launch("slice");
+        let w = c1 - c0;
+        let mut out = Mat::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Consume and return the backing vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn close(a: &Mat, b: &Mat, tol: f64) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Mat::from_fn(7, 5, |r, c| (r as f64) - 0.3 * c as f64);
+        let b = Mat::from_fn(5, 9, |r, c| 0.1 * (r * c) as f64 - 1.0);
+        assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn t_matmul_matches_transpose_then_matmul() {
+        let a = Mat::from_fn(6, 4, |r, c| ((r + 2 * c) as f64).sin());
+        let b = Mat::from_fn(6, 3, |r, c| ((r * c) as f64).cos());
+        assert!(close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-12));
+    }
+
+    #[test]
+    fn matmul_t_matches_matmul_with_transpose() {
+        let a = Mat::from_fn(4, 5, |r, c| (r + c) as f64 * 0.25);
+        let b = Mat::from_fn(7, 5, |r, c| (r as f64 - c as f64) * 0.5);
+        assert!(close(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_fn(8, 6, |r, c| (r * 6 + c) as f64 * 0.01);
+        let x: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let xm = Mat::from_vec(6, 1, x.clone());
+        let y = a.matvec(&x);
+        let ym = a.matmul(&xm);
+        for i in 0..8 {
+            assert!((y[i] - ym.get(i, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_into_accumulates_with_beta() {
+        let a = Mat::from_fn(3, 3, |r, c| (r + c) as f64);
+        let b = Mat::eye(3);
+        let mut c = Mat::from_fn(3, 3, |_, _| 1.0);
+        a.matmul_into(&b, &mut c, 2.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.get(i, j) - (2.0 + (i + j) as f64)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn large_parallel_gemm_matches_naive() {
+        let a = Mat::from_fn(120, 90, |r, c| ((r * 31 + c * 17) % 13) as f64 - 6.0);
+        let b = Mat::from_fn(90, 110, |r, c| ((r * 7 + c * 3) % 11) as f64 * 0.1);
+        assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn slice_cols_roundtrip() {
+        let a = Mat::from_fn(4, 6, |r, c| (10 * r + c) as f64);
+        let s = a.slice_cols(1, 4);
+        assert_eq!(s.shape(), (4, 3));
+        assert_eq!(s.get(2, 0), 21.0);
+        assert_eq!(s.get(3, 2), 33.0);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_each_row() {
+        let a = Mat::zeros(3, 2);
+        let row = Mat::from_vec(1, 2, vec![1.0, -2.0]);
+        let out = a.add_row_broadcast(&row);
+        for r in 0..3 {
+            assert_eq!(out.row(r), &[1.0, -2.0]);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_vec(2, 2, vec![4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a.sub(&b).as_slice(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.sum(), 10.0);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Mat::from_fn(5, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+            proptest::collection::vec(-5.0f64..5.0, rows * cols)
+                .prop_map(move |v| Mat::from_vec(rows, cols, v))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn matmul_distributes_over_addition(
+                a in mat_strategy(4, 5),
+                b in mat_strategy(5, 3),
+                c in mat_strategy(5, 3),
+            ) {
+                let lhs = a.matmul(&b.add(&c));
+                let rhs = a.matmul(&b).add(&a.matmul(&c));
+                for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((x - y).abs() < 1e-9);
+                }
+            }
+
+            #[test]
+            fn transpose_reverses_products(
+                a in mat_strategy(3, 4),
+                b in mat_strategy(4, 2),
+            ) {
+                // (AB)ᵀ = Bᵀ Aᵀ
+                let lhs = a.matmul(&b).transpose();
+                let rhs = b.transpose().matmul(&a.transpose());
+                for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((x - y).abs() < 1e-10);
+                }
+            }
+
+            #[test]
+            fn t_matmul_and_matmul_t_are_consistent(
+                a in mat_strategy(4, 3),
+                b in mat_strategy(4, 2),
+            ) {
+                // AᵀB computed two ways.
+                let lhs = a.t_matmul(&b);
+                let rhs = b.transpose().matmul(&a).transpose();
+                for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((x - y).abs() < 1e-10);
+                }
+            }
+
+            #[test]
+            fn scale_is_linear(a in mat_strategy(3, 3), s in -3.0f64..3.0, t in -3.0f64..3.0) {
+                let lhs = a.scale(s + t);
+                let rhs = a.scale(s).add(&a.scale(t));
+                for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((x - y).abs() < 1e-10);
+                }
+            }
+        }
+    }
+}

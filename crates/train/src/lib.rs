@@ -1,0 +1,31 @@
+//! # dp-train — training harness
+//!
+//! Orchestrates the paper's training protocols end to end:
+//!
+//! * [`targets`] — the Kalman-filter prediction targets of Algorithm 1:
+//!   the sign-flipped gradients (`if ŷ ≥ y then ŷ = −ŷ`) and absolute
+//!   errors for the energy update and the four atomic-force group
+//!   updates,
+//! * [`trainer`] — epoch loops for Adam (batch-mean loss gradients),
+//!   RLEKF (instance-by-instance updates) and FEKF (early-reduced batch
+//!   updates), plus the data-parallel FEKF loop over
+//!   [`dp_parallel::DeviceGroup`] devices,
+//! * [`metrics`] — phase timers (forward / gradient / KF — the
+//!   decomposition of Figure 7(c)) and training histories,
+//! * [`recipes`] — one-call experiment entry points used by the
+//!   benchmark binaries,
+//! * [`online`] — the Figure 1 online-learning loop: repeated
+//!   retraining as new-temperature data arrives,
+//! * [`active`] — committee-based active learning (query-by-committee
+//!   frame selection + oracle labelling + FEKF retraining), the
+//!   workflow the paper's fast training enables.
+
+pub mod active;
+pub mod metrics;
+pub mod online;
+pub mod recipes;
+pub mod targets;
+pub mod trainer;
+
+pub use metrics::{PhaseTimes, TrainHistory};
+pub use trainer::{TrainConfig, Trainer};

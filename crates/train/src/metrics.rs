@@ -1,0 +1,119 @@
+//! Timing decomposition and training histories.
+//!
+//! Figure 7(c) splits one training iteration into three phases:
+//! (1) network **forward** to predictions and errors, (2) **gradient**
+//! computation for the EKF update, (3) the **KF** calculation flow
+//! itself. [`PhaseTimes`] accumulates exactly that decomposition.
+
+use deepmd_core::loss::Metrics;
+use std::time::{Duration, Instant};
+
+/// Accumulated per-phase wall time over a training run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Forward pass (predictions + errors).
+    pub forward: Duration,
+    /// Gradient computation (∇θ of predictions).
+    pub gradient: Duration,
+    /// Optimizer computation (KF updates / Adam moments).
+    pub optimizer: Duration,
+}
+
+impl PhaseTimes {
+    /// Total of all phases.
+    pub fn total(&self) -> Duration {
+        self.forward + self.gradient + self.optimizer
+    }
+
+    /// Sum another accumulation into this one.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.forward += other.forward;
+        self.gradient += other.gradient;
+        self.optimizer += other.optimizer;
+    }
+}
+
+/// Measure one closure into a duration slot.
+pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed();
+    out
+}
+
+/// Per-epoch record.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochRecord {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Metrics on the (sub-sampled) training set.
+    pub train: Metrics,
+    /// Cumulative wall-clock seconds since training started.
+    pub wall_s: f64,
+}
+
+/// History of a training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainHistory {
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl TrainHistory {
+    /// Last recorded training metrics.
+    pub fn last(&self) -> Option<&EpochRecord> {
+        self.epochs.last()
+    }
+
+    /// First epoch whose metric fell at or below `target` (1-based),
+    /// using the combined energy+force RMSE.
+    pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
+        self.epochs
+            .iter()
+            .find(|r| r.train.combined() <= target)
+            .map(|r| r.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut d = Duration::default();
+        let v = timed(&mut d, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+        timed(&mut d, || ());
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn phase_times_merge_and_total() {
+        let mut a = PhaseTimes {
+            forward: Duration::from_millis(10),
+            gradient: Duration::from_millis(20),
+            optimizer: Duration::from_millis(30),
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), Duration::from_millis(120));
+    }
+
+    #[test]
+    fn epochs_to_reach_finds_first_crossing() {
+        let mk = |epoch, e| EpochRecord {
+            epoch,
+            train: Metrics { energy_rmse: e, energy_rmse_per_atom: 0.0, force_rmse: 0.0 },
+            wall_s: 0.0,
+        };
+        let h = TrainHistory { epochs: vec![mk(1, 1.0), mk(2, 0.4), mk(3, 0.2)] };
+        assert_eq!(h.epochs_to_reach(0.5), Some(2));
+        assert_eq!(h.epochs_to_reach(0.1), None);
+        assert_eq!(h.last().unwrap().epoch, 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Active learning with a Deep Potential committee — the full workflow
+//! the paper's fast training unlocks ("a step towards online
+//! learning"):
+//!
+//! 1. train a small ensemble on a seed dataset,
+//! 2. explore new configurations by running MD *with the model*,
+//! 3. score every visited configuration by the committee's force
+//!    disagreement (query-by-committee, as in DP-GEN),
+//! 4. label only the most uncertain frames with the expensive oracle,
+//! 5. retrain in minutes with FEKF; repeat.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example active_learning
+//! ```
+
+use fekf_deepmd::data::generate::GenScale;
+use fekf_deepmd::mdsim::md::MdConfig;
+use fekf_deepmd::optim::fekf::FekfConfig;
+use fekf_deepmd::prelude::*;
+use fekf_deepmd::train::active::{ActiveLoop, Ensemble};
+use fekf_deepmd::train::recipes::{self, ModelScale};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    println!("seed dataset: a small 300 K aluminium sample...");
+    let scale = GenScale { frames_per_temperature: 12, equilibration: 60, stride: 4 };
+    let mut exp = recipes::setup(PaperSystem::Al, &scale, ModelScale::Small, 77);
+    let (start, oracle) = PaperSystem::Al.preset().instantiate();
+
+    let train_cfg = TrainConfig {
+        batch_size: 8,
+        max_epochs: 3,
+        eval_frames: 24,
+        ..Default::default()
+    };
+    println!("training an initial 3-member committee...");
+    let mut ensemble = Ensemble::new(&exp.model, &exp.train, 3);
+    ensemble.train(&exp.train, train_cfg, FekfConfig::default());
+
+    let looper = ActiveLoop {
+        oracle: oracle.as_ref(),
+        md: MdConfig {
+            dt: 1.0,
+            temperature: 700.0, // explore hotter than the seed data
+            friction: 0.08,
+            equilibration: 40,
+            stride: 8,
+        },
+        explore_frames: 10,
+        select_per_cycle: 4,
+        train_cfg,
+        fekf: FekfConfig::default(),
+    };
+
+    println!("\nactive-learning cycles (explore at 700 K, label top-4 by disagreement):");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let reports = looper.run(&mut ensemble, &start, &mut exp.train, 3, &mut rng);
+    for r in &reports {
+        println!(
+            "  cycle {}: explored {:>2} frames, mean committee force deviation {:.4} eV/Å, \
+             labelled {}, train set now {} frames",
+            r.cycle, r.explored, r.mean_deviation, r.selected, r.train_size
+        );
+    }
+    println!(
+        "\nthe committee's disagreement on freshly explored configurations should fall\n\
+         across cycles as the labelled set covers the hotter region of phase space —\n\
+         each retrain costs minutes (here: seconds), which is the paper's enabling claim."
+    );
+}

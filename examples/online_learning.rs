@@ -1,0 +1,57 @@
+//! The Figure 1 scenario: repetitive retraining as new-temperature
+//! data arrives — the "online learning" the paper's fast training
+//! makes practical.
+//!
+//! Temperature shards of the copper dataset arrive one at a time
+//! (400 K, then 600 K, then 800 K). At each arrival the current model
+//! is evaluated on the incoming shard (the "surprise" on unseen
+//! thermodynamic conditions), then retrained with FEKF on everything
+//! seen so far, warm-starting from the previous weights.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example online_learning
+//! ```
+
+use fekf_deepmd::data::generate::{generate, GenScale};
+use fekf_deepmd::optim::fekf::FekfConfig;
+use fekf_deepmd::prelude::*;
+use fekf_deepmd::train::online::{shards_by_temperature, OnlineLoop};
+use fekf_deepmd::train::recipes::{self, ModelScale};
+
+fn main() {
+    println!("generating the Cu dataset across 400/600/800 K...");
+    let scale = GenScale { frames_per_temperature: 20, equilibration: 60, stride: 4 };
+    let dataset = generate(PaperSystem::Cu, &scale, 5);
+    let shards = shards_by_temperature(&dataset);
+    println!("  {} shards:", shards.len());
+    for s in &shards {
+        println!("    {:.0} K — {} frames", s.frames[0].temperature, s.len());
+    }
+
+    // A model initialized from the *first* shard only (the realistic
+    // online situation: future conditions are unknown at t=0).
+    let mut exp = recipes::setup(PaperSystem::Cu, &scale, ModelScale::Small, 5);
+    let looper = OnlineLoop {
+        cfg: TrainConfig {
+            batch_size: 8,
+            max_epochs: 3,
+            eval_frames: 20,
+            ..Default::default()
+        },
+        fekf: FekfConfig::default(),
+    };
+
+    println!("\nonline retraining loop:");
+    let reports = looper.run(&mut exp.model, &shards);
+    for r in &reports {
+        println!(
+            "  stage {} ({:>4.0} K): combined RMSE {:.4} → {:.4} after {:.1}s ({} iterations)",
+            r.stage, r.temperature, r.before.combined(), r.after.combined(), r.retrain_s, r.iterations
+        );
+    }
+    println!(
+        "\nthe paper's point: at minutes-per-retrain (instead of hours), this loop — run\n\
+         20-100 times per NNMD development — becomes interactive."
+    );
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper in quick mode.
+# Usage: scripts/run_experiments.sh [extra flags passed to every binary,
+# e.g. --paper-scale]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS="table1 table3 table4 table5 fig4 fig7a fig7b fig7c memory_report scaling_report ablation_dataflow ablation_blocksize ablation_lr_scaling"
+for bin in $BINS; do
+    echo "=== $bin ==="
+    cargo run --release -q -p dp-bench --bin "$bin" -- "$@" | tee "results/$bin.txt"
+    echo
+done

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: the full pipeline from MD labelling
+//! through model training, exercised through the public API of the
+//! umbrella crate.
+
+use fekf_deepmd::core::loss;
+use fekf_deepmd::data::generate::{generate, GenScale};
+use fekf_deepmd::data::io;
+use fekf_deepmd::data::split::train_test_split;
+use fekf_deepmd::optim::fekf::FekfConfig;
+use fekf_deepmd::prelude::*;
+use fekf_deepmd::train::recipes::{self, ModelScale};
+
+fn tiny_scale() -> GenScale {
+    GenScale { frames_per_temperature: 10, equilibration: 30, stride: 2 }
+}
+
+#[test]
+fn generate_split_train_predict_roundtrip() {
+    // Generate → split → train → predict, via the public API only.
+    let mut exp = recipes::setup(PaperSystem::Al, &tiny_scale(), ModelScale::Small, 1);
+    let before = loss::evaluate(&exp.model, &exp.test, 8);
+    let cfg = TrainConfig { batch_size: 8, max_epochs: 3, eval_frames: 16, ..Default::default() };
+    let out = recipes::run_fekf(&mut exp, cfg, FekfConfig::default());
+    let after = out.final_test.unwrap();
+    assert!(
+        after.combined() < before.combined(),
+        "training must improve test RMSE: {} → {}",
+        before.combined(),
+        after.combined()
+    );
+    // The trained model predicts finite energies and forces.
+    let pred = exp.model.predict(&exp.test.frames[0]);
+    assert!(pred.energy.is_finite());
+    assert!(pred.forces.iter().all(|f| f.norm().is_finite()));
+}
+
+#[test]
+fn dataset_io_preserves_training_behaviour() {
+    let ds = generate(PaperSystem::Al, &tiny_scale(), 2);
+    let path = std::env::temp_dir().join("fekf_deepmd_e2e.dpds");
+    io::save(&ds, &path).unwrap();
+    let loaded = io::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded.len(), ds.len());
+    // A model evaluated on the original and reloaded data must agree
+    // bit for bit.
+    let (train, _) = train_test_split(&ds, 0.8, 3);
+    let cfg = fekf_deepmd::core::ModelConfig::small(1, 3.5);
+    let model = DeepPotModel::new(cfg, &train);
+    let e1 = model.forward(&ds.frames[0]).energy;
+    let e2 = model.forward(&loaded.frames[0]).energy;
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn model_energy_is_consistent_with_forces_end_to_end() {
+    // The central physical contract across the whole stack:
+    // F = −∇E for the *trained* model, not just at initialization.
+    let mut exp = recipes::setup(PaperSystem::Al, &tiny_scale(), ModelScale::Small, 4);
+    let cfg = TrainConfig { batch_size: 8, max_epochs: 2, eval_frames: 8, ..Default::default() };
+    let _ = recipes::run_fekf(&mut exp, cfg, FekfConfig::default());
+    let frame = exp.test.frames[0].clone();
+    let pass = exp.model.forward(&frame);
+    let forces = exp.model.forces(&pass);
+    let h = 1e-5;
+    for i in (0..frame.types.len()).step_by(11) {
+        for a in 0..3 {
+            let mut fp = frame.clone();
+            fp.pos[i].0[a] += h;
+            let mut fm = frame.clone();
+            fm.pos[i].0[a] -= h;
+            let fd = -(exp.model.forward(&fp).energy - exp.model.forward(&fm).energy) / (2.0 * h);
+            assert!(
+                (fd - forces[i].0[a]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "atom {i} comp {a}: {fd} vs {}",
+                forces[i].0[a]
+            );
+        }
+    }
+}
+
+#[test]
+fn multispecies_end_to_end_training() {
+    let scale = GenScale { frames_per_temperature: 16, equilibration: 30, stride: 2 };
+    let mut exp = recipes::setup(PaperSystem::NaCl, &scale, ModelScale::Small, 6);
+    assert_eq!(exp.model.cfg.n_types, 2);
+    let before_train = loss::evaluate(&exp.model, &exp.train, 24);
+    let before_test = loss::evaluate(&exp.model, &exp.test, usize::MAX);
+    let cfg = TrainConfig { batch_size: 8, max_epochs: 4, eval_frames: 24, ..Default::default() };
+    let out = recipes::run_fekf(&mut exp, cfg, FekfConfig::default());
+    // At this tiny scale the total-energy RMSE is noisy between
+    // iterations (the probe shows it bouncing while trending down), so
+    // assert on the robustly-monotone force RMSE plus sane energies.
+    assert!(
+        out.final_train.force_rmse < before_train.force_rmse,
+        "train force RMSE must improve: {} → {}",
+        before_train.force_rmse,
+        out.final_train.force_rmse
+    );
+    let after_test = out.final_test.unwrap();
+    assert!(
+        after_test.force_rmse < before_test.force_rmse,
+        "test force RMSE must improve: {} → {}",
+        before_test.force_rmse,
+        after_test.force_rmse
+    );
+    assert!(
+        after_test.energy_rmse < 3.0 * before_test.energy_rmse.max(0.1),
+        "energy must not blow up: {} → {}",
+        before_test.energy_rmse,
+        after_test.energy_rmse
+    );
+}
+
+#[test]
+fn distributed_training_converges_with_real_communication() {
+    let mut exp = recipes::setup(PaperSystem::Al, &tiny_scale(), ModelScale::Small, 8);
+    let before = loss::evaluate(&exp.model, &exp.test, 8);
+    let cfg = TrainConfig { batch_size: 8, max_epochs: 3, eval_frames: 16, ..Default::default() };
+    let out = recipes::run_fekf_distributed(&mut exp, cfg, FekfConfig::default(), 2);
+    assert!(out.comm_bytes_per_rank > 0, "two devices must exchange gradients");
+    assert!(out.final_test.unwrap().combined() < before.combined());
+}
