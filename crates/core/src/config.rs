@@ -83,23 +83,56 @@ impl ModelConfig {
         self.m * self.m_sub
     }
 
+    /// Validate the invariants the model relies on, reporting the
+    /// first violation. Used by deserialization paths that must reject
+    /// bad data with an error instead of tearing the process down.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.n_types < 1 {
+            return Err("need at least one type".into());
+        }
+        if !(self.rcut.is_finite() && self.rcut > 0.0) {
+            return Err(format!("rcut must be positive and finite, got {}", self.rcut));
+        }
+        if !(self.rcut_smooth.is_finite() && self.rcut_smooth > 0.0 && self.rcut_smooth < self.rcut)
+        {
+            return Err(format!(
+                "rcut_smooth must be in (0, rcut = {}), got {}",
+                self.rcut, self.rcut_smooth
+            ));
+        }
+        if self.m < 1 || self.m_sub < 1 {
+            return Err("symmetry orders must be ≥ 1".into());
+        }
+        if self.m_sub > self.m {
+            return Err("M^< must not exceed M".into());
+        }
+        if self.embedding_widths[2] != self.m {
+            return Err(format!(
+                "embedding output width must equal M: {} vs {}",
+                self.embedding_widths[2], self.m
+            ));
+        }
+        // Guard against absurd dimensions from corrupt files: the
+        // paper's largest nets are O(10²) wide.
+        const MAX_DIM: usize = 1 << 16;
+        if self.n_types > MAX_DIM
+            || self.m > MAX_DIM
+            || self.embedding_widths.iter().any(|&w| w == 0 || w > MAX_DIM)
+            || self.fitting_widths.iter().any(|&w| w == 0 || w > MAX_DIM)
+        {
+            return Err("network width out of range".into());
+        }
+        Ok(())
+    }
+
     /// Validate the invariants the model relies on.
     ///
     /// # Panics
     /// Panics on an inconsistent configuration.
     pub fn validate(&self) {
-        assert!(self.n_types >= 1, "need at least one type");
-        assert!(self.rcut > 0.0, "rcut must be positive");
-        assert!(
-            self.rcut_smooth > 0.0 && self.rcut_smooth < self.rcut,
-            "rcut_smooth must be in (0, rcut)"
-        );
-        assert!(self.m >= 1 && self.m_sub >= 1, "symmetry orders must be ≥ 1");
-        assert!(self.m_sub <= self.m, "M^< must not exceed M");
-        assert_eq!(
-            self.embedding_widths[2], self.m,
-            "embedding output width must equal M"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -131,5 +164,20 @@ mod tests {
         let mut c = ModelConfig::small(1, 4.0);
         c.m_sub = c.m + 1;
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        let mut c = ModelConfig::small(1, 4.0);
+        assert!(c.try_validate().is_ok());
+        c.rcut = f64::NAN;
+        let e = c.try_validate().unwrap_err();
+        assert!(e.contains("rcut"), "unexpected message: {e}");
+        let mut c = ModelConfig::small(1, 4.0);
+        c.fitting_widths[1] = 0;
+        assert!(c.try_validate().is_err());
+        let mut c = ModelConfig::small(1, 4.0);
+        c.m_sub = 0;
+        assert!(c.try_validate().is_err());
     }
 }

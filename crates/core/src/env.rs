@@ -189,9 +189,9 @@ pub fn build_envs(cfg: &ModelConfig, stats: &EnvStats, frame: &Snapshot) -> Vec<
         // Type ranges.
         let mut type_ranges = vec![(0usize, 0usize); cfg.n_types];
         let mut start = 0;
-        for t in 0..cfg.n_types {
+        for (t, range) in type_ranges.iter_mut().enumerate() {
             let end = start + entries[start..].iter().take_while(|e| e.tj == t).count();
-            type_ranges[t] = (start, end);
+            *range = (start, end);
             start = end;
         }
         envs.push(AtomEnv { entries, type_ranges });

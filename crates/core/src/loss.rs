@@ -59,9 +59,11 @@ impl LossSchedule {
     /// `[0, 1]`).
     pub fn at(&self, r: f64) -> LossWeights {
         let r = r.clamp(0.0, 1.0);
+        // `a + (b − a)·r` rather than `a·(1−r) + b·r`: exact at r = 0
+        // and whenever both ends coincide (constant schedules).
         LossWeights {
-            pe: self.limit.pe * (1.0 - r) + self.start.pe * r,
-            pf: self.limit.pf * (1.0 - r) + self.start.pf * r,
+            pe: self.limit.pe + (self.start.pe - self.limit.pe) * r,
+            pf: self.limit.pf + (self.start.pf - self.limit.pf) * r,
         }
     }
 }

@@ -387,7 +387,7 @@ impl DeepPotModel {
                 let g_r = g_r.as_ref().unwrap();
                 for (k, e) in atom.env.entries.iter().enumerate() {
                     let mut dvec = [0.0; 3];
-                    for a in 0..3 {
+                    for (a, dva) in dvec.iter_mut().enumerate() {
                         let mut acc = 0.0;
                         for c in 0..4 {
                             acc += g_r.get(k, c) * e.drow[c][a];
@@ -395,7 +395,7 @@ impl DeepPotModel {
                         // The embedding input is the same normalized s
                         // as row[0]; chain its gradient through drow[0].
                         acc += g_s[k] * e.drow[0][a];
-                        dvec[a] = acc;
+                        *dva = acc;
                     }
                     let dv = Vec3(dvec);
                     dpos[e.j] += dv;
@@ -524,13 +524,13 @@ impl DeepPotModel {
                 .scale(inv_n);
             let g_gdot = atom.r_mat.matmul(&gudot).scale(inv_n);
             // Embedding dual backward per block.
-            for tj in 0..nt {
+            for (tj, dual) in duals.iter().enumerate() {
                 let (a, b) = atom.env.type_ranges[tj];
                 if a == b {
                     continue;
                 }
                 let cache = atom.emb_caches[tj].as_ref().unwrap();
-                let dual = duals[tj].as_ref().unwrap();
+                let dual = dual.as_ref().unwrap();
                 let mut gy = Mat::zeros(b - a, self.cfg.m);
                 let mut gydot = Mat::zeros(b - a, self.cfg.m);
                 for k in 0..(b - a) {

@@ -5,7 +5,7 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic "DPMD" | version u32 | config | stats | bias | mlps…
+//! magic "DPMD" | version u32 | config | stats | bias | mlps… | crc32 (v2)
 //! config := n_types u64 | rcut f64 | rcut_smooth f64 | m u64 |
 //!           m_sub u64 | emb widths 3×u64 | fit widths 3×u64 | seed u64
 //! stats  := 3 × f64 vec (mean/std radial, std angular) | n_scale f64
@@ -14,19 +14,30 @@
 //! layer  := kind u8 | rows u64 | cols u64 | w (rows·cols)×f64 | b cols×f64
 //! f64 vec := len u64 | data
 //! ```
+//!
+//! Version 2 (current) appends a CRC-32 (IEEE) trailer over everything
+//! before it, so storage bit-rot is detected before any value is
+//! deserialized; version-1 files (no trailer) still load. Loading also
+//! validates the configuration ([`ModelConfig::try_validate`]) and
+//! rejects non-finite weights and statistics — a crashed writer or
+//! corrupt disk must never poison a resumed training run. [`save`] is
+//! crash-safe: it writes a temporary sibling and renames it over the
+//! destination, so readers see either the old or the new model, never
+//! a torn file.
 
 use crate::config::ModelConfig;
 use crate::env::EnvStats;
 use crate::mlp::{Layer, LayerKind, Mlp};
 use crate::model::DeepPotModel;
 use dp_data::stats::EnergyBias;
+use dp_tensor::wire::crc32;
 use dp_tensor::Mat;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"DPMD";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn err(m: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, m.to_string())
@@ -121,7 +132,7 @@ fn read_mlp(r: &mut Reader) -> io::Result<Mlp> {
         return Err(err("implausible layer count"));
     }
     let mut layers = Vec::with_capacity(n_layers);
-    for _ in 0..n_layers {
+    for li in 0..n_layers {
         let kind = match r.u8()? {
             0 => LayerKind::Tanh,
             1 => LayerKind::TanhResidual,
@@ -130,7 +141,7 @@ fn read_mlp(r: &mut Reader) -> io::Result<Mlp> {
         };
         let rows = r.u64()? as usize;
         let cols = r.u64()? as usize;
-        if rows.saturating_mul(cols) > r.buf.len() / 8 + 1 {
+        if rows == 0 || cols == 0 || rows.saturating_mul(cols) > r.buf.len() / 8 + 1 {
             return Err(err("implausible layer shape"));
         }
         let mut wdata = Vec::with_capacity(rows * cols);
@@ -141,6 +152,9 @@ fn read_mlp(r: &mut Reader) -> io::Result<Mlp> {
         for _ in 0..cols {
             bdata.push(r.f64()?);
         }
+        if wdata.iter().chain(&bdata).any(|v| !v.is_finite()) {
+            return Err(err(&format!("non-finite weight in layer {li}")));
+        }
         layers.push(Layer {
             w: Mat::from_vec(rows, cols, wdata),
             b: Mat::from_vec(1, cols, bdata),
@@ -148,6 +162,13 @@ fn read_mlp(r: &mut Reader) -> io::Result<Mlp> {
         });
     }
     Ok(Mlp { layers })
+}
+
+fn ensure_finite(name: &str, vals: &[f64]) -> io::Result<()> {
+    if vals.iter().any(|v| !v.is_finite()) {
+        return Err(err(&format!("non-finite value in {name}")));
+    }
+    Ok(())
 }
 
 /// Serialize a model to bytes.
@@ -181,18 +202,37 @@ pub fn to_bytes(model: &DeepPotModel) -> Vec<u8> {
     for m in &model.fittings {
         write_mlp(&mut w, m);
     }
+    let crc = crc32(&w.buf);
+    w.u32(crc);
     w.buf
 }
 
-/// Deserialize a model from bytes.
+/// Deserialize a model from bytes. Accepts the current version 2
+/// (CRC-32 trailer, verified before decoding) and legacy version 1.
 pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
     let mut r = Reader { buf, pos: 0 };
     if r.take(4)? != MAGIC {
         return Err(err("bad magic"));
     }
-    if r.u32()? != VERSION {
-        return Err(err("unsupported version"));
-    }
+    let version = r.u32()?;
+    let payload_end = match version {
+        1 => buf.len(),
+        2 => {
+            if buf.len() < 12 {
+                return Err(err("truncated model file"));
+            }
+            let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+            let computed = crc32(&buf[..buf.len() - 4]);
+            if stored != computed {
+                return Err(err(&format!(
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )));
+            }
+            buf.len() - 4
+        }
+        v => return Err(err(&format!("unsupported version {v}"))),
+    };
+    let mut r = Reader { buf: &buf[..payload_end], pos: r.pos };
     let cfg = ModelConfig {
         n_types: r.u64()? as usize,
         rcut: r.f64()?,
@@ -203,13 +243,19 @@ pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
         fitting_widths: [r.u64()? as usize, r.u64()? as usize, r.u64()? as usize],
         seed: r.u64()?,
     };
+    cfg.try_validate().map_err(|e| err(&format!("invalid model config: {e}")))?;
     let stats = EnvStats {
         mean_radial: r.f64_vec()?,
         std_radial: r.f64_vec()?,
         std_angular: r.f64_vec()?,
         n_scale: r.f64()?,
     };
+    ensure_finite("mean_radial stats", &stats.mean_radial)?;
+    ensure_finite("std_radial stats", &stats.std_radial)?;
+    ensure_finite("std_angular stats", &stats.std_angular)?;
+    ensure_finite("n_scale", &[stats.n_scale])?;
     let bias = EnergyBias { per_type: r.f64_vec()? };
+    ensure_finite("energy bias", &bias.per_type)?;
     let n_emb = r.u64()? as usize;
     if n_emb != cfg.n_types * cfg.n_types {
         return Err(err("embedding count mismatch"));
@@ -226,13 +272,19 @@ pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
     for _ in 0..n_fit {
         fittings.push(read_mlp(&mut r)?);
     }
-    cfg.validate();
     Ok(DeepPotModel { cfg, stats, bias, embeddings, fittings })
 }
 
-/// Write a model to `path`.
+/// Write a model to `path` crash-safely: the bytes go to a temporary
+/// sibling first and are renamed over the destination, so a crash
+/// mid-write can never leave a torn model file behind.
 pub fn save(model: &DeepPotModel, path: impl AsRef<Path>) -> io::Result<()> {
-    fs::write(path, to_bytes(model))
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    fs::write(tmp, to_bytes(model))?;
+    fs::rename(tmp, path)
 }
 
 /// Read a model from `path`.
@@ -308,5 +360,73 @@ mod tests {
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'Z';
         assert!(from_bytes(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn single_flipped_bit_fails_the_checksum() {
+        let m = toy_model();
+        let mut bytes = to_bytes(&m);
+        // Flip one bit deep in the weight payload (would silently load
+        // in a CRC-less format).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let e = from_bytes(&bytes).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "got: {e}");
+    }
+
+    #[test]
+    fn legacy_v1_files_without_trailer_still_load() {
+        let m = toy_model();
+        let mut bytes = to_bytes(&m);
+        // Rewrite as v1: version field ← 1, CRC trailer stripped.
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        bytes.truncate(bytes.len() - 4);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.get_params(), m.get_params());
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_descriptively() {
+        // A crashed writer can flush NaNs; the loader must name the
+        // problem instead of handing back a poisoned model. to_bytes
+        // recomputes the CRC, so the *semantic* validation is what fires.
+        let mut m = toy_model();
+        m.embeddings[0].layers[0].w.as_mut_slice()[0] = f64::NAN;
+        let e = from_bytes(&to_bytes(&m)).unwrap_err();
+        assert!(e.to_string().contains("non-finite"), "got: {e}");
+
+        let mut m = toy_model();
+        m.bias.per_type[0] = f64::INFINITY;
+        let e = from_bytes(&to_bytes(&m)).unwrap_err();
+        assert!(e.to_string().contains("non-finite"), "got: {e}");
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let m = toy_model();
+        let mut bytes = to_bytes(&m);
+        // Config starts right after magic + version: n_types u64 at
+        // offset 8, rcut f64 at offset 16. NaN rcut must be caught by
+        // try_validate, not a panic.
+        bytes[16..24].copy_from_slice(&f64::NAN.to_le_bytes());
+        let end = bytes.len() - 4;
+        let crc = dp_tensor::wire::crc32(&bytes[..end]);
+        bytes[end..].copy_from_slice(&crc.to_le_bytes());
+        let e = from_bytes(&bytes).unwrap_err();
+        assert!(e.to_string().contains("invalid model config"), "got: {e}");
+    }
+
+    #[test]
+    fn save_leaves_no_temporary_behind_and_is_atomic() {
+        let m = toy_model();
+        let dir = std::env::temp_dir();
+        let path = dir.join("dp_model_io_atomic.dpmd");
+        save(&m, &path).unwrap();
+        assert!(!dir.join("dp_model_io_atomic.dpmd.tmp").exists());
+        // Overwriting an existing file also goes through the rename.
+        save(&m, &path).unwrap();
+        let back = load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.get_params(), m.get_params());
     }
 }

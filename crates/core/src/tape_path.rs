@@ -237,13 +237,13 @@ pub fn forces_tape(model: &DeepPotModel, frame: &Snapshot) -> Vec<Vec3> {
             for k in 0..(b - a) {
                 let e_entry = &env.entries[a + k];
                 let mut dvec = [0.0; 3];
-                for axis in 0..3 {
+                for (axis, dva) in dvec.iter_mut().enumerate() {
                     let mut acc = 0.0;
                     for c in 0..4 {
                         acc += g_r.get(k, c) * e_entry.drow[c][axis];
                     }
                     acc += g_s.get(k, 0) * e_entry.drow[0][axis];
-                    dvec[axis] = acc;
+                    *dva = acc;
                 }
                 let dv = Vec3(dvec);
                 dpos[e_entry.j] += dv;

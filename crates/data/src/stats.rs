@@ -76,8 +76,10 @@ fn solve(mut a: Vec<Vec<f64>>, mut y: Vec<f64>) -> Vec<f64> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            // `row > col`, so the pivot row sits in the head split.
+            let (head, tail) = a.split_at_mut(row);
+            for (t, p) in tail[0][col..].iter_mut().zip(&head[col][col..]) {
+                *t -= factor * p;
             }
             y[row] -= factor * y[col];
         }

@@ -51,11 +51,11 @@ impl Cell {
     #[inline]
     pub fn min_image(&self, ri: &Vec3, rj: &Vec3) -> Vec3 {
         let mut d = [0.0; 3];
-        for k in 0..3 {
+        for (k, dk) in d.iter_mut().enumerate() {
             let l = self.lengths[k];
             let mut x = rj.0[k] - ri.0[k];
             x -= l * (x / l).round();
-            d[k] = x;
+            *dk = x;
         }
         Vec3(d)
     }
@@ -64,9 +64,9 @@ impl Cell {
     #[inline]
     pub fn wrap(&self, r: &Vec3) -> Vec3 {
         let mut w = [0.0; 3];
-        for k in 0..3 {
+        for (k, wk) in w.iter_mut().enumerate() {
             let l = self.lengths[k];
-            w[k] = r.0[k].rem_euclid(l);
+            *wk = r.0[k].rem_euclid(l);
         }
         Vec3(w)
     }

@@ -26,20 +26,19 @@ pub fn velocity_verlet_step(
     forces: &mut Vec<Vec3>,
     dt: f64,
 ) -> f64 {
-    let n = state.n_atoms();
     // Half kick + drift.
-    for i in 0..n {
+    for (i, f) in forces.iter().enumerate() {
         let inv_m = ACC_CONV / state.mass_of(i);
-        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+        state.vel[i] += *f * (0.5 * dt * inv_m);
         state.pos[i] += state.vel[i] * dt;
     }
     // New forces.
     let (e, f_new) = evaluate(pot, state);
     *forces = f_new;
     // Second half kick.
-    for i in 0..n {
+    for (i, f) in forces.iter().enumerate() {
         let inv_m = ACC_CONV / state.mass_of(i);
-        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+        state.vel[i] += *f * (0.5 * dt * inv_m);
     }
     e
 }
@@ -85,9 +84,9 @@ pub fn langevin_step(
 ) -> f64 {
     let n = state.n_atoms();
     // B: half kick.
-    for i in 0..n {
+    for (i, f) in forces.iter().enumerate() {
         let inv_m = ACC_CONV / state.mass_of(i);
-        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+        state.vel[i] += *f * (0.5 * dt * inv_m);
     }
     // A: half drift.
     for i in 0..n {
@@ -102,9 +101,9 @@ pub fn langevin_step(
     // Recompute forces and final half kick.
     let (e, f_new) = evaluate(pot, state);
     *forces = f_new;
-    for i in 0..n {
+    for (i, f) in forces.iter().enumerate() {
         let inv_m = ACC_CONV / state.mass_of(i);
-        state.vel[i] += forces[i] * (0.5 * dt * inv_m);
+        state.vel[i] += *f * (0.5 * dt * inv_m);
     }
     e
 }

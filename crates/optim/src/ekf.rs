@@ -18,6 +18,7 @@ use crate::blocks::BlockLayout;
 use crate::lambda::MemoryFactor;
 use crate::pmatrix::BlockP;
 use dp_tensor::vecops;
+use dp_tensor::wire::{Reader, WireError, Writer};
 
 /// Block-wise EKF state: layout, covariance, memory factor.
 #[derive(Clone, Debug)]
@@ -80,6 +81,90 @@ impl KfCore {
         }
         self.updates += 1;
         delta
+    }
+
+    /// First `P` block with a non-finite, non-positive, or
+    /// larger-than-`cap` diagonal entry (divergence guard probe).
+    pub fn first_unhealthy_block(&self, cap: f64) -> Option<usize> {
+        self.p.first_unhealthy_block(cap)
+    }
+
+    /// Reset one `P` block to `p0·I` and decay λ — the recovery action
+    /// after a divergence in that block (forget the poisoned history
+    /// faster while the covariance re-learns).
+    pub fn reset_block(&mut self, b: usize, p0: f64) {
+        self.p.reset_block(b, p0);
+        self.mem.decay(0.98);
+    }
+
+    /// Serialize the full filter state — update counter, λ schedule,
+    /// and every `P` block — for checkpointing. The block *layout* is
+    /// not stored; it is re-derived from the model configuration and
+    /// validated on restore.
+    pub fn state_to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.updates);
+        w.u8(self.fused as u8);
+        w.f64(self.mem.lambda);
+        w.f64(self.mem.nu);
+        w.u64(self.n_params() as u64);
+        w.u64(self.p.n_blocks() as u64);
+        for b in 0..self.p.n_blocks() {
+            w.f64_vec(self.p.block(b).as_slice());
+        }
+        w.into_bytes()
+    }
+
+    /// Restore state written by [`KfCore::state_to_bytes`] into a core
+    /// with the *same layout*. Rejects mismatched shapes and
+    /// non-finite λ.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = Reader::new(bytes);
+        let updates = r.u64()?;
+        let fused = r.u8()? != 0;
+        let lambda = r.f64()?;
+        let nu = r.f64()?;
+        if !(lambda.is_finite() && nu.is_finite()) {
+            return Err(WireError::Invalid("non-finite memory factor".into()));
+        }
+        let n_params = r.u64()? as usize;
+        if n_params != self.n_params() {
+            return Err(WireError::Invalid(format!(
+                "state has {n_params} params, core has {}",
+                self.n_params()
+            )));
+        }
+        let n_blocks = r.u64()? as usize;
+        if n_blocks != self.p.n_blocks() {
+            return Err(WireError::Invalid(format!(
+                "state has {n_blocks} P blocks, core has {}",
+                self.p.n_blocks()
+            )));
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for b in 0..n_blocks {
+            let data = r.f64_vec()?;
+            let expect = {
+                let m = self.p.block(b);
+                m.len()
+            };
+            if data.len() != expect {
+                return Err(WireError::Invalid(format!(
+                    "P block {b} has {} entries, expected {expect}",
+                    data.len()
+                )));
+            }
+            blocks.push(data);
+        }
+        r.expect_end()?;
+        for (b, data) in blocks.into_iter().enumerate() {
+            self.p.set_block_data(b, &data);
+        }
+        self.updates = updates;
+        self.fused = fused;
+        self.mem.lambda = lambda;
+        self.mem.nu = nu;
+        Ok(())
     }
 }
 
@@ -174,5 +259,58 @@ mod tests {
     fn wrong_gradient_length_panics() {
         let mut c = core(true);
         let _ = c.update(&[1.0; 3], 0.1, 1.0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bitwise_and_resumes_identically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut c = core(true);
+        for _ in 0..15 {
+            let g: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let _ = c.update(&g, rng.gen_range(0.0..1.0), 1.0);
+        }
+        let blob = c.state_to_bytes();
+        let mut fresh = core(true);
+        fresh.restore_state(&blob).unwrap();
+        assert_eq!(fresh.n_updates(), c.n_updates());
+        assert_eq!(fresh.mem.lambda.to_bits(), c.mem.lambda.to_bits());
+        // Continuing from restored state must be bitwise identical.
+        let g: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d1 = c.update(&g, 0.3, 1.0);
+        let d2 = fresh.update(&g, 0.3, 1.0);
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_layout_and_garbage() {
+        let c = core(true);
+        let blob = c.state_to_bytes();
+        // Different layout: 12 params instead of 10.
+        let mut other = KfCore::new(&[4, 8], 8, MemoryFactor::paper_default(), true);
+        assert!(other.restore_state(&blob).is_err());
+        // Truncation.
+        let mut same = core(true);
+        assert!(same.restore_state(&blob[..blob.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn nan_block_reset_recovers_and_decays_lambda() {
+        let mut c = core(true);
+        let g = vec![0.2; 10];
+        for _ in 0..5 {
+            let _ = c.update(&g, 0.1, 1.0);
+        }
+        // Poison block 1 via a restore round-trip of hand-edited state.
+        c.p.set_block_data(1, &vec![f64::NAN; 6 * 6]);
+        assert_eq!(c.first_unhealthy_block(1e8), Some(1));
+        let lambda_before = c.mem.lambda;
+        c.reset_block(1, 1.0);
+        assert_eq!(c.first_unhealthy_block(1e8), None);
+        assert!(c.mem.lambda < lambda_before, "λ must decay on reset");
+        // Training continues: updates stay finite.
+        let d = c.update(&g, 0.1, 1.0);
+        assert!(d.iter().all(|v| v.is_finite()));
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::ekf::KfCore;
 use crate::lambda::MemoryFactor;
+use dp_tensor::wire::{Reader, WireError, Writer};
 
 /// Quasi-learning-rate factor applied to the weight increment (Fig. 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +98,50 @@ impl Fekf {
     /// Immutable access to the KF core (for memory reports etc.).
     pub fn core(&self) -> &KfCore {
         &self.core
+    }
+
+    /// Mutable access to the KF core — divergence guards use this to
+    /// reset poisoned `P` blocks and decay λ.
+    pub fn core_mut(&mut self) -> &mut KfCore {
+        &mut self.core
+    }
+
+    /// Serialize the optimizer state (KF core plus FEKF envelope) for
+    /// checkpointing.
+    pub fn state_to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.batch_size as u64);
+        w.u8(match self.quasi_lr {
+            QuasiLr::One => 0,
+            QuasiLr::SqrtBs => 1,
+            QuasiLr::LinearBs => 2,
+        });
+        w.bytes(&self.core.state_to_bytes());
+        w.into_bytes()
+    }
+
+    /// Restore state written by [`Fekf::state_to_bytes`] into an
+    /// instance built for the same model layout.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = Reader::new(bytes);
+        let batch_size = r.u64()? as usize;
+        if batch_size != self.batch_size {
+            return Err(WireError::Invalid(format!(
+                "state batch size {batch_size} != optimizer batch size {}",
+                self.batch_size
+            )));
+        }
+        let quasi_lr = match r.u8()? {
+            0 => QuasiLr::One,
+            1 => QuasiLr::SqrtBs,
+            2 => QuasiLr::LinearBs,
+            t => return Err(WireError::Invalid(format!("unknown quasi-lr tag {t}"))),
+        };
+        let core_bytes = r.bytes()?.to_vec();
+        r.expect_end()?;
+        self.core.restore_state(&core_bytes)?;
+        self.quasi_lr = quasi_lr;
+        Ok(())
     }
 
     /// One FEKF update from the batch-**sum** signed gradient
@@ -203,5 +248,27 @@ mod tests {
             "√bs ({err_sqrt}) should beat factor 1 ({err_one})"
         );
         assert!(err_sqrt < 0.35, "√bs run must actually converge: {err_sqrt}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut opt = Fekf::new(&[6, 4], 4, FekfConfig::default());
+        for _ in 0..12 {
+            let g: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let _ = opt.step(&g, rng.gen_range(0.0..0.5));
+        }
+        let blob = opt.state_to_bytes();
+        let mut fresh = Fekf::new(&[6, 4], 4, FekfConfig::default());
+        fresh.restore_state(&blob).unwrap();
+        let g: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d1 = opt.step(&g, 0.2);
+        let d2 = fresh.step(&g, 0.2);
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Wrong batch size is rejected.
+        let mut wrong = Fekf::new(&[6, 4], 8, FekfConfig::default());
+        assert!(wrong.restore_state(&blob).is_err());
     }
 }

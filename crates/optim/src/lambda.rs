@@ -50,6 +50,17 @@ impl MemoryFactor {
         self.lambda = self.lambda * self.nu + 1.0 - self.nu;
         out
     }
+
+    /// Multiplicatively pull λ back down (divergence recovery): a
+    /// smaller λ forgets the poisoned recent history faster. Keeps
+    /// λ ∈ (0, 1].
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor ≤ 1`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+        self.lambda = (self.lambda * factor).max(f64::MIN_POSITIVE);
+    }
 }
 
 #[cfg(test)]

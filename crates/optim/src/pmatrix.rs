@@ -111,6 +111,45 @@ impl BlockP {
         }
     }
 
+    /// Reset one block to `p0·I` — the divergence-recovery action: a
+    /// block whose covariance went non-finite or exploded is returned
+    /// to a fresh, conservative prior.
+    pub fn reset_block(&mut self, b: usize, p0: f64) {
+        let n = self.blocks[b].cols();
+        let mut m = Mat::eye(n);
+        if p0 != 1.0 {
+            m = m.scale(p0);
+        }
+        self.blocks[b] = m;
+    }
+
+    /// Overwrite one block's entries (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics if `data` does not match the block's element count —
+    /// callers validate sizes before restoring.
+    pub fn set_block_data(&mut self, b: usize, data: &[f64]) {
+        let p = &mut self.blocks[b];
+        assert_eq!(data.len(), p.len(), "set_block_data: size mismatch");
+        p.as_mut_slice().copy_from_slice(data);
+    }
+
+    /// First block whose diagonal is unhealthy — non-finite,
+    /// non-positive, or larger than `cap` — if any. The diagonal of a
+    /// covariance block is its variance; the KF update can only shrink
+    /// `gᵀPg`, so an exploding or negative diagonal is always
+    /// numerical divergence.
+    pub fn first_unhealthy_block(&self, cap: f64) -> Option<usize> {
+        (0..self.blocks.len()).find(|&b| {
+            let p = &self.blocks[b];
+            let n = p.cols();
+            (0..n).any(|i| {
+                let d = p.get(i, i);
+                !d.is_finite() || d <= 0.0 || d > cap
+            })
+        })
+    }
+
     /// Resident bytes of all blocks (the §5.3 `P` footprint).
     pub fn memory_bytes(&self) -> usize {
         self.blocks
@@ -257,6 +296,30 @@ mod tests {
         // Unfused peak carries ~2 extra copies of the largest block
         // (the paper's 3405 MB vs 1805 MB theory).
         assert!(report.unfused_peak_bytes > report.fused_peak_bytes + report.block_bytes[1]);
+    }
+
+    #[test]
+    fn nan_poisoned_block_is_flagged_and_reset() {
+        let l = BlockLayout::from_layer_sizes(&[4, 6], 8);
+        let mut p = BlockP::identity(&l);
+        assert_eq!(p.first_unhealthy_block(1e8), None);
+        p.blocks[1].set(2, 2, f64::NAN);
+        assert_eq!(p.first_unhealthy_block(1e8), Some(1));
+        p.reset_block(1, 0.25);
+        assert_eq!(p.first_unhealthy_block(1e8), None);
+        assert_eq!(p.block(1).get(2, 2), 0.25);
+        assert_eq!(p.block(1).get(0, 1), 0.0);
+        // Block 0 untouched by the reset.
+        assert_eq!(p.block(0).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn exploding_diagonal_is_flagged() {
+        let l = BlockLayout::from_layer_sizes(&[4], 4);
+        let mut p = BlockP::identity(&l);
+        p.blocks[0].set(1, 1, 1e12);
+        assert_eq!(p.first_unhealthy_block(1e8), Some(0));
+        assert_eq!(p.first_unhealthy_block(1e13), None);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! reduced).
 
 use crate::comm_model::CommStats;
-use crate::ring::ring_allreduce;
+use crate::error::CommError;
+use crate::fault::FaultPlan;
+use crate::ring::resilient_allreduce;
 use std::thread;
 
 /// A fixed-size group of logical devices.
@@ -30,7 +32,8 @@ impl DeviceGroup {
     /// Create a group of `n_devices` logical devices.
     ///
     /// # Panics
-    /// Panics if `n_devices == 0`.
+    /// Panics if `n_devices == 0` (a construction-time configuration
+    /// error, not a runtime fault).
     pub fn new(n_devices: usize) -> Self {
         assert!(n_devices > 0, "need at least one device");
         DeviceGroup { n_devices }
@@ -65,10 +68,26 @@ impl DeviceGroup {
         items: &[T],
         vec_len: usize,
         work: impl Fn(usize, &[T]) -> (Vec<f64>, f64) + Sync,
-    ) -> ShardedReduce {
+    ) -> Result<ShardedReduce, CommError> {
+        self.map_reduce_faulty(items, vec_len, &FaultPlan::none(), work)
+    }
+
+    /// [`DeviceGroup::map_reduce`] with fault injection on the
+    /// allreduce. Dead ranks degrade gracefully: the ring re-forms
+    /// over survivors and the sum is renormalized (see
+    /// [`resilient_allreduce`]); the returned vector is taken from the
+    /// first surviving rank.
+    pub fn map_reduce_faulty<T: Sync>(
+        &self,
+        items: &[T],
+        vec_len: usize,
+        plan: &FaultPlan,
+        work: impl Fn(usize, &[T]) -> (Vec<f64>, f64) + Sync,
+    ) -> Result<ShardedReduce, CommError> {
         let shards = self.shards(items);
         let mut buffers: Vec<Vec<f64>> = Vec::with_capacity(self.n_devices);
         let mut scalars = vec![0.0; self.n_devices];
+        let mut worker_err: Option<CommError> = None;
         thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
@@ -79,24 +98,47 @@ impl DeviceGroup {
                 })
                 .collect();
             for (d, h) in handles.into_iter().enumerate() {
-                let (v, s) = h.join().expect("device worker panicked");
-                assert_eq!(v.len(), vec_len, "device {d} returned a wrong-size vector");
-                buffers.push(v);
-                scalars[d] = s;
+                match h.join() {
+                    Ok((v, s)) => {
+                        if v.len() != vec_len && worker_err.is_none() {
+                            worker_err = Some(CommError::MismatchedLengths {
+                                rank: d,
+                                expect: vec_len,
+                                got: v.len(),
+                            });
+                        }
+                        buffers.push(v);
+                        scalars[d] = s;
+                    }
+                    Err(_) => {
+                        if worker_err.is_none() {
+                            worker_err = Some(CommError::WorkerPanic { rank: d });
+                        }
+                        buffers.push(vec![0.0; vec_len]);
+                    }
+                }
             }
         });
-        let comm = ring_allreduce(&mut buffers);
-        ShardedReduce {
-            vector: buffers.into_iter().next().unwrap(),
+        if let Some(e) = worker_err {
+            return Err(e);
+        }
+        let comm = resilient_allreduce(&mut buffers, plan)?;
+        // A dead rank keeps its un-reduced input; report a survivor.
+        let first_alive = (0..self.n_devices)
+            .find(|d| plan.death_step(*d).is_none())
+            .ok_or(CommError::AllRanksDead)?;
+        Ok(ShardedReduce {
+            vector: buffers.swap_remove(first_alive),
             scalar: scalars.iter().sum(),
             comm,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::DeadRank;
 
     #[test]
     fn shards_cover_all_items_in_order() {
@@ -122,10 +164,12 @@ mod tests {
     fn map_reduce_sums_vectors_and_scalars() {
         let g = DeviceGroup::new(4);
         let items: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let out = g.map_reduce(&items, 2, |_, shard| {
-            let s: f64 = shard.iter().sum();
-            (vec![s, shard.len() as f64], s)
-        });
+        let out = g
+            .map_reduce(&items, 2, |_, shard| {
+                let s: f64 = shard.iter().sum();
+                (vec![s, shard.len() as f64], s)
+            })
+            .unwrap();
         let total: f64 = items.iter().sum();
         assert!((out.vector[0] - total).abs() < 1e-12);
         assert!((out.vector[1] - 20.0).abs() < 1e-12);
@@ -136,7 +180,9 @@ mod tests {
     #[test]
     fn single_device_has_zero_comm() {
         let g = DeviceGroup::new(1);
-        let out = g.map_reduce(&[1, 2, 3], 1, |_, shard| (vec![shard.len() as f64], 0.0));
+        let out = g
+            .map_reduce(&[1, 2, 3], 1, |_, shard| (vec![shard.len() as f64], 0.0))
+            .unwrap();
         assert_eq!(out.comm.bytes_sent_per_rank, 0);
         assert_eq!(out.vector, vec![3.0]);
     }
@@ -145,11 +191,56 @@ mod tests {
     fn work_receives_correct_device_indices() {
         let g = DeviceGroup::new(3);
         let items: Vec<usize> = (0..9).collect();
-        let out = g.map_reduce(&items, 3, |d, _| {
-            let mut v = vec![0.0; 3];
-            v[d] = 1.0;
-            (v, 0.0)
-        });
+        let out = g
+            .map_reduce(&items, 3, |d, _| {
+                let mut v = vec![0.0; 3];
+                v[d] = 1.0;
+                (v, 0.0)
+            })
+            .unwrap();
         assert_eq!(out.vector, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn wrong_size_vector_is_an_error_not_a_panic() {
+        let g = DeviceGroup::new(2);
+        let err = g
+            .map_reduce(&[1, 2], 3, |d, _| (vec![0.0; if d == 1 { 2 } else { 3 }], 0.0))
+            .unwrap_err();
+        assert_eq!(err, CommError::MismatchedLengths { rank: 1, expect: 3, got: 2 });
+    }
+
+    #[test]
+    fn panicking_worker_is_an_error_not_a_crash() {
+        let g = DeviceGroup::new(2);
+        let err = g
+            .map_reduce(&[1, 2], 1, |d, _| {
+                if d == 1 {
+                    panic!("injected worker bug");
+                }
+                (vec![1.0], 0.0)
+            })
+            .unwrap_err();
+        assert_eq!(err, CommError::WorkerPanic { rank: 1 });
+    }
+
+    #[test]
+    fn dead_device_degrades_to_renormalized_sum() {
+        let g = DeviceGroup::new(4);
+        let items: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let plan = FaultPlan {
+            dead: vec![DeadRank { rank: 0, step: 0 }],
+            ..FaultPlan::none()
+        };
+        let out = g
+            .map_reduce_faulty(&items, 1, &plan, |_, shard| {
+                (vec![shard.iter().sum::<f64>()], 0.0)
+            })
+            .unwrap();
+        assert_eq!(out.comm.dead_ranks, 1);
+        // Survivor sum (items 2..8) scaled by 4/3.
+        let survivor_sum: f64 = items[2..].iter().sum();
+        let expect = survivor_sum * 4.0 / 3.0;
+        assert!((out.vector[0] - expect).abs() < 1e-9, "{} vs {expect}", out.vector[0]);
     }
 }

@@ -1,0 +1,89 @@
+//! Typed communication errors.
+//!
+//! The seed implementation panicked (`expect("ring send")`, worker
+//! join unwraps) anywhere the ring broke. On a distributed training
+//! hot path a panic tears down the whole run; these variants instead
+//! let the caller decide — retry, degrade to the surviving ranks, or
+//! roll back to a checkpoint.
+
+use std::fmt;
+
+/// Failure of a collective communication call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The group had zero ranks.
+    EmptyGroup,
+    /// A rank's buffer length disagreed with the group's.
+    MismatchedLengths {
+        /// Offending rank.
+        rank: usize,
+        /// Length of rank 0's buffer.
+        expect: usize,
+        /// Length found.
+        got: usize,
+    },
+    /// A rank gave up waiting for data or an acknowledgement.
+    Timeout {
+        /// Rank that timed out.
+        rank: usize,
+        /// Ring step at which it happened.
+        step: usize,
+    },
+    /// A rank exhausted its retransmission budget on one link.
+    RetriesExhausted {
+        /// Sending rank.
+        rank: usize,
+        /// Ring step.
+        step: usize,
+        /// Attempts made (initial send + retries).
+        attempts: u32,
+    },
+    /// A neighbour's channel closed mid-collective (its thread exited).
+    Disconnected {
+        /// Rank that observed the closed channel.
+        rank: usize,
+        /// Ring step at which it was observed.
+        step: usize,
+    },
+    /// A rank died (injected or real) before completing the collective.
+    DeadRank {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// Every rank in the group is dead; nothing to degrade to.
+    AllRanksDead,
+    /// A rank's worker thread panicked (a bug, not a fault).
+    WorkerPanic {
+        /// The panicking rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::EmptyGroup => write!(f, "communication group has no ranks"),
+            CommError::MismatchedLengths { rank, expect, got } => write!(
+                f,
+                "rank {rank}: buffer length {got} does not match group length {expect}"
+            ),
+            CommError::Timeout { rank, step } => {
+                write!(f, "rank {rank} timed out at ring step {step}")
+            }
+            CommError::RetriesExhausted { rank, step, attempts } => write!(
+                f,
+                "rank {rank} exhausted {attempts} send attempts at ring step {step}"
+            ),
+            CommError::Disconnected { rank, step } => {
+                write!(f, "rank {rank} lost its neighbour at ring step {step}")
+            }
+            CommError::DeadRank { rank } => write!(f, "rank {rank} died mid-collective"),
+            CommError::AllRanksDead => write!(f, "all ranks in the group are dead"),
+            CommError::WorkerPanic { rank } => {
+                write!(f, "worker thread for rank {rank} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

@@ -1,0 +1,193 @@
+//! Deterministic fault injection for the communication layer.
+//!
+//! A [`FaultPlan`] describes *which* faults to inject into a
+//! collective — dropped messages, bit-corrupted chunks, a straggling
+//! rank, ranks that die mid-collective — and injects them
+//! *deterministically*: each decision is a pure function of
+//! `(seed, rank, step, attempt, kind)`, so a failing run replays
+//! bit-for-bit under the same plan. Production code passes
+//! [`FaultPlan::none`]; tests and the soak harness dial probabilities
+//! up.
+
+use std::time::Duration;
+
+/// Fixed per-send delay for one rank (a "straggler" in the paper's
+/// load-imbalance sense).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Straggler {
+    /// The slow rank.
+    pub rank: usize,
+    /// Sleep inserted before each of its sends.
+    pub delay: Duration,
+}
+
+/// A rank scheduled to die at the start of a ring step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadRank {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Ring step (0-based, over the `2·(r−1)` steps) at whose start it
+    /// exits.
+    pub step: usize,
+}
+
+/// Seeded description of faults to inject into one collective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions.
+    pub seed: u64,
+    /// Probability a given send attempt is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a given send attempt has one payload bit flipped
+    /// (after the checksum is computed, so receivers can detect it).
+    pub corrupt_prob: f64,
+    /// At most one deliberately slow rank.
+    pub straggler: Option<Straggler>,
+    /// Ranks that exit mid-collective.
+    pub dead: Vec<DeadRank>,
+    /// Retransmissions allowed per (rank, step) beyond the first send.
+    pub max_retries: u32,
+    /// How long a sender waits for an acknowledgement before
+    /// retransmitting.
+    pub ack_timeout: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed hash.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// No faults; sane retry budget and timeout for real use.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            straggler: None,
+            dead: Vec::new(),
+            max_retries: 3,
+            ack_timeout: Duration::from_millis(25),
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.straggler.is_none()
+            && self.dead.is_empty()
+    }
+
+    /// Uniform draw in `[0, 1)` keyed by the decision coordinates.
+    fn roll(&self, rank: usize, step: usize, attempt: u32, kind: u64) -> f64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x517C_C1B7_2722_0A95)
+            .wrapping_add((rank as u64) << 40)
+            .wrapping_add((step as u64) << 20)
+            .wrapping_add((attempt as u64) << 4)
+            .wrapping_add(kind);
+        (splitmix(key) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Should this send attempt be dropped?
+    pub fn drops(&self, rank: usize, step: usize, attempt: u32) -> bool {
+        self.drop_prob > 0.0 && self.roll(rank, step, attempt, 1) < self.drop_prob
+    }
+
+    /// Should this send attempt be bit-corrupted?
+    pub fn corrupts(&self, rank: usize, step: usize, attempt: u32) -> bool {
+        self.corrupt_prob > 0.0 && self.roll(rank, step, attempt, 2) < self.corrupt_prob
+    }
+
+    /// Delay to insert before a send by `rank`, if it straggles.
+    pub fn straggle_delay(&self, rank: usize) -> Option<Duration> {
+        self.straggler.filter(|s| s.rank == rank).map(|s| s.delay)
+    }
+
+    /// The step at whose start `rank` dies, if scheduled.
+    pub fn death_step(&self, rank: usize) -> Option<usize> {
+        self.dead.iter().find(|d| d.rank == rank).map(|d| d.step)
+    }
+
+    /// Ranks scheduled to die, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.dead.iter().map(|d| d.rank).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The same plan with the dead-rank schedule cleared — used when
+    /// re-forming the ring over survivors (link-level faults persist,
+    /// the deaths already happened).
+    pub fn without_dead(&self) -> FaultPlan {
+        FaultPlan { dead: Vec::new(), ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = FaultPlan { seed: 42, drop_prob: 0.3, corrupt_prob: 0.3, ..FaultPlan::none() };
+        for rank in 0..4 {
+            for step in 0..6 {
+                for attempt in 0..3 {
+                    assert_eq!(
+                        p.drops(rank, step, attempt),
+                        p.drops(rank, step, attempt)
+                    );
+                    assert_eq!(
+                        p.corrupts(rank, step, attempt),
+                        p.corrupts(rank, step, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let p = FaultPlan { seed: 7, drop_prob: 0.25, ..FaultPlan::none() };
+        let trials = 4000;
+        let hits = (0..trials).filter(|&s| p.drops(0, s, 0)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn none_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.drops(0, 0, 0));
+        assert!(!p.corrupts(3, 9, 2));
+        assert!(p.death_step(1).is_none());
+        assert!(p.straggle_delay(0).is_none());
+    }
+
+    #[test]
+    fn without_dead_clears_only_deaths() {
+        let p = FaultPlan {
+            drop_prob: 0.1,
+            dead: vec![DeadRank { rank: 2, step: 1 }],
+            ..FaultPlan::none()
+        };
+        let q = p.without_dead();
+        assert_eq!(q.drop_prob, 0.1);
+        assert!(q.dead.is_empty());
+        assert_eq!(p.dead_ranks(), vec![2]);
+    }
+}

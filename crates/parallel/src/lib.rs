@@ -9,8 +9,14 @@
 //! This crate provides the equivalent runtime on OS threads:
 //!
 //! * [`ring`] — a real chunked ring-allreduce over crossbeam channels
-//!   (r − 1 scatter-reduce steps + r − 1 allgather steps), with
-//!   per-device byte accounting,
+//!   (r − 1 scatter-reduce steps + r − 1 allgather steps) with a
+//!   fault-tolerant link protocol: checksummed messages, reverse
+//!   acknowledgements, bounded retransmission, and graceful
+//!   degradation around dead ranks,
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`]):
+//!   dropped messages, bit-corrupted chunks, stragglers, dead ranks,
+//! * [`error`] — typed [`CommError`]s replacing the panics the seed
+//!   implementation used on the training hot path,
 //! * [`comm_model`] — the §3.3/§5.3 communication-volume formulas and a
 //!   latency/bandwidth time model parameterized with the paper's
 //!   cluster numbers (RoCE at 25 GB/s), used to extrapolate beyond the
@@ -21,8 +27,12 @@
 
 pub mod comm_model;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod ring;
 
 pub use comm_model::{ClusterModel, CommStats};
 pub use device::DeviceGroup;
-pub use ring::ring_allreduce;
+pub use error::CommError;
+pub use fault::{DeadRank, FaultPlan, Straggler};
+pub use ring::{naive_allreduce, resilient_allreduce, ring_allreduce, ring_allreduce_faulty};

@@ -23,6 +23,7 @@ pub mod kernel;
 pub mod mat;
 pub mod tape;
 pub mod vecops;
+pub mod wire;
 
 pub use mat::Mat;
 pub use tape::{Tape, VarId};

@@ -1,0 +1,337 @@
+//! Little-endian wire codec shared by every on-disk and on-the-wire
+//! format in the workspace: optimizer state blobs, model checkpoints
+//! (`model_io` v2), training checkpoints, and the checksummed
+//! allreduce messages of the fault-tolerant ring.
+//!
+//! The format is deliberately primitive — fixed-width little-endian
+//! integers and IEEE-754 `f64` bits, length-prefixed vectors — so a
+//! reader can validate structure (truncation, implausible lengths)
+//! before touching the payload, and a CRC-32 trailer can validate the
+//! payload before anything is deserialized into live state.
+
+use std::fmt;
+
+/// Decode failure. Carries enough context to say *where* a stream went
+/// bad, which matters when a checkpoint is rejected after a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended before the requested field.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        at: usize,
+        /// Bytes the field needed.
+        needed: usize,
+    },
+    /// The CRC-32 trailer did not match the payload.
+    BadCrc {
+        /// Checksum stored in the stream.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+    /// A structurally invalid value (implausible length, bad tag, …).
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { at, needed } => {
+                write!(f, "truncated stream: needed {needed} bytes at offset {at}")
+            }
+            WireError::BadCrc { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            WireError::Invalid(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Length prefixes above this are treated as corruption rather than
+/// honest data (1 GiB of f64s in one field is not something we write).
+const MAX_PLAUSIBLE_LEN: u64 = 1 << 27;
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its little-endian IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed `f64` vector.
+    pub fn f64_vec(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append raw bytes with no length prefix (magic numbers, nested
+    /// pre-encoded blobs whose length is carried elsewhere).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Consume the writer, appending a CRC-32 trailer over everything
+    /// written so far. Readers validate with [`Reader::verify_crc`].
+    pub fn into_bytes_with_crc(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.u32(crc);
+        self.buf
+    }
+}
+
+/// Cursor-based little-endian decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Check and strip a CRC-32 trailer: the final 4 bytes must equal
+    /// the CRC-32 of everything before them. Returns a reader over the
+    /// payload (trailer excluded).
+    pub fn new_verifying_crc(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated { at: 0, needed: 4 });
+        }
+        let (payload, trailer) = buf.split_at(buf.len() - 4);
+        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(WireError::BadCrc { stored, computed });
+        }
+        Ok(Reader { buf: payload, pos: 0 })
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left in the stream.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { at: self.pos, needed: n });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its little-endian bits.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        let s = self.take(8)?;
+        Ok(f64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u64()?;
+        if n > MAX_PLAUSIBLE_LEN {
+            return Err(WireError::Invalid(format!("implausible vector length {n}")));
+        }
+        let mut v = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u64()?;
+        if n > MAX_PLAUSIBLE_LEN {
+            return Err(WireError::Invalid(format!("implausible byte length {n}")));
+        }
+        self.take(n as usize)
+    }
+
+    /// Read `n` raw bytes with no length prefix.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Fail unless the stream is fully consumed (trailing garbage is
+    /// as suspicious as truncation in a checkpoint).
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Invalid(format!(
+                "{} trailing bytes after end of structure",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_types() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.125);
+        w.f64_vec(&[1.0, f64::MIN_POSITIVE, -3.5e300]);
+        w.bytes(b"hello");
+        let buf = w.into_bytes();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.f64_vec().unwrap(), vec![1.0, f64::MIN_POSITIVE, -3.5e300]);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn crc_trailer_roundtrip_and_detection() {
+        let mut w = Writer::new();
+        w.f64_vec(&[0.5, 1.5, 2.5]);
+        let mut buf = w.into_bytes_with_crc();
+
+        let mut r = Reader::new_verifying_crc(&buf).unwrap();
+        assert_eq!(r.f64_vec().unwrap(), vec![0.5, 1.5, 2.5]);
+        r.expect_end().unwrap();
+
+        // Any single bit flip must be detected.
+        buf[10] ^= 0x40;
+        assert!(matches!(
+            Reader::new_verifying_crc(&buf),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn truncated_stream_reports_offset() {
+        let mut w = Writer::new();
+        w.u32(1);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        r.u32().unwrap();
+        assert_eq!(r.u64(), Err(WireError::Truncated { at: 4, needed: 8 }));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX / 2);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.f64_vec(), Err(WireError::Invalid(_))));
+    }
+}

@@ -16,16 +16,23 @@
 //!   benchmark binaries,
 //! * [`online`] — the Figure 1 online-learning loop: repeated
 //!   retraining as new-temperature data arrives,
+//! * [`checkpoint`] / [`error`] — the fault-tolerant runtime: crash-safe
+//!   resumable snapshots (model + optimizer + sampler cursor) and the
+//!   typed failures of the robust training loops,
 //! * [`active`] — committee-based active learning (query-by-committee
 //!   frame selection + oracle labelling + FEKF retraining), the
 //!   workflow the paper's fast training enables.
 
 pub mod active;
+pub mod checkpoint;
+pub mod error;
 pub mod metrics;
 pub mod online;
 pub mod recipes;
 pub mod targets;
 pub mod trainer;
 
+pub use checkpoint::Checkpoint;
+pub use error::TrainError;
 pub use metrics::{PhaseTimes, TrainHistory};
-pub use trainer::{TrainConfig, Trainer};
+pub use trainer::{RobustConfig, TrainConfig, Trainer};

@@ -13,7 +13,8 @@
 //! retrained on everything seen so far, warm-starting from the previous
 //! weights.
 
-use crate::trainer::{TrainConfig, Trainer};
+use crate::error::TrainError;
+use crate::trainer::{RobustConfig, TrainConfig, Trainer};
 use deepmd_core::loss::{self, Metrics};
 use deepmd_core::model::DeepPotModel;
 use dp_data::dataset::Dataset;
@@ -28,12 +29,24 @@ pub struct StageReport {
     pub temperature: f64,
     /// Metrics on the incoming shard *before* retraining.
     pub before: Metrics,
-    /// Metrics on the incoming shard *after* retraining.
+    /// Metrics on the incoming shard *after* retraining (for a failed
+    /// stage: after the best-effort recovery).
     pub after: Metrics,
     /// Wall-clock seconds of the retrain.
     pub retrain_s: f64,
     /// Training iterations spent.
     pub iterations: u64,
+    /// Why the stage's retrain failed, if it did. A failed stage is
+    /// recorded and *skipped* — the loop carries the recovered model
+    /// into the next stage instead of aborting the whole run.
+    pub failure: Option<String>,
+}
+
+impl StageReport {
+    /// Did this stage's retrain complete?
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
 }
 
 /// Online-learning driver: FEKF retraining over arriving shards.
@@ -43,22 +56,83 @@ pub struct OnlineLoop {
     /// FEKF configuration (a fresh optimizer state per stage; the
     /// *model weights* are warm-started).
     pub fekf: FekfConfig,
+    /// Fault-tolerance policy for each stage's retrain.
+    pub robust: RobustConfig,
 }
 
 impl OnlineLoop {
     /// Run the loop: `shards` arrive in order; the model is retrained
     /// after each arrival on the union of everything seen.
+    ///
+    /// A stage whose retrain exhausts its retry budget is recorded with
+    /// [`StageReport::failure`] set and skipped: the model keeps the
+    /// best-effort weights the robust loop recovered, and the loop
+    /// moves on to the next shard — an online-learning service must
+    /// outlive a single bad retrain.
     pub fn run(&self, model: &mut DeepPotModel, shards: &[Dataset]) -> Vec<StageReport> {
         assert!(!shards.is_empty(), "need at least one shard");
         let mut seen = Dataset::new(&shards[0].name, shards[0].type_names.clone());
         let mut reports = Vec::with_capacity(shards.len());
+        // The poison chaos hook is one-shot across the whole loop: it
+        // arms each stage until one consumes it (a transient upset hits
+        // once, not once per retrain).
+        let mut pending_poison = self.robust.poison_p_at;
         for (stage, shard) in shards.iter().enumerate() {
             let before = loss::evaluate(model, shard, self.cfg.eval_frames);
             for f in &shard.frames {
                 seen.push(f.clone());
             }
             let mut opt = Fekf::new(&model.layer_sizes(), self.cfg.batch_size, self.fekf);
-            let out = Trainer::new(self.cfg).train_fekf(model, &mut opt, &seen, None);
+            let mut robust = self.robust.clone();
+            robust.poison_p_at = pending_poison;
+            let result = Trainer::new(self.cfg).train_fekf_robust(
+                model,
+                &mut opt,
+                &seen,
+                None,
+                &robust,
+            );
+            if let Some((at, _)) = pending_poison {
+                let fired = match &result {
+                    Ok(out) => out.iterations >= at,
+                    // A failed retrain with the hook armed means the
+                    // upset fired (or the stage is beyond saving —
+                    // either way, don't re-inject).
+                    Err(_) => true,
+                };
+                if fired {
+                    pending_poison = None;
+                }
+            }
+            let (out, failure) = match result {
+                Ok(out) => (out, None),
+                Err(TrainError::Diverged { epoch, rollbacks, outcome }) => {
+                    let why = format!(
+                        "retrain diverged in epoch {epoch} after {rollbacks} rollback(s)"
+                    );
+                    (*outcome, Some(why))
+                }
+                Err(e) => {
+                    // No outcome to salvage (checkpoint I/O, comm):
+                    // record the failure with zeroed training stats and
+                    // carry the current weights forward.
+                    let after = loss::evaluate(model, shard, self.cfg.eval_frames);
+                    reports.push(StageReport {
+                        stage,
+                        temperature: shard
+                            .frames
+                            .first()
+                            .map(|f| f.temperature)
+                            .unwrap_or(0.0),
+                        before,
+                        after,
+                        retrain_s: 0.0,
+                        iterations: 0,
+                        failure: Some(e.to_string()),
+                    });
+                    continue;
+                }
+            };
             let after = loss::evaluate(model, shard, self.cfg.eval_frames);
             reports.push(StageReport {
                 stage,
@@ -67,6 +141,7 @@ impl OnlineLoop {
                 after,
                 retrain_s: out.wall_s,
                 iterations: out.iterations,
+                failure,
             });
         }
         reports
@@ -135,10 +210,12 @@ mod tests {
                 ..Default::default()
             },
             fekf: FekfConfig::default(),
+            robust: RobustConfig::default(),
         };
         let reports = looper.run(&mut s.model, &shards[..2]);
         assert_eq!(reports.len(), 2);
         for r in &reports {
+            assert!(r.succeeded(), "stage {} failed: {:?}", r.stage, r.failure);
             assert!(
                 r.after.combined() < r.before.combined(),
                 "stage {} at {} K: {} → {}",
@@ -148,5 +225,43 @@ mod tests {
                 r.after.combined()
             );
         }
+    }
+
+    #[test]
+    fn failed_stage_is_recorded_and_skipped_not_aborted() {
+        let scale = GenScale { frames_per_temperature: 8, equilibration: 20, stride: 2 };
+        let mut s = setup(PaperSystem::Al, &scale, ModelScale::Small, 6);
+        let shards = shards_by_temperature(&s.train);
+        // A zero-retry budget plus an injected P-block upset in stage
+        // 0's iteration range makes that stage's retrain fail; the loop
+        // must record it and continue into stage 1.
+        let looper = OnlineLoop {
+            cfg: TrainConfig {
+                batch_size: 4,
+                max_epochs: 2,
+                eval_frames: 8,
+                ..Default::default()
+            },
+            fekf: FekfConfig::default(),
+            robust: RobustConfig {
+                max_rollbacks: 0,
+                poison_p_at: Some((2, 0)),
+                ..RobustConfig::default()
+            },
+        };
+        let reports = looper.run(&mut s.model, &shards[..2]);
+        assert_eq!(reports.len(), 2, "a failed stage must not abort the loop");
+        assert!(!reports[0].succeeded(), "stage 0 should have failed");
+        assert!(
+            reports[0].failure.as_deref().unwrap().contains("diverged"),
+            "failure surfaced: {:?}",
+            reports[0].failure
+        );
+        // The one-shot upset fired in stage 0, so stage 1 retrains
+        // cleanly on the recovered model.
+        assert!(reports[1].succeeded(), "stage 1 failed: {:?}", reports[1].failure);
+        assert!(reports[1].after.combined().is_finite());
+        // The model carried forward is healthy (best-effort recovery).
+        assert!(s.model.get_params().iter().all(|v| v.is_finite()));
     }
 }

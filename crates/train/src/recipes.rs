@@ -1,7 +1,8 @@
 //! One-call experiment entry points shared by the examples and the
 //! benchmark binaries that regenerate the paper's tables and figures.
 
-use crate::trainer::{TrainConfig, TrainOutcome, Trainer};
+use crate::error::TrainError;
+use crate::trainer::{RobustConfig, TrainConfig, TrainOutcome, Trainer};
 use deepmd_core::config::ModelConfig;
 use deepmd_core::model::DeepPotModel;
 use dp_data::dataset::Dataset;
@@ -80,13 +81,35 @@ pub fn run_rlekf(setup: &mut ExperimentSetup, cfg: TrainConfig, blocksize: usize
     Trainer::new(cfg).train_rlekf(&mut setup.model, &mut opt, &setup.train, Some(&setup.test))
 }
 
-/// Train with FEKF on one device.
-pub fn run_fekf(setup: &mut ExperimentSetup, cfg: TrainConfig, fekf_cfg: FekfConfig) -> TrainOutcome {
-    let mut opt = Fekf::new(&setup.model.layer_sizes(), cfg.batch_size, fekf_cfg);
-    Trainer::new(cfg).train_fekf(&mut setup.model, &mut opt, &setup.train, Some(&setup.test))
+/// Collapse a robust-loop result into a best-effort outcome: a run that
+/// exhausted its divergence-retry budget still hands back the best
+/// weights it reached (the model is left in that state). Genuinely
+/// unrecoverable failures — which the clean-link recipes cannot
+/// produce — are reported loudly.
+fn best_effort(result: Result<TrainOutcome, TrainError>) -> TrainOutcome {
+    match result {
+        Ok(out) => out,
+        Err(TrainError::Diverged { outcome, .. }) => *outcome,
+        Err(e) => panic!("unrecoverable training failure: {e}"),
+    }
 }
 
-/// Train with FEKF data-parallel over `n_devices` logical devices.
+/// Train with FEKF on one device. Runs on the fault-tolerant loop:
+/// divergence triggers rollback + `P`-reset instead of a NaN model, and
+/// the best epoch's weights are kept if the final ones are worse.
+pub fn run_fekf(setup: &mut ExperimentSetup, cfg: TrainConfig, fekf_cfg: FekfConfig) -> TrainOutcome {
+    let mut opt = Fekf::new(&setup.model.layer_sizes(), cfg.batch_size, fekf_cfg);
+    best_effort(Trainer::new(cfg).train_fekf_robust(
+        &mut setup.model,
+        &mut opt,
+        &setup.train,
+        Some(&setup.test),
+        &RobustConfig::default(),
+    ))
+}
+
+/// Train with FEKF data-parallel over `n_devices` logical devices, with
+/// the same fault-tolerant semantics as [`run_fekf`].
 pub fn run_fekf_distributed(
     setup: &mut ExperimentSetup,
     cfg: TrainConfig,
@@ -95,13 +118,15 @@ pub fn run_fekf_distributed(
 ) -> TrainOutcome {
     let mut opt = Fekf::new(&setup.model.layer_sizes(), cfg.batch_size, fekf_cfg);
     let devices = DeviceGroup::new(n_devices);
-    Trainer::new(cfg).train_fekf_distributed(
+    best_effort(Trainer::new(cfg).train_fekf_distributed_robust(
         &mut setup.model,
         &mut opt,
         &setup.train,
         Some(&setup.test),
         &devices,
-    )
+        &dp_parallel::FaultPlan::none(),
+        &RobustConfig::default(),
+    ))
 }
 
 #[cfg(test)]

@@ -40,14 +40,21 @@ fn main() {
             ..Default::default()
         },
         fekf: FekfConfig::default(),
+        robust: fekf_deepmd::train::RobustConfig::default(),
     };
 
     println!("\nonline retraining loop:");
     let reports = looper.run(&mut exp.model, &shards);
     for r in &reports {
         println!(
-            "  stage {} ({:>4.0} K): combined RMSE {:.4} → {:.4} after {:.1}s ({} iterations)",
-            r.stage, r.temperature, r.before.combined(), r.after.combined(), r.retrain_s, r.iterations
+            "  stage {} ({:>4.0} K): combined RMSE {:.4} → {:.4} after {:.1}s ({} iterations){}",
+            r.stage,
+            r.temperature,
+            r.before.combined(),
+            r.after.combined(),
+            r.retrain_s,
+            r.iterations,
+            r.failure.as_deref().map(|f| format!(" [FAILED: {f}]")).unwrap_or_default()
         );
     }
     println!(

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint, then a fault-injection soak.
+#
+# Everything runs --offline against the vendored dependency tree; no
+# network access is required (or attempted).
+#
+#   scripts/ci.sh            # full gate (~build + tests + 30 s soak)
+#   SOAK_SECONDS=10 scripts/ci.sh   # shorter soak
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_SECONDS="${SOAK_SECONDS:-30}"
+SOAK_SEED="${SOAK_SEED:-1234}"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release --offline
+
+step "cargo test"
+cargo test --offline -q
+
+step "cargo clippy -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+step "fault soak (${SOAK_SECONDS}s, seed ${SOAK_SEED})"
+cargo run --release --offline --example fault_soak -- "$SOAK_SEED" "$SOAK_SECONDS"
+
+step "CI gate passed"

@@ -1,0 +1,207 @@
+//! Offline shim for the `criterion` API subset this workspace uses.
+//!
+//! Benchmarks run a short calibrated wall-clock timing loop and print
+//! median per-iteration time. No statistics engine, plots, or baseline
+//! comparison — just enough to keep `cargo bench` (and the `cargo test`
+//! compile pass over benches) working offline with criterion's API.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are dropped (upstream tunes batch sizes by
+/// this; the shim only needs the variants to exist).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup values — batch freely.
+    SmallInput,
+    /// Large setup values.
+    LargeInput,
+    /// One setup value per iteration.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run when measuring.
+    iters: u64,
+    /// Total measured time across `iters`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement samples (upstream default 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let per_iter = run_calibrated(self.sample_size, &mut f);
+        self.criterion.report(&label, per_iter);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let per_iter = run_calibrated(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self.criterion.report(&label, per_iter);
+        self
+    }
+
+    /// End the group (upstream writes reports here; the shim prints as
+    /// it goes, so this is a no-op kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Calibrate an iteration count targeting ~50 ms of work, then take the
+/// median of `samples` timing runs. Returns seconds per iteration.
+fn run_calibrated<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> f64 {
+    // Calibration: find an iteration count with measurable duration.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    fn report(&mut self, label: &str, secs_per_iter: f64) {
+        let formatted = if secs_per_iter >= 1.0 {
+            format!("{secs_per_iter:.3} s")
+        } else if secs_per_iter >= 1e-3 {
+            format!("{:.3} ms", secs_per_iter * 1e3)
+        } else if secs_per_iter >= 1e-6 {
+            format!("{:.3} µs", secs_per_iter * 1e6)
+        } else {
+            format!("{:.1} ns", secs_per_iter * 1e9)
+        };
+        println!("bench {label:<40} {formatted}/iter");
+    }
+}
+
+/// Collect benchmark functions into a named runner (API parity with
+/// upstream's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter_batched(|| vec![0u64; n as usize], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

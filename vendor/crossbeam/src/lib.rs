@@ -1,0 +1,140 @@
+//! Offline shim for the `crossbeam::channel` subset this workspace
+//! uses: bounded channels with blocking and timeout receive, built on
+//! `std::sync::mpsc`.
+
+/// Multi-producer channels with timeouts.
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::Duration;
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the sending side is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// The sending side disconnected.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or the receiver is gone).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a bounded channel. `Clone` shares the queue
+    /// (crossbeam channels are MPMC; each message goes to one taker).
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Block until a message arrives (or all senders are gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv().map_err(|_| RecvError)
+        }
+
+        /// Block with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner().recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            self.inner().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// Create a bounded channel with capacity `cap` (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = bounded(1);
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnected_sender_is_reported() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

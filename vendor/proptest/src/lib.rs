@@ -1,0 +1,613 @@
+//! Offline shim for the `proptest` subset this workspace uses.
+//!
+//! A deterministic mini property-testing framework: strategies sample
+//! from a per-test seeded RNG (no shrinking, no persistence files).
+//! The API mirrors upstream — `proptest!`, `prop_assert!`,
+//! `prop_assume!`, `Strategy` with `prop_map`/`prop_flat_map`/
+//! `prop_filter`, `collection::vec`, `array::uniform3`, `bool::ANY` —
+//! so test sources stay portable to the real crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Everything tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Test-case orchestration: config, RNG, errors, and the case loop.
+pub mod test_runner {
+    /// Subset of upstream's config: only the case count.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` successful cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure — aborts the whole property.
+        Fail(String),
+        /// Filter/assumption rejection — the case is resampled.
+        Reject(String),
+    }
+
+    /// Result of one sampled case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// SplitMix64 — deterministic, seeded per property name.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed directly.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Drive one property: sample cases until `cfg.cases` pass, panic on
+    /// the first failure, and bound the total rejection budget.
+    pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = cfg.cases.saturating_mul(256).max(1024);
+        let mut seed = fnv1a(name);
+        while passed < cfg.cases {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property '{name}': too many rejected cases \
+                             ({rejected} rejects, {passed}/{} passed)",
+                            cfg.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property '{name}' failed (case {}): {msg}", passed + 1)
+                }
+            }
+        }
+    }
+}
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A rejected sample (failed filter or assumption).
+    #[derive(Debug)]
+    pub struct Reject(pub &'static str);
+
+    /// Generator of random values of `Self::Value`.
+    pub trait Strategy {
+        /// Value type produced.
+        type Value;
+
+        /// Draw one value, or reject this case.
+        fn try_sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+        /// Transform sampled values.
+        fn prop_map<B, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> B,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Derive a dependent strategy from each sampled value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keep only values passing `pred` (bounded local retries,
+        /// then the whole case is rejected and resampled).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence, pred }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+            (**self).try_sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, B, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> B,
+    {
+        type Value = B;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<B, Reject> {
+            self.inner.try_sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<T::Value, Reject> {
+            (self.f)(self.inner.try_sample(rng)?).try_sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+            for _ in 0..64 {
+                let v = self.inner.try_sample(rng)?;
+                if (self.pred)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Reject(self.whence))
+        }
+    }
+
+    /// Always yields a clone of one value (upstream `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn try_sample(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+            Ok(self.0.clone())
+        }
+    }
+}
+
+pub use strategy::Just;
+
+mod range_impls {
+    use super::strategy::{Reject, Strategy};
+    use super::test_runner::TestRng;
+    use super::{Range, RangeInclusive};
+
+    macro_rules! uint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn try_sample(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                    let span = (self.end - self.start) as u64;
+                    if span == 0 {
+                        return Err(Reject("empty range"));
+                    }
+                    Ok(self.start + (rng.next_u64() % span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn try_sample(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo > hi {
+                        return Err(Reject("empty range"));
+                    }
+                    let span = (hi - lo) as u64 + 1;
+                    Ok(lo + (rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    uint_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! sint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn try_sample(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    if span == 0 {
+                        return Err(Reject("empty range"));
+                    }
+                    Ok((self.start as i128 + (rng.next_u64() % span) as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    sint_range_strategy!(isize, i64, i32);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+            // Negated form on purpose: also rejects NaN endpoints.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(self.end > self.start) {
+                return Err(Reject("empty range"));
+            }
+            Ok(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+            let (lo, hi) = (*self.start(), *self.end());
+            // Negated form on purpose: also rejects NaN endpoints.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(hi >= lo) {
+                return Err(Reject("empty range"));
+            }
+            Ok(lo + rng.unit_f64() * (hi - lo))
+        }
+    }
+
+    /// Arrays of strategies sample element-wise (upstream allows
+    /// `[s1, s2, s3]` wherever a strategy is expected).
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<[S::Value; N], Reject> {
+            let mut out = Vec::with_capacity(N);
+            for s in self {
+                out.push(s.try_sample(rng)?);
+            }
+            match out.try_into() {
+                Ok(arr) => Ok(arr),
+                Err(_) => unreachable!("array length preserved"),
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn try_sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                    Ok(($(self.$idx.try_sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::{Reject, Strategy};
+    use super::test_runner::TestRng;
+
+    /// Element-count specification: exact or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reject> {
+            let SizeRange { lo, hi } = self.size;
+            if hi <= lo {
+                return Err(Reject("empty size range"));
+            }
+            let len = lo + (rng.next_u64() % (hi - lo) as u64) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.try_sample(rng)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::uniform3`).
+pub mod array {
+    use super::strategy::Strategy;
+
+    /// Three independent draws from clones of `s`.
+    pub fn uniform3<S: Strategy + Clone>(s: S) -> [S; 3] {
+        [s.clone(), s.clone(), s]
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::strategy::{Reject, Strategy};
+    use super::test_runner::TestRng;
+
+    /// Uniform boolean strategy type.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Result<bool, Reject> {
+            Ok(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// Define property tests. Mirrors upstream's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            $crate::test_runner::run_cases(&config, stringify!($name), |rng| {
+                let ($($arg,)+) =
+                    match $crate::strategy::Strategy::try_sample(&strategies, rng) {
+                        Ok(v) => v,
+                        Err($crate::strategy::Reject(msg)) => {
+                            return Err($crate::test_runner::TestCaseError::Reject(
+                                msg.to_string(),
+                            ));
+                        }
+                    };
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Property-test assertion: fails the case (and the test) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+/// Reject the current case (resampled, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, f64)> {
+        (1usize..10).prop_flat_map(|n| (n..n + 1, -1.0f64..1.0))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5, z in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(0usize..5, 2..6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        #[test]
+        fn flat_map_and_patterns_work((n, y) in pair()) {
+            prop_assert_eq!(n, n);
+            prop_assert!(y.abs() <= 1.0);
+        }
+
+        #[test]
+        fn uniform3_and_bool_any(
+            a in crate::array::uniform3(-1.0f64..1.0),
+            flags in crate::array::uniform3(crate::bool::ANY),
+        ) {
+            for k in 0..3 {
+                prop_assert!(a[k].abs() < 1.0);
+                let _: bool = flags[k];
+            }
+        }
+
+        #[test]
+        fn filters_reject_and_resample(
+            v in crate::collection::vec(0usize..100, 1..4)
+                .prop_filter("sum must be even", |v| v.iter().sum::<usize>() % 2 == 0),
+        ) {
+            prop_assert_eq!(v.iter().sum::<usize>() % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline shim for the `rayon` iterator subset this workspace uses.
+//!
+//! Everything runs **sequentially**. That is deliberate: floating-point
+//! reductions become order-deterministic, which the training runtime
+//! relies on for bitwise checkpoint/resume equivalence. The API mirrors
+//! rayon's (`par_iter`, `par_chunks`, `par_chunks_mut`, `map`, `zip`,
+//! `enumerate`, `for_each`, `sum`, `collect`, `reduce`) so the source
+//! stays portable to the real crate.
+
+/// Drop-in traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParallelSlice, ParallelSliceMut, SeqIter};
+}
+
+/// Sequential stand-in for a rayon parallel iterator.
+///
+/// A thin wrapper over a plain [`Iterator`] with inherent methods named
+/// after rayon's combinators. Inherent methods (rather than a trait)
+/// avoid colliding with `std::iter::Iterator::reduce`, whose signature
+/// differs from rayon's `reduce(identity, op)`.
+pub struct SeqIter<I>(pub I);
+
+impl<I: Iterator> SeqIter<I> {
+    /// Map each item.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+        SeqIter(self.0.map(f))
+    }
+
+    /// Zip with another shim iterator.
+    pub fn zip<J: Iterator>(self, other: SeqIter<J>) -> SeqIter<std::iter::Zip<I, J>> {
+        SeqIter(self.0.zip(other.0))
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
+        SeqIter(self.0.enumerate())
+    }
+
+    /// Filter items by a predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
+        SeqIter(self.0.filter(f))
+    }
+
+    /// Consume with a side effect per item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sum items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Collect into a container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Count items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Rayon-style reduce: fold from `identity()` in item order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+/// `.par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: 'a;
+    /// Iterate by shared reference.
+    fn par_iter(&'a self) -> SeqIter<std::slice::Iter<'a, Self::Item>>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> SeqIter<std::slice::Iter<'a, T>> {
+        SeqIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> SeqIter<std::slice::Iter<'a, T>> {
+        SeqIter(self.iter())
+    }
+}
+
+/// `.par_chunks()` on shared slices.
+pub trait ParallelSlice<T> {
+    /// Non-overlapping chunks of length `n` (last may be shorter).
+    fn par_chunks(&self, n: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, n: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
+        SeqIter(self.chunks(n))
+    }
+}
+
+/// `.par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Non-overlapping mutable chunks of length `n`.
+    fn par_chunks_mut(&mut self, n: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
+        SeqIter(self.chunks_mut(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let par: f64 = xs.par_iter().map(|&x| x * 2.0).sum();
+        let seq: f64 = xs.iter().map(|&x| x * 2.0).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let xs = vec![1.0_f64, 2.0, 3.0];
+        let (sum, cnt) = xs
+            .par_iter()
+            .map(|&x| (x, 1usize))
+            .reduce(|| (0.0, 0), |(a, n), (b, m)| (a + b, n + m));
+        assert_eq!(sum, 6.0);
+        assert_eq!(cnt, 3);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut v = vec![0.0; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, row)| {
+            for x in row.iter_mut() {
+                *x = i as f64;
+            }
+        });
+        assert_eq!(v, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn zip_matches_std() {
+        let a = vec![1.0, 2.0];
+        let b = vec![10.0, 20.0];
+        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(dot, 50.0);
+    }
+}

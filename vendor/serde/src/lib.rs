@@ -1,0 +1,4 @@
+//! Offline shim for `serde`: re-exports the no-op derive macros. See
+//! `vendor/serde_derive` for why this is sound for this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
