@@ -26,6 +26,8 @@ use dp_mdsim::systems::PaperSystem;
 use dp_train::recipes::ModelScale;
 use std::fmt::Write as _;
 
+pub mod report;
+
 /// Parsed command-line options shared by the experiment binaries.
 #[derive(Clone, Debug)]
 pub struct Args {

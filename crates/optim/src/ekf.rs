@@ -33,6 +33,10 @@ pub struct KfCore {
     /// composition.
     pub fused: bool,
     updates: u64,
+    /// Per-update `q = P_b·g` scratch, sized to the largest block.
+    /// Purely transient: excluded from the checkpoint wire format and
+    /// never read across updates.
+    scratch_q: Vec<f64>,
 }
 
 impl KfCore {
@@ -40,7 +44,8 @@ impl KfCore {
     pub fn new(layer_sizes: &[usize], blocksize: usize, mem: MemoryFactor, fused: bool) -> Self {
         let layout = BlockLayout::from_layer_sizes(layer_sizes, blocksize);
         let p = BlockP::identity(&layout);
-        KfCore { layout, p, mem, fused, updates: 0 }
+        let scratch_q = vec![0.0; layout.sizes().iter().copied().max().unwrap_or(0)];
+        KfCore { layout, p, mem, fused, updates: 0, scratch_q }
     }
 
     /// Number of parameters covered.
@@ -56,31 +61,50 @@ impl KfCore {
     /// One Kalman update from a (possibly batch-reduced) gradient `g`
     /// and scalar absolute error `abe`; returns the weight increment.
     ///
+    /// Allocating convenience wrapper over [`KfCore::update_into`].
+    ///
     /// # Panics
     /// Panics if `g.len() != n_params()`.
     pub fn update(&mut self, g: &[f64], abe: f64, scale: f64) -> Vec<f64> {
-        assert_eq!(g.len(), self.n_params(), "gradient length mismatch");
-        let lambda = self.mem.step();
         let mut delta = vec![0.0; g.len()];
+        self.update_into(g, abe, scale, &mut delta);
+        delta
+    }
+
+    /// One Kalman update writing Δw into a preallocated `delta`.
+    ///
+    /// The steady-state hot path: the `q = P_b·g` product lands in the
+    /// core's resident scratch buffer and the fused `P` update runs in
+    /// place, so (with `fused = true`) the whole call performs **zero
+    /// heap allocations** — asserted by the allocation probe in
+    /// `crates/bench`.
+    ///
+    /// # Panics
+    /// Panics if `g.len() != n_params()` or `delta.len() != g.len()`.
+    pub fn update_into(&mut self, g: &[f64], abe: f64, scale: f64, delta: &mut [f64]) {
+        assert_eq!(g.len(), self.n_params(), "gradient length mismatch");
+        assert_eq!(delta.len(), g.len(), "delta length mismatch");
+        let lambda = self.mem.step();
         for b in 0..self.layout.n_blocks() {
             let gb = self.layout.gather(b, g);
+            let blk = &self.layout.blocks[b];
+            let n = blk.end - blk.start;
             // Cached q = P·g, reused by A, K and the P update.
-            let q = self.p.matvec(b, gb);
-            let a = 1.0 / (lambda + vecops::dot(gb, &q));
+            self.p.matvec_into(b, gb, &mut self.scratch_q[..n]);
+            let q = &self.scratch_q[..n];
+            let a = 1.0 / (lambda + vecops::dot(gb, q));
             // Δw_b = scale·abe·K = scale·abe·a·q.
             let coeff = scale * abe * a;
-            let blk = &self.layout.blocks[b];
-            for (d, &qi) in delta[blk.start..blk.end].iter_mut().zip(&q) {
+            for (d, &qi) in delta[blk.start..blk.end].iter_mut().zip(q) {
                 *d = coeff * qi;
             }
             if self.fused {
-                self.p.update_fused(b, &q, a, lambda);
+                self.p.update_fused(b, &self.scratch_q[..n], a, lambda);
             } else {
-                self.p.update_unfused(b, &q, a, lambda);
+                self.p.update_unfused(b, &self.scratch_q[..n], a, lambda);
             }
         }
         self.updates += 1;
-        delta
     }
 
     /// First `P` block with a non-finite, non-positive, or

@@ -156,6 +156,14 @@ impl Fekf {
         let scale = self.quasi_lr.factor(self.batch_size);
         self.core.update(sum_grad, mean_abe, scale)
     }
+
+    /// [`Fekf::step`] writing Δw into a preallocated buffer: together
+    /// with the core's resident `q` scratch this makes the steady-state
+    /// FEKF iteration (`P·g`, gain, fused `P` update) allocation-free.
+    pub fn step_into(&mut self, sum_grad: &[f64], mean_abe: f64, delta: &mut [f64]) {
+        let scale = self.quasi_lr.factor(self.batch_size);
+        self.core.update_into(sum_grad, mean_abe, scale, delta);
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,12 @@ impl BlockP {
         self.blocks[b].matvec(g)
     }
 
+    /// `out = P_b · g` into a preallocated buffer — the allocation-free
+    /// variant backing the steady-state FEKF iteration.
+    pub fn matvec_into(&self, b: usize, g: &[f64], out: &mut [f64]) {
+        self.blocks[b].matvec_into(g, out);
+    }
+
     /// Fused update: `P ← (P − a·q·qᵀ)/λ` in one allocation-free pass.
     pub fn update_fused(&mut self, b: usize, q: &[f64], a: f64, lambda: f64) {
         let p = &mut self.blocks[b];

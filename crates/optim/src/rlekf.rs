@@ -45,6 +45,12 @@ impl Rlekf {
     pub fn step_sample(&mut self, grad: &[f64], abe: f64) -> Vec<f64> {
         self.core.update(grad, abe, 1.0)
     }
+
+    /// [`Rlekf::step_sample`] writing Δw into a preallocated buffer
+    /// (allocation-free steady state, mirroring [`crate::Fekf::step_into`]).
+    pub fn step_sample_into(&mut self, grad: &[f64], abe: f64, delta: &mut [f64]) {
+        self.core.update_into(grad, abe, 1.0, delta);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,442 @@
+//! dp-pool — the deterministic work-sharing thread pool behind the
+//! workspace's `rayon` shim.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** The training runtime guarantees bitwise-identical
+//!    weights and checkpoints for any thread count (PR 1's
+//!    checkpoint/resume contract). The pool therefore never decides *what*
+//!    is computed — only *where*. Callers submit a fixed number of indexed
+//!    tasks; each task's work is a pure function of its index, and any
+//!    cross-task combination is performed by the caller in index order.
+//!    Which worker executes which index is a scheduling detail that cannot
+//!    affect results.
+//! 2. **Zero steady-state allocation.** One fork-join region performs no
+//!    heap allocation: the job descriptor lives on the caller's stack,
+//!    workers are woken through a pre-existing mutex/condvar pair, and
+//!    indices are claimed with a single `fetch_add`. This keeps the pool
+//!    usable inside the FEKF `P·g` / `P`-update hot path, which is
+//!    asserted allocation-free.
+//! 3. **Long-lived workers.** Threads are spawned once (lazily) and parked
+//!    on a condvar between regions; `DP_POOL_THREADS` (or
+//!    [`set_threads`]) controls the worker count, and resizing is safe at
+//!    any quiescent point.
+//!
+//! Nested regions (a task submitting another region) run inline on the
+//! submitting worker: the inner region computes with the same fixed block
+//! structure, so inlining is invisible to results.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Per-task execution context propagated from the submitting thread to
+/// every worker that runs one of the region's tasks.
+///
+/// The tensor layer stores its fused-kernel scope depth here so that
+/// primitives executed *on pool workers* inside a `kernel::fused` region
+/// are attributed to the enclosing fused kernel instead of being counted
+/// individually (they would otherwise see a fresh thread-local depth of
+/// zero on the worker thread).
+pub mod taskctx {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CTX: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Current context value on this thread.
+    pub fn get() -> u64 {
+        CTX.with(|c| c.get())
+    }
+
+    /// Set the context value on this thread.
+    pub fn set(v: u64) {
+        CTX.with(|c| c.set(v));
+    }
+}
+
+thread_local! {
+    /// True while this thread is executing pool tasks — nested regions
+    /// detect this and run inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// One fork-join region: `n` indexed tasks over a borrowed closure.
+///
+/// Lives on the submitting thread's stack for the duration of the region;
+/// `active` counts executors currently holding a reference to it, and the
+/// submitter only returns once `active == 0` and all indices are claimed.
+struct Job {
+    /// The task body with its lifetime erased. Valid exactly while the
+    /// owning [`run_region`] frame is blocked, which `active` enforces.
+    func: *const (dyn Fn(usize) + Sync),
+    /// Number of tasks.
+    n: usize,
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Executors (workers + submitter) currently inside the task loop.
+    active: AtomicUsize,
+    /// Task context captured from the submitting thread.
+    ctx: u64,
+    /// Set when any task panicked; the submitter re-panics.
+    panicked: AtomicBool,
+}
+
+/// Raw pointer to a stack-pinned [`Job`], sendable to workers.
+#[derive(Clone, Copy)]
+struct JobPtr(*const Job);
+// SAFETY: the Job is pinned on the submitter's stack until every executor
+// has dropped out of `active`; the pointer is only dereferenced by
+// executors registered in `active` under the pool lock.
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+struct PoolState {
+    /// The currently published region, if any.
+    job: Option<JobPtr>,
+    /// Monotonic region counter; a worker runs each region at most once.
+    seq: u64,
+    /// Worker generation; workers from older generations exit.
+    generation: u64,
+    /// Total desired concurrency (workers + submitting thread).
+    target_threads: usize,
+    /// Live worker threads of the current generation.
+    workers_alive: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here between regions.
+    work_cv: Condvar,
+    /// Submitters (and `set_threads`) wait here for completion/exit.
+    done_cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            seq: 0,
+            generation: 0,
+            target_threads: default_threads(),
+            workers_alive: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+/// The startup thread count: `DP_POOL_THREADS` if set (clamped to ≥ 1),
+/// else the machine's available parallelism.
+fn default_threads() -> usize {
+    match std::env::var("DP_POOL_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Current total concurrency (workers + the submitting thread).
+pub fn current_threads() -> usize {
+    pool().state.lock().unwrap_or_else(|e| e.into_inner()).target_threads
+}
+
+/// Reconfigure the pool to `n` total threads (clamped to ≥ 1).
+///
+/// Existing workers are retired and fresh ones spawned lazily on the next
+/// region. Safe to call at any quiescent point (no region in flight on
+/// this thread); benchmark and determinism-test harnesses use this to
+/// sweep thread counts inside one process.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    let p = pool();
+    let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+    if st.target_threads == n && st.workers_alive == n.saturating_sub(1) {
+        return;
+    }
+    st.target_threads = n;
+    st.generation += 1;
+    p.work_cv.notify_all();
+    // Wait for retired workers to exit so thread counts never stack up.
+    while st.workers_alive > 0 {
+        st = p.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Ensure the worker complement for the current generation exists.
+/// Called with the state lock held; spawning drops and re-takes it.
+fn ensure_workers(p: &'static Pool, st: &mut PoolState) {
+    let want = st.target_threads.saturating_sub(1);
+    while st.workers_alive < want {
+        st.workers_alive += 1;
+        let gen = st.generation;
+        std::thread::Builder::new()
+            .name(format!("dp-pool-{}", st.workers_alive))
+            .spawn(move || worker_loop(p, gen))
+            .expect("dp-pool: failed to spawn worker");
+    }
+}
+
+fn worker_loop(p: &'static Pool, my_gen: u64) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut last_seq = 0u64;
+    loop {
+        // Wait for a fresh region or retirement.
+        let (ptr, seq) = {
+            let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.generation != my_gen {
+                    st.workers_alive -= 1;
+                    p.done_cv.notify_all();
+                    return;
+                }
+                if let Some(ptr) = st.job {
+                    if st.seq != last_seq {
+                        // Register as an executor before releasing the
+                        // lock: the submitter cannot retire the job while
+                        // `active` is non-zero.
+                        // SAFETY: `st.job` is only Some while the owning
+                        // submitter is blocked in run_region.
+                        unsafe { (*ptr.0).active.fetch_add(1, Ordering::AcqRel) };
+                        break (ptr, st.seq);
+                    }
+                }
+                st = p.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        last_seq = seq;
+        // SAFETY: registered in `active`; the Job outlives this block.
+        let job = unsafe { &*ptr.0 };
+        taskctx::set(job.ctx);
+        run_tasks(job);
+        taskctx::set(0);
+        // Deregister and wake the submitter. The lock round-trip orders
+        // the decrement against the submitter's condvar wait.
+        let _st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+        job.active.fetch_sub(1, Ordering::AcqRel);
+        p.done_cv.notify_all();
+    }
+}
+
+/// Claim-and-run loop shared by workers and the submitting thread.
+fn run_tasks(job: &Job) {
+    // SAFETY: `func` is valid while the submitter is blocked, which
+    // `active` registration guarantees for every caller of this fn.
+    let f = unsafe { &*job.func };
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n {
+            break;
+        }
+        if panic::catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            job.panicked.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Run `body(i)` for every `i in 0..n`, distributing indices over the
+/// pool. Blocks until all tasks completed.
+///
+/// Guarantees:
+/// * every index runs exactly once;
+/// * tasks with disjoint effects make the region's outcome independent of
+///   the thread count and of index-to-worker assignment;
+/// * no heap allocation in the submission or execution path;
+/// * the submitting thread participates, so progress never depends on
+///   workers existing;
+/// * nested invocations from inside a task run inline (sequentially).
+///
+/// Panics in any task are re-raised on the submitting thread after the
+/// region completes.
+pub fn parallel_for(n: usize, body: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let inline = n == 1 || IN_WORKER.with(|w| w.get());
+    if !inline {
+        let p = pool();
+        {
+            let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.target_threads > 1 {
+                ensure_workers(p, &mut st);
+                return run_region(p, st, n, body);
+            }
+        }
+    }
+    // Sequential path: same indices, same order-insensitive contract.
+    let mut panicked = false;
+    for i in 0..n {
+        if panic::catch_unwind(AssertUnwindSafe(|| body(i))).is_err() {
+            panicked = true;
+        }
+    }
+    if panicked {
+        panic!("dp-pool: task panicked");
+    }
+}
+
+fn run_region(
+    p: &'static Pool,
+    mut st: std::sync::MutexGuard<'_, PoolState>,
+    n: usize,
+    body: &(dyn Fn(usize) + Sync),
+) {
+    // Erase the borrow lifetime: the Job (and `body`) outlive the region
+    // because this frame blocks until `active == 0` below.
+    // SAFETY: same fat-pointer layout; only the lifetime is widened, and
+    // no executor dereferences it after this frame returns.
+    let func: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+            body,
+        )
+    };
+    let job = Job {
+        func,
+        n,
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        ctx: taskctx::get(),
+        panicked: AtomicBool::new(false),
+    };
+    st.seq = st.seq.wrapping_add(1);
+    st.job = Some(JobPtr(&job));
+    p.work_cv.notify_all();
+    drop(st);
+
+    // The submitter is an executor too (not tracked in `active`; its
+    // participation is synchronous).
+    run_tasks(&job);
+
+    // Wait for workers still inside the task loop, then retire the job.
+    let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+    while job.active.load(Ordering::Acquire) != 0 {
+        st = p.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    st.job = None;
+    drop(st);
+
+    if job.panicked.load(Ordering::Acquire) {
+        panic!("dp-pool: task panicked");
+    }
+}
+
+/// True when called from inside a pool task (useful for diagnostics).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex as StdMutex;
+
+    // The pool is process-global; serialize tests that resize it.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let _g = LOCK.lock().unwrap();
+        let n = 257;
+        let run = |threads: usize| -> Vec<f64> {
+            set_threads(threads);
+            let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(n, &|i| {
+                let v = (i as f64 * 0.37).sin() * (i as f64 + 1.0).ln();
+                out[i].store(v.to_bits(), Ordering::Relaxed);
+            });
+            out.iter()
+                .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
+                .collect()
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert_eq!(x.to_bits(), z.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_inline_and_complete() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let outer = 16;
+        let inner = 8;
+        let count = AtomicUsize::new(0);
+        parallel_for(outer, &|_| {
+            parallel_for(inner, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), outer * inner);
+    }
+
+    #[test]
+    fn task_context_propagates_to_workers() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        taskctx::set(7);
+        let seen: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(64, &|i| {
+            seen[i].store(taskctx::get(), Ordering::Relaxed);
+        });
+        taskctx::set(0);
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 7));
+    }
+
+    #[test]
+    fn resizing_retires_old_workers() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(8);
+        let c = AtomicUsize::new(0);
+        parallel_for(100, &|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(2);
+        parallel_for(100, &|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(1);
+        parallel_for(100, &|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 300);
+        assert_eq!(current_threads(), 1);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_submitter() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let r = panic::catch_unwind(|| {
+            parallel_for(32, &|i| {
+                if i == 17 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err(), "panic must reach the submitter");
+        // Pool is still usable afterwards.
+        let c = AtomicUsize::new(0);
+        parallel_for(8, &|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 8);
+    }
+}

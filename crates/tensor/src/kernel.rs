@@ -20,23 +20,20 @@
 //!   once per routine, so they are cheap regardless of the fusion mode.
 //!
 //! Counting is disabled by default ([`set_counting`]) so the accounting
-//! adds no overhead to production training runs. Scopes are tracked with a
-//! thread-local depth: profiled regions are expected to run on the
-//! orchestrating thread (the benchmark binaries do), while global counters
-//! aggregate across threads.
+//! adds no overhead to production training runs. The fused-scope depth is
+//! stored in [`dp_pool::taskctx`] rather than a plain thread-local: the
+//! pool copies the submitter's context into every worker that executes
+//! one of the region's tasks, so primitives running *on pool workers*
+//! inside a fused region are still attributed to the enclosing fused
+//! kernel instead of being counted individually.
 
 use parking_lot::Mutex;
-use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static COUNTING: AtomicBool = AtomicBool::new(false);
 static FUSION: AtomicBool = AtomicBool::new(false);
 static COUNTS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
-
-thread_local! {
-    static FUSED_DEPTH: Cell<u32> = const { Cell::new(0) };
-}
 
 /// Enable or disable kernel-launch counting globally.
 pub fn set_counting(on: bool) {
@@ -67,7 +64,7 @@ pub fn launch(name: &'static str) {
     if !counting() {
         return;
     }
-    if FUSED_DEPTH.with(|d| d.get()) > 0 {
+    if dp_pool::taskctx::get() > 0 {
         return;
     }
     *COUNTS.lock().entry(name).or_insert(0) += 1;
@@ -83,7 +80,7 @@ pub fn fused<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
         return f();
     }
     launch(name);
-    FUSED_DEPTH.with(|d| d.set(d.get() + 1));
+    dp_pool::taskctx::set(dp_pool::taskctx::get() + 1);
     let guard = FusedGuard;
     let out = f();
     drop(guard);
@@ -94,7 +91,7 @@ struct FusedGuard;
 
 impl Drop for FusedGuard {
     fn drop(&mut self) {
-        FUSED_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        dp_pool::taskctx::set(dp_pool::taskctx::get().saturating_sub(1));
     }
 }
 

@@ -20,9 +20,93 @@ pub struct Mat {
     data: Vec<f64>,
 }
 
-/// Minimum `rows * cols * inner` work before a GEMM is split across rayon
-/// workers; below this the sequential kernel wins.
+/// Minimum flop count (`rows * cols * inner` for GEMM, `rows * cols` for
+/// GEMV) before a kernel is split across the pool; below this the
+/// sequential micro-kernel wins.
+///
+/// Re-tuned against the real `dp-pool` fork-join (PR 2): one region costs
+/// ~5–15 µs of wake/join latency, and the tiled kernels stream ~4–9
+/// f64-FLOP/ns single-threaded (measured: 128³ GEMM = 4.2 M flops in
+/// ~0.48 ms, 512-wide `P·g` = 0.52 M flops in ~0.13 ms — see
+/// `scripts/bench.sh`, `BENCH_gemm.json`/`BENCH_p_update.json`), so
+/// region overhead is amortized once a kernel carries a few ×10⁴ flops.
+/// `1 << 17` (~131 k flops ≈ 15–35 µs of work) sits safely above that:
+/// it keeps every paper-scale Kalman block (n ≥ 1350 ⇒ ≥ 1.8 M flops per
+/// `P·g`) parallel while the small descriptor/fitting GEMMs (≤ 400² · k)
+/// and n = 32 GEMMs (65 k flops) stay on the submitting thread, where
+/// dispatch would cost more than it buys.
 const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
+
+/// Register-tile height of the GEMM micro-kernel: rows of `A` processed
+/// together so each streamed row of `B` feeds 4 accumulator rows. Chunk
+/// boundaries (and therefore every per-element accumulation order) depend
+/// only on the shapes — never on the thread count.
+const GEMM_MR: usize = 4;
+
+/// Dot product with 4 independent accumulators (liftable to SIMD by the
+/// autovectorizer) and a *fixed* combine order, so the result is a pure
+/// function of the operands regardless of how callers are scheduled.
+#[inline]
+pub(crate) fn rowdot(row: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(row.len(), x.len());
+    let mut a0 = 0.0;
+    let mut a1 = 0.0;
+    let mut a2 = 0.0;
+    let mut a3 = 0.0;
+    let mut rc = row.chunks_exact(4);
+    let mut xc = x.chunks_exact(4);
+    for (r4, x4) in (&mut rc).zip(&mut xc) {
+        a0 += r4[0] * x4[0];
+        a1 += r4[1] * x4[1];
+        a2 += r4[2] * x4[2];
+        a3 += r4[3] * x4[3];
+    }
+    let mut tail = 0.0;
+    for (r, xv) in rc.remainder().iter().zip(xc.remainder()) {
+        tail += r * xv;
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+/// GEMM micro-kernel: accumulate `C[i0.., :] += A[i0.., :] · B` for the
+/// row group held in `crows` (up to [`GEMM_MR`] rows). `i-k-j` order: each
+/// streamed row of `B` is fanned into all accumulator rows, and `k`
+/// ascends for every output element, so per-element results are bitwise
+/// independent of how rows are grouped or scheduled.
+#[inline]
+fn gemm_row_group(a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+    let nr = crows.len() / n;
+    if nr == GEMM_MR {
+        let (c0, rest) = crows.split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, c3) = rest.split_at_mut(n);
+        let a0 = &a[i0 * k..(i0 + 1) * k];
+        let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+        let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+        let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+        for kk in 0..k {
+            let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                let b = brow[j];
+                c0[j] += x0 * b;
+                c1[j] += x1 * b;
+                c2[j] += x2 * b;
+                c3[j] += x3 * b;
+            }
+        }
+    } else {
+        for (r, crow) in crows.chunks_mut(n).enumerate() {
+            let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+            for (kk, &aik) in arow.iter().enumerate() {
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (cj, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += aik * bkj;
+                }
+            }
+        }
+    }
+}
 
 impl Mat {
     /// Create a `rows × cols` matrix filled with zeros.
@@ -155,6 +239,9 @@ impl Mat {
         assert_eq!(out.shape(), (self.rows, b.cols), "matmul: bad out shape");
         kernel::launch("gemm");
         let n = b.cols;
+        if n == 0 || self.rows == 0 {
+            return;
+        }
         let work = self.rows * self.cols * n;
         if beta == 0.0 {
             out.data.fill(0.0);
@@ -166,26 +253,17 @@ impl Mat {
         let a = &self.data;
         let bd = &b.data;
         let k = self.cols;
-        let body = |i: usize, crow: &mut [f64]| {
-            let arow = &a[i * k..(i + 1) * k];
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &bd[kk * n..(kk + 1) * n];
-                for (cj, &bkj) in crow.iter_mut().zip(brow.iter()) {
-                    *cj += aik * bkj;
-                }
-            }
-        };
+        // Row groups of GEMM_MR are the unit of work; the group
+        // boundaries are a function of the shapes alone, so scheduling
+        // cannot change any accumulation order.
         if work >= PAR_FLOPS_THRESHOLD {
             out.data
-                .par_chunks_mut(n)
+                .par_chunks_mut(GEMM_MR * n)
                 .enumerate()
-                .for_each(|(i, crow)| body(i, crow));
+                .for_each(|(g, crows)| gemm_row_group(a, bd, k, n, g * GEMM_MR, crows));
         } else {
-            for (i, crow) in out.data.chunks_mut(n).enumerate() {
-                body(i, crow);
+            for (g, crows) in out.data.chunks_mut(GEMM_MR * n).enumerate() {
+                gemm_row_group(a, bd, k, n, g * GEMM_MR, crows);
             }
         }
     }
@@ -223,12 +301,7 @@ impl Mat {
             let arow = self.row(i);
             let crow = &mut out.data[i * n..(i + 1) * n];
             for (j, cij) in crow.iter_mut().enumerate() {
-                let brow = &b.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += arow[kk] * brow[kk];
-                }
-                *cij = acc;
+                *cij = rowdot(arow, &b.data[j * k..(j + 1) * k]);
             }
         }
         out
@@ -238,19 +311,38 @@ impl Mat {
     ///
     /// Parallelized over row blocks for the large Kalman-filter blocks.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// `out = A · x`, writing into a preallocated buffer — the
+    /// allocation-free GEMV backing the FEKF `P·g` hot path.
+    ///
+    /// Each output element is one [`rowdot`] (fixed accumulator combine
+    /// order), so results are bitwise identical for every thread count.
+    /// Neither the sequential nor the pool path heap-allocates.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(self.cols, x.len(), "matvec: dims {} vs {}", self.cols, x.len());
+        assert_eq!(out.len(), self.rows, "matvec: bad out length");
         kernel::launch("gemv");
         let n = self.cols;
+        if n == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let data = &self.data;
         if self.rows * n >= PAR_FLOPS_THRESHOLD {
-            self.data
-                .par_chunks(n)
-                .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
-                .collect()
+            out.par_chunks_mut(1).enumerate().for_each(|(i, o)| {
+                o[0] = rowdot(&data[i * n..(i + 1) * n], x);
+            });
         } else {
-            self.data
-                .chunks(n)
-                .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
-                .collect()
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = rowdot(&data[i * n..(i + 1) * n], x);
+            }
         }
     }
 
@@ -451,6 +543,51 @@ mod tests {
         let a = Mat::from_fn(120, 90, |r, c| ((r * 31 + c * 17) % 13) as f64 - 6.0);
         let b = Mat::from_fn(90, 110, |r, c| ((r * 7 + c * 3) % 11) as f64 * 0.1);
         assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_remainder_rows_match_naive() {
+        // 121 rows: 30 full 4-row register tiles plus a 1-row remainder.
+        let a = Mat::from_fn(121, 33, |r, c| ((r * 13 + c * 7) % 17) as f64 * 0.3 - 2.0);
+        let b = Mat::from_fn(33, 29, |r, c| ((r * 5 + c * 11) % 19) as f64 * 0.1 - 0.9);
+        assert!(close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_without_allocating_shapes() {
+        let a = Mat::from_fn(37, 23, |r, c| ((r * 7 + c) % 5) as f64 - 1.5);
+        let x: Vec<f64> = (0..23).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut out = vec![f64::NAN; 37];
+        a.matvec_into(&x, &mut out);
+        let y = a.matvec(&x);
+        assert_eq!(out, y);
+    }
+
+    /// GEMM and GEMV must produce bit-identical outputs for every pool
+    /// size: fixed row-group boundaries + fixed accumulator combine order.
+    #[test]
+    fn kernels_bitwise_invariant_across_thread_counts() {
+        // Big enough to clear PAR_FLOPS_THRESHOLD and hit the pool path.
+        let a = Mat::from_fn(130, 80, |r, c| ((r * 31 + c * 17) as f64 * 0.013).sin());
+        let b = Mat::from_fn(80, 70, |r, c| ((r * 7 + c * 3) as f64 * 0.021).cos());
+        let x: Vec<f64> = (0..80).map(|i| (i as f64 * 0.37).sin()).collect();
+        let big = Mat::from_fn(600, 600, |r, c| ((r * 601 + c) as f64 * 1e-5).tanh());
+        let xb: Vec<f64> = (0..600).map(|i| (i as f64 * 0.017).cos()).collect();
+        let run = |threads: usize| {
+            dp_pool::set_threads(threads);
+            (a.matmul(&b), a.matvec(&x), big.matvec(&xb))
+        };
+        let (c1, y1, z1) = run(1);
+        let (c2, y2, z2) = run(2);
+        let (c8, y8, z8) = run(8);
+        dp_pool::set_threads(1);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(c1.as_slice()), bits(c2.as_slice()));
+        assert_eq!(bits(c1.as_slice()), bits(c8.as_slice()));
+        assert_eq!(bits(&y1), bits(&y2));
+        assert_eq!(bits(&y1), bits(&y8));
+        assert_eq!(bits(&z1), bits(&z2));
+        assert_eq!(bits(&z1), bits(&z8));
     }
 
     #[test]

@@ -106,6 +106,9 @@ struct LoopState {
     iterations: u64,
     history: TrainHistory,
     comm_bytes: usize,
+    /// Reusable Δw buffer for the optimizer steps: sized on the first
+    /// iteration, then the steady-state KF path stays allocation-free.
+    delta: Vec<f64>,
 }
 
 impl LoopState {
@@ -116,7 +119,23 @@ impl LoopState {
             iterations: 0,
             history: TrainHistory::default(),
             comm_bytes: 0,
+            delta: Vec::new(),
         }
+    }
+
+    /// Detach the reusable Δw buffer, (re)sized to `n_params`. Callers
+    /// hand it back via [`LoopState::return_delta`] so the next
+    /// iteration reuses the same allocation.
+    fn take_delta(&mut self, n_params: usize) -> Vec<f64> {
+        let mut d = std::mem::take(&mut self.delta);
+        if d.len() != n_params {
+            d = vec![0.0; n_params];
+        }
+        d
+    }
+
+    fn return_delta(&mut self, d: Vec<f64>) {
+        self.delta = d;
     }
 }
 
@@ -386,8 +405,9 @@ impl Trainer {
                     },
                 )
         });
+        let mut delta = state.take_delta(n_params);
         timed(&mut state.phases.optimizer, || {
-            let delta = opt.step(&gbar, abe_sum * inv_bs);
+            opt.step_into(&gbar, abe_sum * inv_bs, &mut delta);
             model.apply_update(&delta);
         });
         // Force phase: fresh passes after the energy update.
@@ -436,10 +456,11 @@ impl Trainer {
         });
         timed(&mut state.phases.optimizer, || {
             for (g, &abe) in grads.iter().zip(&abes) {
-                let delta = opt.step(g, abe * inv_bs);
+                opt.step_into(g, abe * inv_bs, &mut delta);
                 model.apply_update(&delta);
             }
         });
+        state.return_delta(delta);
         state.iterations += 1;
         abe_sum * inv_bs
     }
@@ -566,8 +587,9 @@ impl Trainer {
         // averaged over the batch.
         let gbar = red.vector;
         let mean_abe = red.scalar * inv_bs;
+        let mut delta = state.take_delta(n_params);
         timed(&mut state.phases.optimizer, || {
-            let delta = opt.step(&gbar, mean_abe);
+            opt.step_into(&gbar, mean_abe, &mut delta);
             model.apply_update(&delta);
         });
         // Force updates: one sharded pass returning the
@@ -604,10 +626,11 @@ impl Trainer {
                 if g.iter().all(|&v| v == 0.0) {
                     continue;
                 }
-                let delta = opt.step(g, abe);
+                opt.step_into(g, abe, &mut delta);
                 model.apply_update(&delta);
             }
         });
+        state.return_delta(delta);
         state.iterations += 1;
         Ok(mean_abe)
     }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Kernel benchmark sweep: writes the machine-readable perf trajectory
+# (BENCH_gemm.json, BENCH_p_update.json, BENCH_train_iter.json).
+#
+#   scripts/bench.sh                 # full sweep -> results/bench/
+#   scripts/bench.sh --smoke         # one shape per report (CI gate)
+#   scripts/bench.sh --paper         # adds the 10240 P block (~800 MB)
+#   BENCH_OUT=dir scripts/bench.sh   # alternate output directory
+#
+# Thread counts {1, 2, 4} are swept in-process via dp_pool::set_threads,
+# so one run produces the whole scaling picture. Results are medians;
+# run on an idle machine before committing a new baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-results/bench}"
+
+cargo build --release --offline -p dp-bench --bin bench_kernels
+exec cargo run --release --offline -p dp-bench --bin bench_kernels -- "--out=${OUT}" "$@"

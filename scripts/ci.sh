@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: build, test, lint, then a fault-injection soak.
+# CI gate: build, test (single- and multi-threaded pool), lint, a
+# benchmark smoke run, then a fault-injection soak.
 #
 # Everything runs --offline against the vendored dependency tree; no
 # network access is required (or attempted).
@@ -17,11 +18,17 @@ step() { printf '\n==> %s\n' "$*"; }
 step "cargo build --release"
 cargo build --release --offline
 
-step "cargo test"
-cargo test --offline -q
+step "cargo test (DP_POOL_THREADS=1)"
+DP_POOL_THREADS=1 cargo test --offline --workspace -q
+
+step "cargo test (DP_POOL_THREADS=4)"
+DP_POOL_THREADS=4 cargo test --offline --workspace -q
 
 step "cargo clippy -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
+
+step "bench smoke"
+BENCH_OUT="$(mktemp -d)" scripts/bench.sh --smoke
 
 step "fault soak (${SOAK_SECONDS}s, seed ${SOAK_SEED})"
 cargo run --release --offline --example fault_soak -- "$SOAK_SEED" "$SOAK_SECONDS"

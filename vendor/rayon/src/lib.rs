@@ -1,127 +1,496 @@
-//! Offline shim for the `rayon` iterator subset this workspace uses.
+//! Offline shim for the `rayon` iterator subset this workspace uses —
+//! now executing on the **dp-pool** deterministic thread pool.
 //!
-//! Everything runs **sequentially**. That is deliberate: floating-point
-//! reductions become order-deterministic, which the training runtime
-//! relies on for bitwise checkpoint/resume equivalence. The API mirrors
-//! rayon's (`par_iter`, `par_chunks`, `par_chunks_mut`, `map`, `zip`,
-//! `enumerate`, `for_each`, `sum`, `collect`, `reduce`) so the source
-//! stays portable to the real crate.
+//! Until PR 2 everything here ran sequentially to keep floating-point
+//! reductions order-deterministic (the training runtime's bitwise
+//! checkpoint/resume contract depends on it). This rewrite keeps that
+//! guarantee while actually parallelizing:
+//!
+//! * every region is split into **fixed blocks** whose boundaries depend
+//!   only on the item count (never on the thread count);
+//! * each block folds its items sequentially in index order;
+//! * block partials are combined by the submitting thread **in block
+//!   order** (an ordered reduction).
+//!
+//! Which thread executes which block is the only scheduling freedom, and
+//! it cannot affect results. `DP_POOL_THREADS=1`, `=2` and `=8` therefore
+//! produce bit-identical sums, gradients, weights and checkpoints.
+//!
+//! The API mirrors rayon's (`par_iter`, `par_chunks`, `par_chunks_mut`,
+//! `map`, `zip`, `enumerate`, `filter`, `for_each`, `sum`, `count`,
+//! `collect`, `reduce`) so the source stays portable to the real crate.
+
+use std::marker::PhantomData;
 
 /// Drop-in traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use super::{IntoParallelRefIterator, ParallelSlice, ParallelSliceMut, SeqIter};
+    pub use super::{
+        IndexedParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
-/// Sequential stand-in for a rayon parallel iterator.
+/// Number of scheduling blocks a region is split into. Fixed, so block
+/// boundaries — and therefore every floating-point combination order —
+/// are a function of the item count alone. 64 blocks keeps dispatch
+/// overhead negligible while letting any plausible worker count load-
+/// balance (the pool hands blocks out dynamically).
+const MAX_BLOCKS: usize = 64;
+
+#[inline]
+fn block_len(len: usize) -> usize {
+    len.div_ceil(MAX_BLOCKS).max(1)
+}
+
+/// Write-once disjoint slots shared across pool tasks (one slot per
+/// block). Safe because each block index is claimed exactly once.
+struct Slots<T>(*mut Option<T>);
+unsafe impl<T: Send> Send for Slots<T> {}
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    /// # Safety
+    /// `i` must be in bounds and written at most once across all threads.
+    unsafe fn set(&self, i: usize, v: T) {
+        *self.0.add(i) = Some(v);
+    }
+}
+
+/// A parallel iterator: a fixed-length, index-addressed item stream that
+/// can be *driven* over any sub-range in ascending index order.
 ///
-/// A thin wrapper over a plain [`Iterator`] with inherent methods named
-/// after rayon's combinators. Inherent methods (rather than a trait)
-/// avoid colliding with `std::iter::Iterator::reduce`, whose signature
-/// differs from rayon's `reduce(identity, op)`.
-pub struct SeqIter<I>(pub I);
+/// `drive` is the execution primitive the consumers are built on; it is
+/// public for the adapter implementations but not meant for end users.
+/// Implementations must feed items of `[start, end)` to `f` in ascending
+/// index order, and concurrent `drive` calls on disjoint ranges must be
+/// safe (this is what makes `par_chunks_mut` sound: each chunk is
+/// materialized at most once, by whichever task owns its index).
+pub trait ParallelIterator: Send + Sync + Sized {
+    /// Item type produced for each index.
+    type Item: Send;
 
-impl<I: Iterator> SeqIter<I> {
+    /// Exact number of indexed items.
+    fn pi_len(&self) -> usize;
+
+    /// Drive items with indices in `[start, end)`, ascending, through `f`.
+    /// Adapters that drop items (`filter`) skip indices but preserve
+    /// order.
+    fn drive<F: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, f: &mut F);
+
     /// Map each item.
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
-        SeqIter(self.0.map(f))
+    fn map<B: Send, F: Fn(Self::Item) -> B + Send + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
     }
 
-    /// Zip with another shim iterator.
-    pub fn zip<J: Iterator>(self, other: SeqIter<J>) -> SeqIter<std::iter::Zip<I, J>> {
-        SeqIter(self.0.zip(other.0))
+    /// Pair items with their index (chunk index for chunked sources).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
     }
 
-    /// Pair items with their index.
-    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
-        SeqIter(self.0.enumerate())
+    /// Keep items satisfying the predicate (order-preserving).
+    fn filter<P: Fn(&Self::Item) -> bool + Send + Sync>(self, p: P) -> Filter<Self, P> {
+        Filter { base: self, p }
     }
 
-    /// Filter items by a predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
-        SeqIter(self.0.filter(f))
+    /// Consume with a side effect per item. Effects on distinct items
+    /// must be independent (they run concurrently).
+    fn for_each<F: Fn(Self::Item) + Send + Sync>(self, op: F) {
+        let len = self.pi_len();
+        if len == 0 {
+            return;
+        }
+        let bl = block_len(len);
+        let nb = len.div_ceil(bl);
+        dp_pool::parallel_for(nb, &|b| {
+            let s = b * bl;
+            let e = (s + bl).min(len);
+            self.drive(s, e, &mut |_, item| op(item));
+        });
     }
 
-    /// Consume with a side effect per item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Sum items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Collect into a container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Count items.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    /// Rayon-style reduce: fold from `identity()` in item order.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Rayon-style reduce: per-block folds from `identity()`, combined in
+    /// block order. `op` must be associative; the grouping is fixed by
+    /// the item count, so the result is thread-count-invariant.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        self.0.fold(identity(), op)
+        let len = self.pi_len();
+        if len == 0 {
+            return identity();
+        }
+        let bl = block_len(len);
+        let nb = len.div_ceil(bl);
+        let mut partials: Vec<Option<Self::Item>> = Vec::with_capacity(nb);
+        partials.resize_with(nb, || None);
+        let slots = Slots(partials.as_mut_ptr());
+        dp_pool::parallel_for(nb, &|b| {
+            let s = b * bl;
+            let e = (s + bl).min(len);
+            let mut acc = Some(identity());
+            self.drive(s, e, &mut |_, item| {
+                acc = Some(op(acc.take().expect("accumulator"), item));
+            });
+            // SAFETY: block index `b` is claimed exactly once.
+            unsafe { slots.set(b, acc.take().expect("accumulator")) };
+        });
+        let mut acc = identity();
+        for p in partials {
+            acc = op(acc, p.expect("every block writes its slot"));
+        }
+        acc
+    }
+
+    /// Sum items (ordered per-block partial sums, combined in order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let len = self.pi_len();
+        let bl = block_len(len.max(1));
+        let nb = len.div_ceil(bl);
+        let mut partials: Vec<Option<S>> = Vec::with_capacity(nb);
+        partials.resize_with(nb, || None);
+        let slots = Slots(partials.as_mut_ptr());
+        dp_pool::parallel_for(nb, &|b| {
+            let s = b * bl;
+            let e = (s + bl).min(len);
+            let mut items: Vec<Self::Item> = Vec::with_capacity(e - s);
+            self.drive(s, e, &mut |_, item| items.push(item));
+            // SAFETY: block index `b` is claimed exactly once.
+            unsafe { slots.set(b, items.into_iter().sum::<S>()) };
+        });
+        partials
+            .into_iter()
+            .map(|p| p.expect("every block writes its slot"))
+            .sum()
+    }
+
+    /// Count items (after any `filter`).
+    fn count(self) -> usize {
+        self.map(|_| 1usize).sum()
+    }
+
+    /// Collect into a container, preserving index order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let len = self.pi_len();
+        let bl = block_len(len.max(1));
+        let nb = len.div_ceil(bl);
+        let mut partials: Vec<Option<Vec<Self::Item>>> = Vec::with_capacity(nb);
+        partials.resize_with(nb, || None);
+        let slots = Slots(partials.as_mut_ptr());
+        dp_pool::parallel_for(nb, &|b| {
+            let s = b * bl;
+            let e = (s + bl).min(len);
+            let mut items: Vec<Self::Item> = Vec::with_capacity(e - s);
+            self.drive(s, e, &mut |_, item| items.push(item));
+            // SAFETY: block index `b` is claimed exactly once.
+            unsafe { slots.set(b, items) };
+        });
+        partials
+            .into_iter()
+            .flat_map(|p| p.expect("every block writes its slot"))
+            .collect()
     }
 }
+
+/// A parallel iterator with random access by index — required by `zip`.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Produce the item at `i`.
+    ///
+    /// For mutable sources each index must be materialized at most once
+    /// across all concurrent users; the consumers uphold this.
+    fn item_at(&self, i: usize) -> Self::Item;
+
+    /// Zip with another indexed iterator (length = shorter of the two).
+    fn zip<J: IndexedParallelIterator>(self, other: J) -> Zip<Self, J> {
+        Zip { a: self, b: other }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// `.par_iter()` over a slice.
+pub struct ParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive<F: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, f: &mut F) {
+        for (i, item) in self.slice[start..end].iter().enumerate() {
+            f(start + i, item);
+        }
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {
+    fn item_at(&self, i: usize) -> Self::Item {
+        &self.slice[i]
+    }
+}
+
+/// `.par_chunks()` over a slice (indices are chunk indices).
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn drive<F: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, f: &mut F) {
+        for i in start..end {
+            f(i, self.item_at(i));
+        }
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {
+    fn item_at(&self, i: usize) -> Self::Item {
+        let s = i * self.chunk;
+        let e = (s + self.chunk).min(self.slice.len());
+        &self.slice[s..e]
+    }
+}
+
+/// `.par_chunks_mut()` over a slice: disjoint mutable chunks, each
+/// materialized exactly once by whichever task owns its index.
+pub struct ParChunksMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunks are disjoint and each index is claimed once; the raw
+// pointer stands in for the exclusive borrow held by `_marker`.
+unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    fn drive<F: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, f: &mut F) {
+        for i in start..end {
+            f(i, self.item_at(i));
+        }
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParChunksMut<'a, T> {
+    fn item_at(&self, i: usize) -> Self::Item {
+        let s = i * self.chunk;
+        let e = (s + self.chunk).min(self.len);
+        // SAFETY: chunk ranges for distinct indices are disjoint, and the
+        // consumers materialize each index at most once.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(s), e - s) }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------
+
+/// Output of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, B, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    B: Send,
+    F: Fn(I::Item) -> B + Send + Sync,
+{
+    type Item = B;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn drive<G: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, g: &mut G) {
+        self.base.drive(start, end, &mut |i, item| g(i, (self.f)(item)));
+    }
+}
+
+impl<I, B, F> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    B: Send,
+    F: Fn(I::Item) -> B + Send + Sync,
+{
+    fn item_at(&self, i: usize) -> Self::Item {
+        (self.f)(self.base.item_at(i))
+    }
+}
+
+/// Output of [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn drive<G: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, g: &mut G) {
+        self.base.drive(start, end, &mut |i, item| g(i, (i, item)));
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    fn item_at(&self, i: usize) -> Self::Item {
+        (i, self.base.item_at(i))
+    }
+}
+
+/// Output of [`ParallelIterator::filter`].
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn drive<G: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, g: &mut G) {
+        self.base.drive(start, end, &mut |i, item| {
+            if (self.p)(&item) {
+                g(i, item);
+            }
+        });
+    }
+}
+
+/// Output of [`IndexedParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn drive<G: FnMut(usize, Self::Item)>(&self, start: usize, end: usize, g: &mut G) {
+        for i in start..end {
+            g(i, (self.a.item_at(i), self.b.item_at(i)));
+        }
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    fn item_at(&self, i: usize) -> Self::Item {
+        (self.a.item_at(i), self.b.item_at(i))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------
 
 /// `.par_iter()` on slices and anything that derefs to one.
 pub trait IntoParallelRefIterator<'a> {
     /// Element type yielded by reference.
-    type Item: 'a;
+    type Item: Sync + 'a;
     /// Iterate by shared reference.
-    fn par_iter(&'a self) -> SeqIter<std::slice::Iter<'a, Self::Item>>;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = T;
 
-    fn par_iter(&'a self) -> SeqIter<std::slice::Iter<'a, T>> {
-        SeqIter(self.iter())
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = T;
 
-    fn par_iter(&'a self) -> SeqIter<std::slice::Iter<'a, T>> {
-        SeqIter(self.iter())
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
     }
 }
 
 /// `.par_chunks()` on shared slices.
-pub trait ParallelSlice<T> {
+pub trait ParallelSlice<T: Sync> {
     /// Non-overlapping chunks of length `n` (last may be shorter).
-    fn par_chunks(&self, n: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, n: usize) -> ParChunks<'_, T>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, n: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
-        SeqIter(self.chunks(n))
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, n: usize) -> ParChunks<'_, T> {
+        assert!(n > 0, "par_chunks: chunk size must be positive");
+        ParChunks { slice: self, chunk: n }
     }
 }
 
 /// `.par_chunks_mut()` on mutable slices.
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     /// Non-overlapping mutable chunks of length `n`.
-    fn par_chunks_mut(&mut self, n: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, n: usize) -> ParChunksMut<'_, T>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, n: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
-        SeqIter(self.chunks_mut(n))
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> ParChunksMut<'_, T> {
+        assert!(n > 0, "par_chunks_mut: chunk size must be positive");
+        ParChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: n,
+            _marker: PhantomData,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    // The pool is process-global; tests that resize it take this lock.
+    static LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn map_reduce_matches_sequential() {
@@ -159,5 +528,58 @@ mod tests {
         let b = vec![10.0, 20.0];
         let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
         assert_eq!(dot, 50.0);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = xs.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_preserves_order_and_count() {
+        let xs: Vec<usize> = (0..500).collect();
+        let out: Vec<usize> = xs.par_iter().map(|&x| x).filter(|x| x % 7 == 0).collect();
+        assert_eq!(out, (0..500).filter(|x| x % 7 == 0).collect::<Vec<_>>());
+        let n = xs.par_iter().filter(|&&x| x % 7 == 0).count();
+        assert_eq!(n, out.len());
+    }
+
+    /// The determinism contract: floating-point reductions are
+    /// bit-identical for every thread count, because block boundaries
+    /// depend only on the length.
+    #[test]
+    fn reductions_are_bitwise_invariant_across_thread_counts() {
+        let _g = LOCK.lock().unwrap();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|i| ((i as f64) * 0.618).sin() * 1e-3 + 1e-9 * i as f64)
+            .collect();
+        let run = |threads: usize| -> (u64, u64) {
+            dp_pool::set_threads(threads);
+            let s: f64 = xs.par_iter().map(|&x| x * 1.000000119).sum();
+            let r = xs
+                .par_iter()
+                .map(|&x| (x * 3.0, 1.0))
+                .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+            (s.to_bits(), r.0.to_bits())
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        dp_pool::set_threads(1);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: Vec<f64> = vec![];
+        let s: f64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0.0);
+        let v: Vec<f64> = xs.par_iter().map(|&x| x).collect();
+        assert!(v.is_empty());
+        let r = xs.par_iter().map(|&x| x).reduce(|| -1.0, |a, b| a + b);
+        assert_eq!(r, -1.0);
     }
 }
