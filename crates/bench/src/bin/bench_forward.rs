@@ -1,0 +1,161 @@
+//! Forward/backward and environment-cache throughput benchmarks.
+//!
+//! Writes `BENCH_forward.json` (schema in `dp_bench::report`) with two
+//! families of records:
+//!
+//! * per-frame kernels at `DP_POOL_THREADS ∈ {1, 2, 4}` — `env_build`
+//!   (neighbour-environment construction, the work the cache removes),
+//!   `forward_uncached` vs `forward_cached` (same network, environment
+//!   rebuilt vs reused), `forces` and `grad_energy_params`;
+//! * end-to-end FEKF training throughput at 1 and 4 threads with the
+//!   cache off and on — `fekf_frames_per_s_cache_{off,on}` store
+//!   frame-updates per second in the `median_ns` field (the name says
+//!   what the number is), plus `env_cache_hit_rate` (0–1) and
+//!   `env_cache_misses`. Misses equal to the training-set size mean
+//!   every geometry was built exactly once — a steady-state hit rate
+//!   of 1 after the first epoch's warm-up.
+//!
+//! Flags: `--smoke` (fewer samples/epochs, for CI), `--out=DIR`
+//! (default `results/bench`).
+
+use deepmd_core::env_cache::{EnvCache, FrameEnv};
+use dp_bench::report::{measure, BenchReport};
+use dp_mdsim::systems::PaperSystem;
+use dp_optim::fekf::FekfConfig;
+use dp_train::recipes::{run_fekf, setup, ModelScale};
+use dp_train::trainer::TrainConfig;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+struct Opts {
+    smoke: bool,
+    out: PathBuf,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts { smoke: false, out: PathBuf::from("results/bench") };
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            o.smoke = true;
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            o.out = PathBuf::from(v);
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("flags: --smoke --out=DIR");
+            std::process::exit(0);
+        } else {
+            eprintln!("error: unknown flag '{arg}' (try --help)");
+            std::process::exit(2);
+        }
+    }
+    o
+}
+
+const THREADS: &[usize] = &[1, 2, 4];
+
+fn main() {
+    let opts = parse_opts();
+    let mut rep = BenchReport::new("forward");
+    let scale = dp_data::generate::GenScale {
+        frames_per_temperature: if opts.smoke { 8 } else { 16 },
+        equilibration: 80,
+        stride: 4,
+    };
+    let samples = if opts.smoke { 3 } else { 7 };
+    let bs = 16;
+
+    // Per-frame kernels.
+    let s = setup(PaperSystem::Al, &scale, ModelScale::Small, 2024);
+    let model = &s.model;
+    let frame = &s.train.frames[0];
+    let n_atoms = frame.types.len();
+    let n_params = model.n_params();
+    let shape = [n_atoms, n_params];
+    for &t in THREADS {
+        dp_pool::set_threads(t);
+        let (ns, k) = measure(samples, || {
+            black_box(FrameEnv::build(&model.cfg, &model.stats, frame));
+        });
+        rep.push("env_build", &[n_atoms], t, ns, k);
+        let (ns, k) = measure(samples, || {
+            black_box(model.forward(frame).energy);
+        });
+        rep.push("forward_uncached", &shape, t, ns, k);
+        let cache = EnvCache::new(1);
+        let _ = model.forward_with_cache(&cache, 0, frame); // warm the slot
+        let (ns, k) = measure(samples, || {
+            black_box(model.forward_with_cache(&cache, 0, frame).energy);
+        });
+        rep.push("forward_cached", &shape, t, ns, k);
+        let pass = model.forward(frame);
+        let (ns, k) = measure(samples, || {
+            black_box(model.forces(&pass));
+        });
+        rep.push("forces", &shape, t, ns, k);
+        let (ns, k) = measure(samples, || {
+            black_box(model.grad_energy_params(&pass));
+        });
+        rep.push("grad_energy_params", &shape, t, ns, k);
+        eprintln!("per-frame kernels t={t}: done ({n_atoms} atoms, {n_params} params)");
+    }
+
+    // End-to-end FEKF throughput, cache off/on.
+    for &t in &[1usize, 4] {
+        for cache_on in [false, true] {
+            dp_pool::set_threads(t);
+            let mut s = setup(PaperSystem::Al, &scale, ModelScale::Small, 2024);
+            let n_frames = s.train.len();
+            let cfg = TrainConfig {
+                batch_size: bs,
+                max_epochs: if opts.smoke { 1 } else { 2 },
+                eval_frames: 4,
+                env_cache: cache_on,
+                ..Default::default()
+            };
+            let out = run_fekf(&mut s, cfg, FekfConfig::default());
+            let secs = (out.phases.forward + out.phases.gradient + out.phases.optimizer)
+                .as_secs_f64()
+                .max(1e-9);
+            let fps = out.iterations as f64 * bs as f64 / secs;
+            let name = if cache_on {
+                "fekf_frames_per_s_cache_on"
+            } else {
+                "fekf_frames_per_s_cache_off"
+            };
+            rep.push(name, &[s.model.n_params(), bs], t, fps, out.iterations as usize);
+            if cache_on {
+                rep.push(
+                    "env_cache_hit_rate",
+                    &[n_frames],
+                    t,
+                    out.env_cache.hit_rate(),
+                    out.iterations as usize,
+                );
+                rep.push(
+                    "env_cache_misses",
+                    &[n_frames],
+                    t,
+                    out.env_cache.misses as f64,
+                    out.iterations as usize,
+                );
+                assert_eq!(
+                    out.env_cache.misses, n_frames as u64,
+                    "cache must build each geometry exactly once (zero steady-state rebuilds)"
+                );
+            }
+            eprintln!(
+                "fekf t={t} cache={}: {:.1} frames/s ({} iters)",
+                if cache_on { "on" } else { "off" },
+                fps,
+                out.iterations
+            );
+        }
+    }
+
+    dp_pool::set_threads(1);
+    let path = opts.out.join("BENCH_forward.json");
+    rep.write(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!("wrote {} ({} records)", path.display(), rep.records.len());
+}

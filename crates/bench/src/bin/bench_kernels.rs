@@ -133,11 +133,13 @@ fn bench_train_iter(opts: &Opts) -> BenchReport {
     for &t in THREADS {
         dp_pool::set_threads(t);
         let mut s = setup(PaperSystem::Al, &scale, ModelScale::Small, 2024);
+        let n_frames = s.train.len();
         let n_params = s.model.n_params();
         let cfg = TrainConfig {
             batch_size: bs,
             max_epochs: 1,
             eval_frames: 4,
+            env_cache: true,
             ..Default::default()
         };
         let out = run_fekf(&mut s, cfg, FekfConfig::default());
@@ -150,7 +152,18 @@ fn bench_train_iter(opts: &Opts) -> BenchReport {
         let total =
             per(out.phases.forward) + per(out.phases.gradient) + per(out.phases.optimizer);
         rep.push("fekf_iter_total", &shape, t, total, out.iterations as usize);
-        eprintln!("train_iter t={t}: {:.1} ms/iter ({} iters)", total / 1e6, out.iterations);
+        // Frames/s and cache effectiveness (the median_ns field holds the
+        // value the record name describes, not a time).
+        let fps = out.iterations as f64 * bs as f64 / (out.phases.total().as_secs_f64()).max(1e-9);
+        rep.push("fekf_frames_per_s", &shape, t, fps, out.iterations as usize);
+        rep.push("env_cache_hit_rate", &[n_frames], t, out.env_cache.hit_rate(), out.iterations as usize);
+        rep.push("env_cache_misses", &[n_frames], t, out.env_cache.misses as f64, out.iterations as usize);
+        eprintln!(
+            "train_iter t={t}: {:.1} ms/iter, {fps:.1} frames/s, hit rate {:.3} ({} iters)",
+            total / 1e6,
+            out.env_cache.hit_rate(),
+            out.iterations
+        );
     }
     rep
 }

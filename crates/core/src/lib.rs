@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod env;
+pub mod env_cache;
 pub mod loss;
 pub mod mlp;
 pub mod model;
@@ -38,4 +39,5 @@ pub mod nnmd;
 pub mod tape_path;
 
 pub use config::ModelConfig;
+pub use env_cache::{CacheStats, EnvCache, FrameEnv};
 pub use model::{DeepPotModel, ForwardPass, Prediction};

@@ -101,6 +101,16 @@ impl MlpGrads {
                 .collect(),
         }
     }
+
+    /// Reset every gradient entry to zero in place (buffer reuse —
+    /// the frame-parallel gradient engine recycles one `MlpGrads` per
+    /// worker block instead of reallocating per sample).
+    pub fn zero(&mut self) {
+        for (gw, gb) in &mut self.layers {
+            gw.as_mut_slice().fill(0.0);
+            gb.as_mut_slice().fill(0.0);
+        }
+    }
 }
 
 impl Mlp {

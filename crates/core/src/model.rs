@@ -24,7 +24,8 @@
 //!   reverse sweep of a tangent program, not a second-order graph.
 
 use crate::config::ModelConfig;
-use crate::env::{build_envs, AtomEnv, EnvStats};
+use crate::env::{AtomEnv, EnvStats};
+use crate::env_cache::{EnvCache, FrameEnv};
 use crate::mlp::{LayerKind, Mlp, MlpCache, MlpDual, MlpGrads};
 use dp_data::dataset::{Dataset, Snapshot};
 use dp_data::stats::EnergyBias;
@@ -34,6 +35,7 @@ use dp_tensor::Mat;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Model output for one frame.
 #[derive(Clone, Debug)]
@@ -49,6 +51,17 @@ pub struct Prediction {
 pub struct ModelGrads {
     emb: Vec<MlpGrads>,
     fit: Vec<MlpGrads>,
+}
+
+impl ModelGrads {
+    /// Reset every entry to zero in place, keeping the allocations —
+    /// the per-block scratch of the gradient engine is recycled across
+    /// samples and iterations.
+    pub fn zero(&mut self) {
+        for g in self.emb.iter_mut().chain(self.fit.iter_mut()) {
+            g.zero();
+        }
+    }
 }
 
 /// The Deep Potential model.
@@ -67,10 +80,10 @@ pub struct DeepPotModel {
     pub fittings: Vec<Mlp>,
 }
 
-/// Cached forward state of one atom.
+/// Cached forward state of one atom. The atom's environment lives in
+/// the pass-level [`FrameEnv`] (shared, possibly cached geometry).
 struct AtomPass {
     ti: usize,
-    env: AtomEnv,
     /// Normalized environment matrix, `nᵢ × 4`.
     r_mat: Mat,
     /// Stacked embedding output, `nᵢ × M`.
@@ -83,9 +96,15 @@ struct AtomPass {
 }
 
 /// Forward pass over a frame: per-atom caches plus the energy.
-pub struct ForwardPass {
-    /// The frame (owned copy; frames are small).
-    pub frame: Snapshot,
+///
+/// Borrows the frame (no per-forward `Snapshot` deep copy) and shares
+/// the frame geometry via `Arc` — a cache hit makes the whole
+/// weight-independent part of the forward free.
+pub struct ForwardPass<'f> {
+    /// The frame the pass was computed from.
+    pub frame: &'f Snapshot,
+    /// Per-atom environments (owned fresh build or cached entry).
+    env: Arc<FrameEnv>,
     atoms: Vec<AtomPass>,
     /// Network output before adding the bias back.
     pub energy_residual: f64,
@@ -93,16 +112,21 @@ pub struct ForwardPass {
     pub energy: f64,
 }
 
-impl ForwardPass {
+impl ForwardPass<'_> {
     /// Number of atoms in the frame.
     pub fn n_atoms(&self) -> usize {
         self.atoms.len()
     }
 
+    /// The frame geometry this pass was computed against.
+    pub fn frame_env(&self) -> &FrameEnv {
+        &self.env
+    }
+
     /// Iterate `(centre type, environment)` per atom (crate-internal:
     /// used by the autograd baseline path).
     pub(crate) fn atom_envs(&self) -> impl Iterator<Item = (usize, &AtomEnv)> {
-        self.atoms.iter().map(|a| (a.ti, &a.env))
+        self.atoms.iter().zip(self.env.envs.iter()).map(|(a, e)| (a.ti, e))
     }
 }
 
@@ -256,17 +280,65 @@ impl DeepPotModel {
         out
     }
 
+    /// `out += scale · flatten(grads)` without allocating — the
+    /// accumulation step of the frame-parallel gradient reduction.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n_params()`.
+    pub fn add_flattened_scaled(&self, grads: &ModelGrads, scale: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_params(), "add_flattened_scaled: length mismatch");
+        let mut off = 0;
+        for g in grads.emb.iter().chain(grads.fit.iter()) {
+            for (gw, gb) in &g.layers {
+                for &v in gw.as_slice() {
+                    out[off] += scale * v;
+                    off += 1;
+                }
+                for &v in gb.as_slice() {
+                    out[off] += scale * v;
+                    off += 1;
+                }
+            }
+        }
+    }
+
     // ---- forward ------------------------------------------------------
 
     /// Forward pass: energy + per-atom caches for the derivative sweeps.
-    pub fn forward(&self, frame: &Snapshot) -> ForwardPass {
-        let envs = build_envs(&self.cfg, &self.stats, frame);
+    /// Builds the frame geometry fresh; [`DeepPotModel::forward_with_cache`]
+    /// skips the rebuild when a valid cached entry exists.
+    pub fn forward<'f>(&self, frame: &'f Snapshot) -> ForwardPass<'f> {
+        let env = Arc::new(FrameEnv::build(&self.cfg, &self.stats, frame));
+        self.forward_cached(frame, env)
+    }
+
+    /// Forward pass against a cache: one geometry build per frame per
+    /// dataset lifetime (steady-state hit rate 1.0).
+    pub fn forward_with_cache<'f>(
+        &self,
+        cache: &EnvCache,
+        idx: usize,
+        frame: &'f Snapshot,
+    ) -> ForwardPass<'f> {
+        let env = cache.get_or_build(&self.cfg, &self.stats, idx, frame);
+        self.forward_cached(frame, env)
+    }
+
+    /// Forward pass over a precomputed [`FrameEnv`]. The env must have
+    /// been built from this `frame` with this model's config/stats —
+    /// [`EnvCache::get_or_build`] guarantees that via the geometry hash.
+    pub fn forward_cached<'f>(&self, frame: &'f Snapshot, frame_env: Arc<FrameEnv>) -> ForwardPass<'f> {
+        debug_assert_eq!(
+            frame_env.geom_hash,
+            crate::env_cache::geometry_hash(frame),
+            "forward_cached: env does not match the frame geometry"
+        );
         let nt = self.cfg.n_types;
         let m = self.cfg.m;
         let inv_n = 1.0 / self.stats.n_scale;
-        let mut atoms = Vec::with_capacity(envs.len());
+        let mut atoms = Vec::with_capacity(frame_env.envs.len());
         let mut energy_residual = 0.0;
-        for (i, env) in envs.into_iter().enumerate() {
+        for (i, env) in frame_env.envs.iter().enumerate() {
             let ti = frame.types[i];
             let n_i = env.entries.len();
             // Environment matrix rows.
@@ -297,10 +369,10 @@ impl DeepPotModel {
             let d_flat = Mat::from_vec(1, self.cfg.descriptor_dim(), d.into_vec());
             let (e_out, fit_cache) = self.fittings[ti].forward(&d_flat);
             energy_residual += e_out.get(0, 0);
-            atoms.push(AtomPass { ti, env, r_mat, g, emb_caches, u, fit_cache });
+            atoms.push(AtomPass { ti, r_mat, g, emb_caches, u, fit_cache });
         }
         let energy = energy_residual + self.bias.reference_energy(&frame.types);
-        ForwardPass { frame: frame.clone(), atoms, energy_residual, energy }
+        ForwardPass { frame, env: frame_env, atoms, energy_residual, energy }
     }
 
     /// Energy + forces in one call.
@@ -316,7 +388,7 @@ impl DeepPotModel {
     /// accumulates parameter gradients and/or assembles forces.
     fn backward_energy(
         &self,
-        pass: &ForwardPass,
+        pass: &ForwardPass<'_>,
         mut grads: Option<&mut ModelGrads>,
         compute_forces: bool,
     ) -> Option<Vec<Vec3>> {
@@ -331,6 +403,7 @@ impl DeepPotModel {
         };
         let seed = Mat::from_vec(1, 1, vec![1.0]);
         for (i, atom) in pass.atoms.iter().enumerate() {
+            let env = &pass.env.envs[i];
             let ti = atom.ti;
             // Fitting backward.
             let gd_flat = self.fittings[ti].backward(
@@ -361,9 +434,9 @@ impl DeepPotModel {
                 None
             };
             // Embedding backward per type block; collect dE/ds.
-            let mut g_s = vec![0.0; atom.env.entries.len()];
+            let mut g_s = vec![0.0; env.entries.len()];
             for tj in 0..nt {
-                let (a, b) = atom.env.type_ranges[tj];
+                let (a, b) = env.type_ranges[tj];
                 if a == b {
                     continue;
                 }
@@ -385,7 +458,7 @@ impl DeepPotModel {
             if compute_forces {
                 kernel::launch("force_assembly");
                 let g_r = g_r.as_ref().unwrap();
-                for (k, e) in atom.env.entries.iter().enumerate() {
+                for (k, e) in env.entries.iter().enumerate() {
                     let mut dvec = [0.0; 3];
                     for (a, dva) in dvec.iter_mut().enumerate() {
                         let mut acc = 0.0;
@@ -413,16 +486,23 @@ impl DeepPotModel {
 
     /// Forces `F = −∇_r E_tot` from a forward pass (handwritten Opt1
     /// kernels).
-    pub fn forces(&self, pass: &ForwardPass) -> Vec<Vec3> {
+    pub fn forces(&self, pass: &ForwardPass<'_>) -> Vec<Vec3> {
         self.backward_energy(pass, None, true).unwrap()
     }
 
     /// `∇_θ E_tot` as a flat vector (the Kalman-filter energy update
     /// gradient; `h = E_tot` in Algorithm 1).
-    pub fn grad_energy_params(&self, pass: &ForwardPass) -> Vec<f64> {
+    pub fn grad_energy_params(&self, pass: &ForwardPass<'_>) -> Vec<f64> {
         let mut grads = self.zero_grads();
-        self.backward_energy(pass, Some(&mut grads), false);
+        self.backward_energy_params(pass, &mut grads);
         self.flatten_grads(&grads)
+    }
+
+    /// Accumulate `∇_θ E_tot` into a caller-owned (zeroed or partially
+    /// summed) gradient buffer — the allocation-free form used by the
+    /// frame-parallel gradient engine.
+    pub fn backward_energy_params(&self, pass: &ForwardPass<'_>, grads: &mut ModelGrads) {
+        self.backward_energy(pass, Some(grads), false);
     }
 
     // ---- dual sweep (∇θ of force contractions) -------------------------
@@ -432,13 +512,25 @@ impl DeepPotModel {
     ///
     /// Used by the Kalman-filter force updates (`c = ±1` over a force
     /// group) and the Adam force-loss gradient (`c = 2(F̂ − F)/3N`).
-    pub fn grad_force_sum_params(&self, pass: &ForwardPass, coeffs: &[f64]) -> Vec<f64> {
+    pub fn grad_force_sum_params(&self, pass: &ForwardPass<'_>, coeffs: &[f64]) -> Vec<f64> {
+        let mut grads = self.zero_grads();
+        self.grad_force_sum_params_into(pass, coeffs, &mut grads);
+        self.flatten_grads(&grads)
+    }
+
+    /// Accumulating form of [`DeepPotModel::grad_force_sum_params`]:
+    /// adds `∇_θ (Σ_k c_k F_k)` into a caller-owned gradient buffer.
+    pub fn grad_force_sum_params_into(
+        &self,
+        pass: &ForwardPass<'_>,
+        coeffs: &[f64],
+        grads: &mut ModelGrads,
+    ) {
         let n_atoms = pass.atoms.len();
         assert_eq!(coeffs.len(), 3 * n_atoms, "coeffs must be 3·n_atoms long");
         let nt = self.cfg.n_types;
         let m_sub = self.cfg.m_sub;
         let inv_n = 1.0 / self.stats.n_scale;
-        let mut grads = self.zero_grads();
         let c_at = |k: usize| Vec3::new(coeffs[3 * k], coeffs[3 * k + 1], coeffs[3 * k + 2]);
 
         // φ = Σ_k c_k F_k = −Ė with position tangent ṙ = c, so seed the
@@ -447,12 +539,13 @@ impl DeepPotModel {
         let neg_seed = Mat::from_vec(1, 1, vec![-1.0]);
 
         for (i, atom) in pass.atoms.iter().enumerate() {
+            let env = &pass.env.envs[i];
             let ti = atom.ti;
-            let n_i = atom.env.entries.len();
+            let n_i = env.entries.len();
             // Tangent env rows: ṙow[c] = drow[c]·(c_j − c_i).
             kernel::launch("env_tangent");
             let mut r_dot = Mat::zeros(n_i, 4);
-            for (k, e) in atom.env.entries.iter().enumerate() {
+            for (k, e) in env.entries.iter().enumerate() {
                 let rel = c_at(e.j) - c_at(i);
                 for c in 0..4 {
                     let mut acc = 0.0;
@@ -466,7 +559,7 @@ impl DeepPotModel {
             let mut g_dot = Mat::zeros(n_i, self.cfg.m);
             let mut duals: Vec<Option<MlpDual>> = Vec::with_capacity(nt);
             for tj in 0..nt {
-                let (a, b) = atom.env.type_ranges[tj];
+                let (a, b) = env.type_ranges[tj];
                 if a == b {
                     duals.push(None);
                     continue;
@@ -525,7 +618,7 @@ impl DeepPotModel {
             let g_gdot = atom.r_mat.matmul(&gudot).scale(inv_n);
             // Embedding dual backward per block.
             for (tj, dual) in duals.iter().enumerate() {
-                let (a, b) = atom.env.type_ranges[tj];
+                let (a, b) = env.type_ranges[tj];
                 if a == b {
                     continue;
                 }
@@ -546,12 +639,11 @@ impl DeepPotModel {
                 );
             }
         }
-        self.flatten_grads(&grads)
     }
 
     /// Directly evaluate `Σ_k c_k · F_k` via the tangent sweep alone
     /// (cheaper than assembling all forces; used for validation).
-    pub fn force_contraction(&self, pass: &ForwardPass, coeffs: &[f64]) -> f64 {
+    pub fn force_contraction(&self, pass: &ForwardPass<'_>, coeffs: &[f64]) -> f64 {
         let forces = self.forces(pass);
         forces
             .iter()

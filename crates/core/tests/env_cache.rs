@@ -1,0 +1,142 @@
+//! Env-cache transparency gate: a forward pass built from a cached
+//! [`deepmd_core::FrameEnv`] — and every derivative taken through it —
+//! must be *bitwise* equal to the uncached path, for random
+//! configurations, random weights, and mutated (cache-invalidating)
+//! frames. The cache may only change when geometry is built, never
+//! what is computed from it.
+
+use deepmd_core::config::ModelConfig;
+use deepmd_core::env::EnvStats;
+use deepmd_core::model::DeepPotModel;
+use deepmd_core::EnvCache;
+use dp_data::dataset::Snapshot;
+use dp_data::stats::EnergyBias;
+use dp_mdsim::Vec3;
+use proptest::prelude::*;
+
+const BOX_L: f64 = 8.0;
+
+fn model(seed: u64, n_types: usize) -> DeepPotModel {
+    let mut cfg = ModelConfig::small(n_types, 3.0);
+    cfg.rcut_smooth = 1.8;
+    cfg.seed = seed;
+    DeepPotModel::with_stats(
+        cfg,
+        EnvStats::identity(n_types),
+        EnergyBias { per_type: vec![0.0; n_types] },
+    )
+}
+
+fn frame(positions: &[[f64; 3]], types: &[usize]) -> Snapshot {
+    Snapshot {
+        cell: [BOX_L; 3],
+        types: types.to_vec(),
+        type_names: vec!["A".into(), "B".into()],
+        pos: positions.iter().map(|p| Vec3(*p)).collect(),
+        energy: -1.0,
+        forces: vec![Vec3::ZERO; positions.len()],
+        temperature: 300.0,
+    }
+}
+
+/// Random configuration: 6–10 atoms, 2 types, positions inside the box.
+fn config_strategy() -> impl Strategy<Value = (Vec<[f64; 3]>, Vec<usize>)> {
+    (6usize..=10)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(
+                    [0.2..BOX_L - 0.2, 0.2..BOX_L - 0.2, 0.2..BOX_L - 0.2],
+                    n,
+                ),
+                proptest::collection::vec(0usize..2, n),
+            )
+        })
+        .prop_filter("atoms must not overlap", |(pos, _)| {
+            for i in 0..pos.len() {
+                for j in (i + 1)..pos.len() {
+                    let d2: f64 = (0..3)
+                        .map(|k| {
+                            let mut x: f64 = pos[i][k] - pos[j][k];
+                            x -= BOX_L * (x / BOX_L).round();
+                            x * x
+                        })
+                        .sum();
+                    if d2 < 0.64 {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn force_bits(v: &[Vec3]) -> Vec<u64> {
+    v.iter().flat_map(|f| f.0.iter().map(|x| x.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Energy, forces, ∇θE and the force-contraction ∇θ are bitwise
+    /// equal whether the environment comes from the cache (cold miss
+    /// AND warm hit) or is rebuilt per call.
+    #[test]
+    fn cached_forward_and_gradients_match_uncached_bitwise(
+        (pos, types) in config_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let m = model(seed, 2);
+        let f = frame(&pos, &types);
+        let coeffs: Vec<f64> = (0..3 * f.types.len())
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+
+        let pass = m.forward(&f);
+        let forces = m.forces(&pass);
+        let ge = m.grad_energy_params(&pass);
+        let gf = m.grad_force_sum_params(&pass, &coeffs);
+
+        let cache = EnvCache::new(1);
+        // First lookup is a miss (builds), second a hit (reuses): both
+        // must be indistinguishable from the uncached pass.
+        for lookup in 0..2 {
+            let cpass = m.forward_with_cache(&cache, 0, &f);
+            // Cold miss (lookup 0) and warm hit (lookup 1) alike.
+            let _ = lookup;
+            prop_assert_eq!(cpass.energy.to_bits(), pass.energy.to_bits());
+            prop_assert_eq!(force_bits(&m.forces(&cpass)), force_bits(&forces));
+            prop_assert_eq!(bits(&m.grad_energy_params(&cpass)), bits(&ge));
+            prop_assert_eq!(bits(&m.grad_force_sum_params(&cpass, &coeffs)), bits(&gf));
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, 1);
+    }
+
+    /// Mutating a frame's geometry re-keys the slot: the stale entry is
+    /// rebuilt (a miss) and the new results match an uncached forward
+    /// of the mutated frame, not the original.
+    #[test]
+    fn mutated_frame_rebuilds_and_matches_fresh_geometry(
+        (pos, types) in config_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let m = model(seed, 2);
+        let f = frame(&pos, &types);
+        let cache = EnvCache::new(1);
+        let e0 = m.forward_with_cache(&cache, 0, &f).energy;
+
+        let _ = e0;
+        let mut f2 = f.clone();
+        f2.pos[0].0[0] += 0.11; // geometry change → hash change
+        let cached = m.forward_with_cache(&cache, 0, &f2).energy;
+        let fresh = m.forward(&f2).energy;
+        prop_assert_eq!(cached.to_bits(), fresh.to_bits());
+        prop_assert_eq!(cache.stats().misses, 2); // mutation must force a rebuild
+        prop_assert_eq!(cache.stats().hits, 0);
+    }
+}

@@ -108,6 +108,59 @@ fn gemm_row_group(a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &
     }
 }
 
+/// `Aᵀ·B` micro-kernel: accumulate `C[i0.., :] += Aᵀ[i0.., :] · B` for
+/// the output row group in `crows` (up to [`GEMM_MR`] rows of `C`,
+/// i.e. columns of `A`). Same `i-k-j` fan-out as [`gemm_row_group`],
+/// with the `A` operand read column-strided in place of a transpose.
+#[inline]
+fn gemm_tn_row_group(a: &[f64], bd: &[f64], rows: usize, m: usize, n: usize, i0: usize, crows: &mut [f64]) {
+    let nr = crows.len() / n;
+    if nr == GEMM_MR {
+        let (c0, rest) = crows.split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, c3) = rest.split_at_mut(n);
+        for kk in 0..rows {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let (x0, x1, x2, x3) = (arow[i0], arow[i0 + 1], arow[i0 + 2], arow[i0 + 3]);
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                let bkj = brow[j];
+                c0[j] += x0 * bkj;
+                c1[j] += x1 * bkj;
+                c2[j] += x2 * bkj;
+                c3[j] += x3 * bkj;
+            }
+        }
+    } else {
+        for kk in 0..rows {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (r, crow) in crows.chunks_mut(n).enumerate() {
+                let x = arow[i0 + r];
+                for (cij, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                    *cij += x * bkj;
+                }
+            }
+        }
+    }
+}
+
+/// `A·Bᵀ` micro-kernel: each streamed row of `B` (a column of `Bᵀ`) is
+/// dotted against all rows of the group before moving on, so it is
+/// loaded once per [`GEMM_MR`] outputs. Every element is one
+/// [`rowdot`] — bitwise identical to the untiled loop.
+#[inline]
+fn gemm_nt_row_group(a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+    let nr = crows.len() / n;
+    for j in 0..n {
+        let brow = &bd[j * k..(j + 1) * k];
+        for r in 0..nr {
+            let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+            crows[r * n + j] = rowdot(arow, brow);
+        }
+    }
+}
+
 impl Mat {
     /// Create a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -269,39 +322,61 @@ impl Mat {
     }
 
     /// `C = Aᵀ · B` without materializing the transpose.
+    ///
+    /// Tiled like [`Mat::matmul_into`]: [`GEMM_MR`]-high output row
+    /// groups in `i-k-j` order, so each streamed `A`/`B` row pair feeds
+    /// 4 accumulator rows and `k` ascends for every output element —
+    /// group boundaries depend only on the shapes, so the result is
+    /// bitwise thread-count independent.
     pub fn t_matmul(&self, b: &Mat) -> Mat {
         assert_eq!(self.rows, b.rows, "t_matmul: inner dims {} vs {}", self.rows, b.rows);
         kernel::launch("gemm_tn");
         let (m, n) = (self.cols, b.cols);
         let mut out = Mat::zeros(m, n);
-        // C[i][j] = sum_k A[k][i] * B[k][j]  — accumulate rank-1 updates.
-        for kk in 0..self.rows {
-            let arow = self.row(kk);
-            let brow = b.row(kk);
-            for (i, &aki) in arow.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let crow = &mut out.data[i * n..(i + 1) * n];
-                for (cij, &bkj) in crow.iter_mut().zip(brow.iter()) {
-                    *cij += aki * bkj;
-                }
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let bd = &b.data;
+        let rows = self.rows;
+        if rows * m * n >= PAR_FLOPS_THRESHOLD {
+            out.data
+                .par_chunks_mut(GEMM_MR * n)
+                .enumerate()
+                .for_each(|(g, crows)| gemm_tn_row_group(a, bd, rows, m, n, g * GEMM_MR, crows));
+        } else {
+            for (g, crows) in out.data.chunks_mut(GEMM_MR * n).enumerate() {
+                gemm_tn_row_group(a, bd, rows, m, n, g * GEMM_MR, crows);
             }
         }
         out
     }
 
     /// `C = A · Bᵀ` without materializing the transpose.
+    ///
+    /// Output rows are processed in [`GEMM_MR`] groups sharing each
+    /// streamed row of `B` (one `B`-row load per 4 outputs); every
+    /// element stays an independent [`rowdot`], so the tiling is
+    /// bitwise identical to the naive row-by-row loop at any thread
+    /// count.
     pub fn matmul_t(&self, b: &Mat) -> Mat {
         assert_eq!(self.cols, b.cols, "matmul_t: inner dims {} vs {}", self.cols, b.cols);
         kernel::launch("gemm_nt");
         let (m, n, k) = (self.rows, b.rows, self.cols);
         let mut out = Mat::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row(i);
-            let crow = &mut out.data[i * n..(i + 1) * n];
-            for (j, cij) in crow.iter_mut().enumerate() {
-                *cij = rowdot(arow, &b.data[j * k..(j + 1) * k]);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let bd = &b.data;
+        if m * n * k >= PAR_FLOPS_THRESHOLD {
+            out.data
+                .par_chunks_mut(GEMM_MR * n)
+                .enumerate()
+                .for_each(|(g, crows)| gemm_nt_row_group(a, bd, k, n, g * GEMM_MR, crows));
+        } else {
+            for (g, crows) in out.data.chunks_mut(GEMM_MR * n).enumerate() {
+                gemm_nt_row_group(a, bd, k, n, g * GEMM_MR, crows);
             }
         }
         out
@@ -575,11 +650,17 @@ mod tests {
         let xb: Vec<f64> = (0..600).map(|i| (i as f64 * 0.017).cos()).collect();
         let run = |threads: usize| {
             dp_pool::set_threads(threads);
-            (a.matmul(&b), a.matvec(&x), big.matvec(&xb))
+            (
+                a.matmul(&b),
+                a.matvec(&x),
+                big.matvec(&xb),
+                a.t_matmul(&a),
+                b.matmul_t(&b),
+            )
         };
-        let (c1, y1, z1) = run(1);
-        let (c2, y2, z2) = run(2);
-        let (c8, y8, z8) = run(8);
+        let (c1, y1, z1, t1, u1) = run(1);
+        let (c2, y2, z2, t2, u2) = run(2);
+        let (c8, y8, z8, t8, u8) = run(8);
         dp_pool::set_threads(1);
         let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(c1.as_slice()), bits(c2.as_slice()));
@@ -588,6 +669,10 @@ mod tests {
         assert_eq!(bits(&y1), bits(&y8));
         assert_eq!(bits(&z1), bits(&z2));
         assert_eq!(bits(&z1), bits(&z8));
+        assert_eq!(bits(t1.as_slice()), bits(t2.as_slice()));
+        assert_eq!(bits(t1.as_slice()), bits(t8.as_slice()));
+        assert_eq!(bits(u1.as_slice()), bits(u2.as_slice()));
+        assert_eq!(bits(u1.as_slice()), bits(u8.as_slice()));
     }
 
     #[test]

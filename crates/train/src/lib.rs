@@ -10,6 +10,10 @@
 //!   RLEKF (instance-by-instance updates) and FEKF (early-reduced batch
 //!   updates), plus the data-parallel FEKF loop over
 //!   [`dp_parallel::DeviceGroup`] devices,
+//! * [`gradients`] — the deterministic frame-parallel batch-gradient
+//!   engine: fixed-block fan-out over `dp-pool`, index-order
+//!   reduction, recycled per-block scratch (allocation-free steady
+//!   state),
 //! * [`metrics`] — phase timers (forward / gradient / KF — the
 //!   decomposition of Figure 7(c)) and training histories,
 //! * [`recipes`] — one-call experiment entry points used by the
@@ -26,6 +30,7 @@
 pub mod active;
 pub mod checkpoint;
 pub mod error;
+pub mod gradients;
 pub mod metrics;
 pub mod online;
 pub mod recipes;

@@ -12,7 +12,7 @@
 //! components of a disjoint round-robin group of atoms (§4: "updated
 //! one time with total Energy and four times with atomic force").
 
-use deepmd_core::model::{DeepPotModel, ForwardPass};
+use deepmd_core::model::{DeepPotModel, ForwardPass, ModelGrads};
 use deepmd_core::tape_path;
 use dp_data::dataset::Snapshot;
 
@@ -58,13 +58,113 @@ pub fn energy_target_with(model: &DeepPotModel, pass: &ForwardPass, backend: Bac
     let sign = if err >= 0.0 { 1.0 } else { -1.0 };
     let mut grad = match backend {
         Backend::Manual => model.grad_energy_params(pass),
-        Backend::Tape => tape_path::grad_energy_params_tape(model, &pass.frame),
+        Backend::Tape => tape_path::grad_energy_params_tape(model, pass.frame),
     };
     let scale = sign / n;
     for g in &mut grad {
         *g *= scale;
     }
     KfTarget { grad, abe: err.abs() }
+}
+
+/// Accumulating form of [`energy_target_with`]: adds the signed,
+/// per-atom-scaled energy gradient into `acc` (length `n_params`) and
+/// returns the sample's absolute per-atom energy error.
+///
+/// `scratch` is a recycled model-shaped gradient buffer (lazily
+/// created on first use) so the steady-state batch loop allocates
+/// nothing; summing `scale · g` directly into `acc` is bitwise
+/// identical to materialising the scaled per-sample vector first
+/// (`0 + scale·g == scale·g`, and accumulation order is the caller's).
+pub fn accumulate_energy_target(
+    model: &DeepPotModel,
+    pass: &ForwardPass,
+    backend: Backend,
+    scratch: &mut Option<ModelGrads>,
+    acc: &mut [f64],
+) -> f64 {
+    let n = pass.frame.types.len().max(1) as f64;
+    let err = (pass.frame.energy - pass.energy) / n;
+    let sign = if err >= 0.0 { 1.0 } else { -1.0 };
+    let scale = sign / n;
+    match backend {
+        Backend::Manual => {
+            let g = scratch.get_or_insert_with(|| model.zero_grads());
+            g.zero();
+            model.backward_energy_params(pass, g);
+            model.add_flattened_scaled(g, scale, acc);
+        }
+        Backend::Tape => {
+            let grad = tape_path::grad_energy_params_tape(model, pass.frame);
+            for (a, gv) in acc.iter_mut().zip(&grad) {
+                *a += scale * gv;
+            }
+        }
+    }
+    err.abs()
+}
+
+/// Accumulating form of [`force_targets_with`]: for each round-robin
+/// force group `k`, adds the group's signed gradient into
+/// `acc[k * n_params ..]` and its absolute error into `abes[k]`.
+///
+/// `acc` holds `n_groups` slots of `n_params` each; groups beyond the
+/// effective count (`n_groups` clamped to `n_atoms`) are left
+/// untouched, which is the additive identity for the batch reduction.
+/// Group membership is the `i % n_groups` round-robin of
+/// [`force_groups`], iterated directly (`i = k, k+ng, …`) so no index
+/// lists are built.
+#[allow(clippy::too_many_arguments)]
+pub fn accumulate_force_targets(
+    model: &DeepPotModel,
+    pass: &ForwardPass,
+    forces_pred: &[dp_mdsim::Vec3],
+    frame: &Snapshot,
+    n_groups: usize,
+    backend: Backend,
+    scratch: &mut Option<ModelGrads>,
+    coeffs: &mut Vec<f64>,
+    acc: &mut [f64],
+    abes: &mut [f64],
+) {
+    let n_atoms = frame.types.len();
+    let ng = n_groups.max(1).min(n_atoms.max(1));
+    let n_params = model.n_params();
+    if coeffs.len() < 3 * n_atoms {
+        coeffs.resize(3 * n_atoms, 0.0);
+    }
+    for k in 0..ng {
+        let coeffs = &mut coeffs[..3 * n_atoms];
+        coeffs.fill(0.0);
+        let mut abs_sum = 0.0;
+        let mut count = 0usize;
+        let mut i = k;
+        while i < n_atoms {
+            for a in 0..3 {
+                let err = frame.forces[i].0[a] - forces_pred[i].0[a];
+                coeffs[3 * i + a] = if err >= 0.0 { 1.0 } else { -1.0 };
+                abs_sum += err.abs();
+                count += 1;
+            }
+            i += ng;
+        }
+        let slot = &mut acc[k * n_params..(k + 1) * n_params];
+        match backend {
+            Backend::Manual => {
+                let g = scratch.get_or_insert_with(|| model.zero_grads());
+                g.zero();
+                model.grad_force_sum_params_into(pass, coeffs, g);
+                model.add_flattened_scaled(g, 1.0, slot);
+            }
+            Backend::Tape => {
+                let grad = tape_path::grad_force_sum_params_tape(model, frame, coeffs);
+                for (a, gv) in slot.iter_mut().zip(&grad) {
+                    *a += gv;
+                }
+            }
+        }
+        abes[k] += abs_sum / count.max(1) as f64;
+    }
 }
 
 /// Round-robin atom groups: atom `i` belongs to group `i % n_groups`.
@@ -209,6 +309,41 @@ mod tests {
             assert_eq!(t.grad.len(), m.n_params());
             assert!(t.abe > 0.0);
             assert!(t.grad.iter().any(|&g| g != 0.0), "gradient must be nonzero");
+        }
+    }
+
+    #[test]
+    fn accumulate_forms_match_materialized_targets_bitwise() {
+        let m = model();
+        let f = frame(6);
+        let pass = m.forward(&f);
+        let forces = m.forces(&pass);
+        let n_params = m.n_params();
+        let n_groups = 4;
+
+        let et = energy_target_with(&m, &pass, Backend::Manual);
+        let mut scratch = None;
+        let mut acc = vec![0.0; n_params];
+        let abe = accumulate_energy_target(&m, &pass, Backend::Manual, &mut scratch, &mut acc);
+        assert_eq!(abe.to_bits(), et.abe.to_bits());
+        for (a, b) in acc.iter().zip(&et.grad) {
+            assert_eq!(a.to_bits(), b.to_bits(), "energy gradient must match bitwise");
+        }
+
+        let fts = force_targets_with(&m, &pass, &forces, &f, n_groups, Backend::Manual);
+        let mut coeffs = Vec::new();
+        let mut facc = vec![0.0; n_groups * n_params];
+        let mut abes = vec![0.0; n_groups];
+        accumulate_force_targets(
+            &m, &pass, &forces, &f, n_groups, Backend::Manual,
+            &mut scratch, &mut coeffs, &mut facc, &mut abes,
+        );
+        assert_eq!(fts.len(), n_groups);
+        for (k, t) in fts.iter().enumerate() {
+            assert_eq!(abes[k].to_bits(), t.abe.to_bits());
+            for (a, b) in facc[k * n_params..(k + 1) * n_params].iter().zip(&t.grad) {
+                assert_eq!(a.to_bits(), b.to_bits(), "group {k} gradient must match bitwise");
+            }
         }
     }
 

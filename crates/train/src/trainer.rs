@@ -15,8 +15,13 @@
 
 use crate::checkpoint::{self, Checkpoint, OptKind};
 use crate::error::TrainError;
+use crate::gradients::GradScratch;
 use crate::metrics::{timed, EpochRecord, PhaseTimes, TrainHistory};
-use crate::targets::{energy_target_with, force_targets_with, Backend};
+use crate::targets::{
+    accumulate_energy_target, accumulate_force_targets, energy_target_with, force_targets_with,
+    Backend,
+};
+use deepmd_core::env_cache::{env_cache_enabled_from_env, CacheStats, EnvCache};
 use deepmd_core::loss::{self, LossWeights, Metrics};
 use deepmd_core::model::DeepPotModel;
 use dp_data::batch::BatchSampler;
@@ -30,6 +35,7 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Training-loop configuration.
@@ -53,6 +59,10 @@ pub struct TrainConfig {
     /// epoch boundaries). Mid-epoch checks give wall-time measurements
     /// sub-epoch resolution for the time-to-accuracy experiments.
     pub eval_every: usize,
+    /// Reuse neighbour environments across epochs via the geometry-
+    /// hashed [`EnvCache`] (bitwise-neutral; defaults to the
+    /// `DP_ENV_CACHE` environment switch).
+    pub env_cache: bool,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +76,7 @@ impl Default for TrainConfig {
             seed: 7,
             backend: Backend::Manual,
             eval_every: 0,
+            env_cache: env_cache_enabled_from_env(),
         }
     }
 }
@@ -91,6 +102,9 @@ pub struct TrainOutcome {
     pub phases: PhaseTimes,
     /// Ring-allreduce bytes sent by the busiest rank (distributed runs).
     pub comm_bytes_per_rank: usize,
+    /// Environment-cache hit/miss counters of the KF training loops
+    /// (zero for the loops that do not use the cache).
+    pub env_cache: CacheStats,
 }
 
 /// The training driver.
@@ -109,6 +123,20 @@ struct LoopState {
     /// Reusable Δw buffer for the optimizer steps: sized on the first
     /// iteration, then the steady-state KF path stays allocation-free.
     delta: Vec<f64>,
+    /// Recycled block-reduction scratch of the frame-parallel gradient
+    /// engine (single-device loops).
+    scratch: GradScratch,
+    /// Combined gradient sums of the last block reduction
+    /// (`n_slots × n_params` layout, slot-major).
+    gsum: Vec<f64>,
+    /// Combined absolute-error sums of the last block reduction.
+    gabes: Vec<f64>,
+    /// Per-rank recycled scratch for the distributed shard closures
+    /// (sized lazily to the device count).
+    dist_scratch: Vec<Mutex<GradScratch>>,
+    /// Latest environment-cache counters (refreshed every iteration so
+    /// every outcome path reports them).
+    cache_stats: CacheStats,
 }
 
 impl LoopState {
@@ -120,6 +148,11 @@ impl LoopState {
             history: TrainHistory::default(),
             comm_bytes: 0,
             delta: Vec::new(),
+            scratch: GradScratch::new(),
+            gsum: Vec::new(),
+            gabes: Vec::new(),
+            dist_scratch: Vec::new(),
+            cache_stats: CacheStats::default(),
         }
     }
 
@@ -213,6 +246,18 @@ impl Trainer {
             history: state.history,
             phases: state.phases,
             comm_bytes_per_rank: state.comm_bytes,
+            env_cache: state.cache_stats,
+        }
+    }
+
+    /// Build the environment cache for a dataset of `n_frames`
+    /// (disabled per [`TrainConfig::env_cache`] — every lookup then
+    /// rebuilds, bitwise identical to the pre-cache behaviour).
+    fn new_cache(&self, n_frames: usize) -> EnvCache {
+        if self.cfg.env_cache {
+            EnvCache::new(n_frames)
+        } else {
+            EnvCache::disabled()
         }
     }
 
@@ -283,13 +328,18 @@ impl Trainer {
         let sampler = BatchSampler::new(train.len(), 1, false);
         let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
         let mut state = LoopState::new();
+        let cache = self.new_cache(train.len());
         let mut converged = false;
         let mut epochs_run = 0;
         for epoch in 1..=self.cfg.max_epochs {
             for batch in sampler.epoch(&mut rng) {
                 let frame = &train.frames[batch[0]];
-                // Energy update.
-                let pass = timed(&mut state.phases.forward, || model.forward(frame));
+                // Energy update. RLEKF forwards every sample twice per
+                // iteration, so the geometry cache pays off even inside
+                // one epoch.
+                let pass = timed(&mut state.phases.forward, || {
+                    model.forward_with_cache(&cache, batch[0], frame)
+                });
                 let et = timed(&mut state.phases.gradient, || {
                     energy_target_with(model, &pass, self.cfg.backend)
                 });
@@ -298,7 +348,9 @@ impl Trainer {
                     model.apply_update(&delta);
                 });
                 // Force updates from a fresh pass.
-                let pass = timed(&mut state.phases.forward, || model.forward(frame));
+                let pass = timed(&mut state.phases.forward, || {
+                    model.forward_with_cache(&cache, batch[0], frame)
+                });
                 let forces = timed(&mut state.phases.forward, || model.forces(&pass));
                 let fts = timed(&mut state.phases.gradient, || {
                     force_targets_with(
@@ -317,6 +369,7 @@ impl Trainer {
                     }
                 });
                 state.iterations += 1;
+                state.cache_stats = cache.stats();
                 if self.mid_epoch_converged(model, train, &mut state) {
                     converged = true;
                     break;
@@ -343,11 +396,12 @@ impl Trainer {
         let sampler = BatchSampler::new(train.len(), self.cfg.batch_size, false);
         let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
         let mut state = LoopState::new();
+        let cache = self.new_cache(train.len());
         let mut converged = false;
         let mut epochs_run = 0;
         for epoch in 1..=self.cfg.max_epochs {
             for batch in sampler.epoch(&mut rng) {
-                self.fekf_iteration(model, opt, train, &batch, &mut state);
+                self.fekf_iteration(model, opt, train, &batch, &cache, &mut state);
                 if self.mid_epoch_converged(model, train, &mut state) {
                     converged = true;
                     break;
@@ -365,22 +419,31 @@ impl Trainer {
     /// One FEKF iteration over `batch` (shared by the single-device and
     /// the robust paths). Returns the batch-mean absolute energy error,
     /// which the divergence guards watch.
+    ///
+    /// Per-frame forward passes reuse cached neighbour environments
+    /// (`cache`); the batch gradient/error sums run through the
+    /// fixed-block engine of [`crate::gradients`], so the result is
+    /// bitwise independent of `DP_POOL_THREADS` and of whether the
+    /// cache is enabled.
     fn fekf_iteration(
         &self,
         model: &mut DeepPotModel,
         opt: &mut Fekf,
         train: &Dataset,
         batch: &[usize],
+        cache: &EnvCache,
         state: &mut LoopState,
     ) -> f64 {
         let n_params = model.n_params();
         let inv_bs = 1.0 / batch.len() as f64;
+        let backend = self.cfg.backend;
+        let mut delta = state.take_delta(n_params);
         // Energy phase: forward all samples, reduce signed gradients
         // and absolute errors (the early reduction of §3.1).
         let passes = timed(&mut state.phases.forward, || {
             batch
                 .par_iter()
-                .map(|&i| model.forward(&train.frames[i]))
+                .map(|&i| model.forward_with_cache(cache, i, &train.frames[i]))
                 .collect::<Vec<_>>()
         });
         // Early reduction (§3.1, Algorithm 1 line 7): gradients are
@@ -388,26 +451,32 @@ impl Trainer {
         // averaged. The Kalman gain normalizes by gᵀPg, so the summed
         // gradient's √bs-growth is exactly what the √bs weight factor
         // compensates (Eq. 2).
-        let (gbar, abe_sum) = timed(&mut state.phases.gradient, || {
-            passes
-                .par_iter()
-                .map(|pass| {
-                    let t = energy_target_with(model, pass, self.cfg.backend);
-                    (t.grad, t.abe)
-                })
-                .reduce(
-                    || (vec![0.0; n_params], 0.0),
-                    |(mut ga, aa), (gb, ab)| {
-                        for (x, y) in ga.iter_mut().zip(&gb) {
-                            *x += y;
-                        }
-                        (ga, aa + ab)
+        {
+            let model = &*model;
+            let passes = &passes;
+            timed(&mut state.phases.gradient, || {
+                state.scratch.block_reduce(
+                    passes.len(),
+                    1,
+                    n_params,
+                    &|i, blk| {
+                        let abe = accumulate_energy_target(
+                            model,
+                            &passes[i],
+                            backend,
+                            &mut blk.grads,
+                            &mut blk.acc[..n_params],
+                        );
+                        blk.abes[0] += abe;
                     },
+                    &mut state.gsum,
+                    &mut state.gabes,
                 )
-        });
-        let mut delta = state.take_delta(n_params);
+            });
+        }
+        let mean_abe = state.gabes[0] * inv_bs;
         timed(&mut state.phases.optimizer, || {
-            opt.step_into(&gbar, abe_sum * inv_bs, &mut delta);
+            opt.step_into(&state.gsum, mean_abe, &mut delta);
             model.apply_update(&delta);
         });
         // Force phase: fresh passes after the energy update.
@@ -416,53 +485,52 @@ impl Trainer {
                 .par_iter()
                 .map(|&i| {
                     let frame = &train.frames[i];
-                    let pass = model.forward(frame);
+                    let pass = model.forward_with_cache(cache, i, frame);
                     let forces = model.forces(&pass);
                     (i, pass, forces)
                 })
                 .collect::<Vec<_>>()
         });
         let n_groups = self.cfg.force_updates.max(1);
-        let (grads, abes) = timed(&mut state.phases.gradient, || {
-            passes
-                .par_iter()
-                .map(|(i, pass, forces)| {
-                    let ts = force_targets_with(
-                        model,
-                        pass,
-                        forces,
-                        &train.frames[*i],
-                        n_groups,
-                        self.cfg.backend,
-                    );
-                    let grads: Vec<Vec<f64>> = ts.iter().map(|t| t.grad.clone()).collect();
-                    let abes: Vec<f64> = ts.iter().map(|t| t.abe).collect();
-                    (grads, abes)
-                })
-                .reduce(
-                    || (vec![vec![0.0; n_params]; n_groups], vec![0.0; n_groups]),
-                    |(mut ga, mut aa), (gb, ab)| {
-                        for (dst, src) in ga.iter_mut().zip(&gb) {
-                            for (x, y) in dst.iter_mut().zip(src) {
-                                *x += y;
-                            }
-                        }
-                        for (x, y) in aa.iter_mut().zip(&ab) {
-                            *x += y;
-                        }
-                        (ga, aa)
+        {
+            let model = &*model;
+            let passes = &passes;
+            timed(&mut state.phases.gradient, || {
+                state.scratch.block_reduce(
+                    passes.len(),
+                    n_groups,
+                    n_params,
+                    &|bi, blk| {
+                        let (i, pass, forces) = &passes[bi];
+                        accumulate_force_targets(
+                            model,
+                            pass,
+                            forces,
+                            &train.frames[*i],
+                            n_groups,
+                            backend,
+                            &mut blk.grads,
+                            &mut blk.coeffs,
+                            &mut blk.acc[..n_groups * n_params],
+                            &mut blk.abes[..n_groups],
+                        );
                     },
+                    &mut state.gsum,
+                    &mut state.gabes,
                 )
-        });
+            });
+        }
         timed(&mut state.phases.optimizer, || {
-            for (g, &abe) in grads.iter().zip(&abes) {
-                opt.step_into(g, abe * inv_bs, &mut delta);
+            for k in 0..n_groups {
+                let g = &state.gsum[k * n_params..(k + 1) * n_params];
+                opt.step_into(g, state.gabes[k] * inv_bs, &mut delta);
                 model.apply_update(&delta);
             }
         });
         state.return_delta(delta);
         state.iterations += 1;
-        abe_sum * inv_bs
+        state.cache_stats = cache.stats();
+        mean_abe
     }
 
     /// Train with the fusiform Naive-EKF (§3.1's
@@ -561,25 +629,50 @@ impl Trainer {
         batch: &[usize],
         devices: &DeviceGroup,
         plan: &FaultPlan,
+        cache: &EnvCache,
         state: &mut LoopState,
     ) -> Result<f64, CommError> {
         let n_params = model.n_params();
         let n_groups = self.cfg.force_updates.max(1);
         let inv_bs = 1.0 / batch.len() as f64;
-        // Energy update.
+        let mut delta = state.take_delta(n_params);
+        if state.dist_scratch.len() < devices.n_devices() {
+            state
+                .dist_scratch
+                .resize_with(devices.n_devices(), || Mutex::new(GradScratch::new()));
+        }
+        let dist = &state.dist_scratch;
+        // Energy update. Each rank fans its shard's fused
+        // forward+gradient work over the block engine (frames within a
+        // rank parallelize across `dp-pool`; the per-rank shard sum
+        // stays a fixed-order reduction, so the allreduce input — and
+        // hence the update — is thread-count independent).
+        let model_ref = &*model;
         let red = timed(&mut state.phases.gradient, || {
-            devices.map_reduce_faulty(batch, n_params, plan, |_, shard| {
-                let mut g = vec![0.0; n_params];
-                let mut abe = 0.0;
-                for &i in shard {
-                    let pass = model.forward(&train.frames[i]);
-                    let t = energy_target_with(model, &pass, Backend::Manual);
-                    for (x, y) in g.iter_mut().zip(&t.grad) {
-                        *x += y;
-                    }
-                    abe += t.abe;
-                }
-                (g, abe)
+            devices.map_reduce_faulty(batch, n_params, plan, |rank, shard| {
+                let mut sc = dist[rank].lock().unwrap_or_else(|e| e.into_inner());
+                let mut g = Vec::new();
+                let mut abes = Vec::new();
+                sc.block_reduce(
+                    shard.len(),
+                    1,
+                    n_params,
+                    &|si, blk| {
+                        let i = shard[si];
+                        let pass = model_ref.forward_with_cache(cache, i, &train.frames[i]);
+                        let abe = accumulate_energy_target(
+                            model_ref,
+                            &pass,
+                            Backend::Manual,
+                            &mut blk.grads,
+                            &mut blk.acc[..n_params],
+                        );
+                        blk.abes[0] += abe;
+                    },
+                    &mut g,
+                    &mut abes,
+                );
+                (g, abes[0])
             })
         })?;
         state.comm_bytes += red.comm.bytes_sent_per_rank;
@@ -587,7 +680,6 @@ impl Trainer {
         // averaged over the batch.
         let gbar = red.vector;
         let mean_abe = red.scalar * inv_bs;
-        let mut delta = state.take_delta(n_params);
         timed(&mut state.phases.optimizer, || {
             opt.step_into(&gbar, mean_abe, &mut delta);
             model.apply_update(&delta);
@@ -595,24 +687,38 @@ impl Trainer {
         // Force updates: one sharded pass returning the
         // concatenated group gradients + group ABEs.
         let concat_len = n_groups * n_params + n_groups;
+        let model_ref = &*model;
         let red = timed(&mut state.phases.gradient, || {
-            devices.map_reduce_faulty(batch, concat_len, plan, |_, shard| {
-                let mut buf = vec![0.0; concat_len];
-                for &i in shard {
-                    let frame = &train.frames[i];
-                    let pass = model.forward(frame);
-                    let forces = model.forces(&pass);
-                    let ts = force_targets_with(
-                        model, &pass, &forces, frame, n_groups, Backend::Manual,
-                    );
-                    for (k, t) in ts.iter().enumerate() {
-                        let off = k * n_params;
-                        for (x, y) in buf[off..off + n_params].iter_mut().zip(&t.grad) {
-                            *x += y;
-                        }
-                        buf[n_groups * n_params + k] += t.abe;
-                    }
-                }
+            devices.map_reduce_faulty(batch, concat_len, plan, |rank, shard| {
+                let mut sc = dist[rank].lock().unwrap_or_else(|e| e.into_inner());
+                let mut buf = Vec::new();
+                let mut abes = Vec::new();
+                sc.block_reduce(
+                    shard.len(),
+                    n_groups,
+                    n_params,
+                    &|si, blk| {
+                        let i = shard[si];
+                        let frame = &train.frames[i];
+                        let pass = model_ref.forward_with_cache(cache, i, frame);
+                        let forces = model_ref.forces(&pass);
+                        accumulate_force_targets(
+                            model_ref,
+                            &pass,
+                            &forces,
+                            frame,
+                            n_groups,
+                            Backend::Manual,
+                            &mut blk.grads,
+                            &mut blk.coeffs,
+                            &mut blk.acc[..n_groups * n_params],
+                            &mut blk.abes[..n_groups],
+                        );
+                    },
+                    &mut buf,
+                    &mut abes,
+                );
+                buf.extend_from_slice(&abes);
                 (buf, 0.0)
             })
         })?;
@@ -632,6 +738,7 @@ impl Trainer {
         });
         state.return_delta(delta);
         state.iterations += 1;
+        state.cache_stats = cache.stats();
         Ok(mean_abe)
     }
 
@@ -676,8 +783,9 @@ impl Trainer {
         test: Option<&Dataset>,
         robust: &RobustConfig,
     ) -> Result<TrainOutcome, TrainError> {
+        let cache = self.new_cache(train.len());
         self.robust_loop(model, opt, train, test, robust, |this, model, opt, batch, state| {
-            Ok(this.fekf_iteration(model, opt, train, batch, state))
+            Ok(this.fekf_iteration(model, opt, train, batch, &cache, state))
         })
     }
 
@@ -697,8 +805,9 @@ impl Trainer {
         plan: &FaultPlan,
         robust: &RobustConfig,
     ) -> Result<TrainOutcome, TrainError> {
+        let cache = self.new_cache(train.len());
         self.robust_loop(model, opt, train, test, robust, |this, model, opt, batch, state| {
-            this.fekf_distributed_iteration(model, opt, train, batch, devices, plan, state)
+            this.fekf_distributed_iteration(model, opt, train, batch, devices, plan, &cache, state)
         })
     }
 
@@ -1116,6 +1225,7 @@ mod tests {
             seed: 3,
             backend: Backend::Manual,
             eval_every: 0,
+            env_cache: true,
         })
     }
 
@@ -1243,6 +1353,7 @@ mod tests {
             seed: 1,
             backend: Backend::Manual,
             eval_every: 0,
+            env_cache: true,
         });
         let out = t.train_fekf(&mut model, &mut opt, &ds, None);
         assert!(out.converged);

@@ -56,6 +56,10 @@ fn tiny_model(train: &Dataset) -> DeepPotModel {
 }
 
 fn trainer(bs: usize, epochs: usize) -> Trainer {
+    trainer_cached(bs, epochs, true)
+}
+
+fn trainer_cached(bs: usize, epochs: usize, env_cache: bool) -> Trainer {
     Trainer::new(TrainConfig {
         batch_size: bs,
         max_epochs: epochs,
@@ -65,6 +69,7 @@ fn trainer(bs: usize, epochs: usize) -> Trainer {
         seed: 3,
         backend: Backend::Manual,
         eval_every: 0,
+        env_cache,
     })
 }
 
@@ -91,6 +96,44 @@ fn fekf_training_is_bitwise_identical_across_thread_counts() {
         let (p, s) = run(t);
         assert_eq!(p1, p, "weights diverged at {t} threads");
         assert_eq!(s1, s, "optimizer state diverged at {t} threads");
+    }
+    dp_pool::set_threads(1);
+}
+
+/// The environment cache and the frame-parallel engine are invisible
+/// to the trajectory: every (cache on/off) × (1, 2, 8 threads) cell
+/// lands on bit-identical weights and optimizer state, and the cached
+/// run rebuilds each geometry exactly once (steady-state hit rate 1).
+#[test]
+fn fekf_training_is_bitwise_identical_with_and_without_env_cache() {
+    let _g = POOL_LOCK.lock().unwrap();
+    let ds = tiny_dataset(16, 24);
+    let run = |threads: usize, env_cache: bool| {
+        dp_pool::set_threads(threads);
+        let mut m = tiny_model(&ds);
+        let mut opt = Fekf::new(&m.layer_sizes(), 4, FekfConfig::default());
+        let out = trainer_cached(4, 2, env_cache).train_fekf(&mut m, &mut opt, &ds, None);
+        if env_cache {
+            assert_eq!(
+                out.env_cache.misses,
+                ds.len() as u64,
+                "each geometry must be built exactly once"
+            );
+            assert!(out.env_cache.hits > out.env_cache.misses);
+        } else {
+            assert_eq!(out.env_cache.hits, 0, "disabled cache must never hit");
+        }
+        (param_bits(&m), opt.state_to_bytes())
+    };
+    let reference = run(1, false);
+    for &t in SWEEP {
+        for cached in [false, true] {
+            assert_eq!(
+                reference,
+                run(t, cached),
+                "trajectory diverged at {t} threads, cache={cached}"
+            );
+        }
     }
     dp_pool::set_threads(1);
 }

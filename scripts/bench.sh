@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Kernel benchmark sweep: writes the machine-readable perf trajectory
-# (BENCH_gemm.json, BENCH_p_update.json, BENCH_train_iter.json).
+# Benchmark sweep: writes the machine-readable perf trajectory
+# (BENCH_gemm.json, BENCH_p_update.json, BENCH_train_iter.json,
+# BENCH_forward.json — the last adds forward/backward kernel timings,
+# FEKF frames/s with the env cache off vs on, and cache hit rates).
 #
 #   scripts/bench.sh                 # full sweep -> results/bench/
 #   scripts/bench.sh --smoke         # one shape per report (CI gate)
@@ -15,5 +17,15 @@ cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-results/bench}"
 
-cargo build --release --offline -p dp-bench --bin bench_kernels
-exec cargo run --release --offline -p dp-bench --bin bench_kernels -- "--out=${OUT}" "$@"
+cargo build --release --offline -p dp-bench --bin bench_kernels --bin bench_forward
+
+KERNEL_ARGS=()
+FORWARD_ARGS=()
+for arg in "$@"; do
+    KERNEL_ARGS+=("$arg")
+    # bench_forward has no --paper scale; pass everything else through.
+    [[ "$arg" == "--paper" ]] || FORWARD_ARGS+=("$arg")
+done
+
+cargo run --release --offline -p dp-bench --bin bench_kernels -- "--out=${OUT}" "${KERNEL_ARGS[@]+"${KERNEL_ARGS[@]}"}"
+exec cargo run --release --offline -p dp-bench --bin bench_forward -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"

@@ -24,6 +24,14 @@ DP_POOL_THREADS=1 cargo test --offline --workspace -q
 step "cargo test (DP_POOL_THREADS=4)"
 DP_POOL_THREADS=4 cargo test --offline --workspace -q
 
+# The environment cache must be trajectory-invisible: the training
+# suite has to pass with it force-disabled too, at 1 and 4 threads.
+step "cargo test dp-train (DP_ENV_CACHE=0, DP_POOL_THREADS=1)"
+DP_ENV_CACHE=0 DP_POOL_THREADS=1 cargo test --offline -p dp-train -q
+
+step "cargo test dp-train (DP_ENV_CACHE=0, DP_POOL_THREADS=4)"
+DP_ENV_CACHE=0 DP_POOL_THREADS=4 cargo test --offline -p dp-train -q
+
 step "cargo clippy -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
