@@ -174,7 +174,40 @@ impl EnvCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(FrameEnv::build(cfg, stats, frame));
         }
+        self.fetch_slot(cfg, stats, idx, geometry_hash(frame), frame)
+    }
+
+    /// Direct-mapped lookup for streaming workloads with no stable
+    /// frame indexing (an inference server receives arbitrary
+    /// geometries): the slot is the geometry hash modulo the capacity.
+    /// A colliding geometry simply evicts the slot and rebuilds — the
+    /// hash check makes any replacement policy correct, this one just
+    /// has no bookkeeping. Repeated geometries (an MD driver resending
+    /// a frame, retries after a hot-swap) hit their previous build.
+    pub fn get_or_build_keyed(
+        &self,
+        cfg: &ModelConfig,
+        stats: &EnvStats,
+        frame: &Snapshot,
+    ) -> Arc<FrameEnv> {
+        if !self.enabled || self.slots.is_empty() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(FrameEnv::build(cfg, stats, frame));
+        }
         let hash = geometry_hash(frame);
+        let idx = (hash % self.slots.len() as u64) as usize;
+        self.fetch_slot(cfg, stats, idx, hash, frame)
+    }
+
+    /// Shared slot path: serve on hash match, else rebuild and replace.
+    fn fetch_slot(
+        &self,
+        cfg: &ModelConfig,
+        stats: &EnvStats,
+        idx: usize,
+        hash: u64,
+        frame: &Snapshot,
+    ) -> Arc<FrameEnv> {
         if let Some(env) = self.slots[idx]
             .read()
             .unwrap_or_else(|e| e.into_inner())
@@ -340,6 +373,28 @@ mod tests {
         assert!(!off.is_enabled());
         let _ = off.get_or_build(&c, &s, 0, &f);
         let _ = off.get_or_build(&c, &s, 0, &f);
+        assert_eq!(off.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn keyed_lookup_hits_on_repeat_and_rebuilds_on_collision() {
+        let (c, s, f) = (cfg(), EnvStats::identity(1), frame());
+        let cache = EnvCache::new(4);
+        let a = cache.get_or_build_keyed(&c, &s, &f);
+        let b = cache.get_or_build_keyed(&c, &s, &f);
+        assert!(Arc::ptr_eq(&a, &b), "repeat geometry must hit");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // A different geometry mapping to any slot must never be served
+        // the stale entry — the hash check guards every slot.
+        let mut g = f.clone();
+        g.pos[0].0[2] += 0.7;
+        let d = cache.get_or_build_keyed(&c, &s, &g);
+        assert_eq!(d.geom_hash, geometry_hash(&g));
+        assert!(!Arc::ptr_eq(&a, &d));
+        // Keyed lookups on a disabled or empty cache always rebuild.
+        let off = EnvCache::disabled();
+        let _ = off.get_or_build_keyed(&c, &s, &f);
+        let _ = off.get_or_build_keyed(&c, &s, &f);
         assert_eq!(off.stats(), CacheStats { hits: 0, misses: 2 });
     }
 

@@ -324,6 +324,18 @@ impl DeepPotModel {
         self.forward_cached(frame, env)
     }
 
+    /// Forward pass for a streamed frame with no stable dataset index
+    /// (the serving path): the environment is looked up direct-mapped
+    /// by geometry hash, so an MD client re-evaluating the same
+    /// configuration — or retrying it against a hot-swapped model with
+    /// identical statistics — reuses the geometry build. Bitwise
+    /// identical to [`DeepPotModel::forward`] (the cache only ever
+    /// serves a hash-verified entry built by the same `build_envs`).
+    pub fn forward_keyed<'f>(&self, cache: &EnvCache, frame: &'f Snapshot) -> ForwardPass<'f> {
+        let env = cache.get_or_build_keyed(&self.cfg, &self.stats, frame);
+        self.forward_cached(frame, env)
+    }
+
     /// Forward pass over a precomputed [`FrameEnv`]. The env must have
     /// been built from this `frame` with this model's config/stats —
     /// [`EnvCache::get_or_build`] guarantees that via the geometry hash.

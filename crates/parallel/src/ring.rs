@@ -623,8 +623,17 @@ mod tests {
         let orig = make_buffers(2, 10);
         let mut bufs = orig.clone();
         let err = resilient_allreduce(&mut bufs, &plan).unwrap_err();
+        // Which variant surfaces depends on scheduling: the rank that
+        // exhausts its budget first exits and drops its channels, so a
+        // lagging peer may observe Disconnected instead of reaching its
+        // own RetriesExhausted. All three restore the inputs.
         assert!(
-            matches!(err, CommError::RetriesExhausted { .. } | CommError::Timeout { .. }),
+            matches!(
+                err,
+                CommError::RetriesExhausted { .. }
+                    | CommError::Timeout { .. }
+                    | CommError::Disconnected { .. }
+            ),
             "unexpected error: {err}"
         );
         assert_eq!(bufs, orig, "inputs must be restored on failure");

@@ -1,0 +1,345 @@
+//! Request submission and micro-batch coalescing.
+//!
+//! Clients on any thread [`BatchQueue::submit`] an [`InferRequest`]
+//! and block on the returned [`Ticket`]. A single dispatcher (the
+//! engine) drains the queue into micro-batches under a
+//! [`BatchPolicy`]: a batch closes when it reaches `max_batch`
+//! requests or when `max_wait` has elapsed since its *oldest* request
+//! arrived — the standard size-or-deadline policy that bounds both
+//! per-request latency and per-batch overhead. Everything is plain
+//! threads and condvars (async-free by design: the compute below is
+//! CPU-bound and runs on `dp-pool`).
+
+use dp_data::dataset::Snapshot;
+use dp_mdsim::Vec3;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One inference request: a frame, and whether forces are wanted
+/// (energy-only requests skip the reverse sweep).
+#[derive(Clone, Debug)]
+pub struct InferRequest {
+    /// The configuration to evaluate (labels are ignored).
+    pub frame: Snapshot,
+    /// Compute forces too?
+    pub want_forces: bool,
+}
+
+/// The served result, tagged with the snapshot that computed it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferResponse {
+    /// Total predicted energy (eV).
+    pub energy: f64,
+    /// Forces (eV/Å) when requested.
+    pub forces: Option<Vec<Vec3>>,
+    /// Version of the published snapshot that served this request —
+    /// every value in this response came from exactly this snapshot.
+    pub version: u64,
+}
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine is shutting down; no new requests are accepted.
+    Closed,
+    /// The request cannot be evaluated by the served model.
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "serving engine is closed"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Micro-batching policy.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Upper bound on requests per dispatched batch.
+    pub max_batch: usize,
+    /// Upper bound on how long the oldest pending request may wait for
+    /// the batch to fill before it is dispatched anyway.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Completion slot shared between a [`Ticket`] and the dispatcher.
+#[derive(Debug, Default)]
+struct ResponseSlot {
+    result: Mutex<Option<Result<InferResponse, ServeError>>>,
+    done: Condvar,
+}
+
+/// A pending request's handle; [`Ticket::wait`] blocks until the
+/// engine responds.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Block until the response is available.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        let mut guard = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self
+                .slot
+                .done
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One queued request with its completion slot and arrival time.
+pub(crate) struct Pending {
+    pub(crate) req: InferRequest,
+    pub(crate) submitted: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+impl Pending {
+    /// Fulfill the request (any thread; wakes the waiting client).
+    pub(crate) fn fulfill(&self, result: Result<InferResponse, ServeError>) {
+        let mut guard = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *guard = Some(result);
+        self.slot.done.notify_all();
+    }
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Thread-safe submission queue with size-or-deadline batch draining.
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+}
+
+impl Default for BatchQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchQueue {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a request. Returns the ticket the client blocks on, or
+    /// [`ServeError::Closed`] after [`BatchQueue::close`].
+    pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
+        let slot = Arc::new(ResponseSlot::default());
+        {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.closed {
+                return Err(ServeError::Closed);
+            }
+            st.pending.push_back(Pending {
+                req,
+                submitted: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.arrived.notify_all();
+        Ok(Ticket { slot })
+    }
+
+    /// Number of requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pending
+            .len()
+    }
+
+    /// Refuse new submissions and wake the dispatcher so it can drain
+    /// what is left.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        drop(st);
+        self.arrived.notify_all();
+    }
+
+    /// Dispatcher side: block for the next micro-batch. Returns the
+    /// drained batch plus the queue depth at drain time, or `None`
+    /// once the queue is closed *and* empty.
+    ///
+    /// The coalescing rule: wait until `max_batch` requests are
+    /// pending, or until `max_wait` has passed since the oldest
+    /// pending request arrived, whichever is first. A closed queue
+    /// dispatches immediately (drain fast, don't make a shutdown wait
+    /// out the deadline).
+    pub(crate) fn next_batch(&self, policy: &BatchPolicy) -> Option<(Vec<Pending>, usize)> {
+        let max_batch = policy.max_batch.max(1);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !st.pending.is_empty() {
+                break;
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.arrived.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let deadline = st.pending.front().map(|p| p.submitted + policy.max_wait);
+        while st.pending.len() < max_batch && !st.closed {
+            let Some(deadline) = deadline else { break };
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .arrived
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let depth = st.pending.len();
+        let take = depth.min(max_batch);
+        let batch: Vec<Pending> = st.pending.drain(..take).collect();
+        Some((batch, depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_mdsim::Vec3;
+
+    fn req() -> InferRequest {
+        InferRequest {
+            frame: Snapshot {
+                cell: [10.0; 3],
+                types: vec![0],
+                type_names: vec!["A".into()],
+                pos: vec![Vec3::new(1.0, 1.0, 1.0)],
+                energy: 0.0,
+                forces: vec![Vec3::ZERO],
+                temperature: 0.0,
+            },
+            want_forces: false,
+        }
+    }
+
+    #[test]
+    fn full_batch_dispatches_without_waiting_out_the_deadline() {
+        let q = BatchQueue::new();
+        let policy = BatchPolicy {
+            max_batch: 3,
+            max_wait: Duration::from_secs(3600),
+        };
+        let tickets: Vec<_> = (0..5).map(|_| q.submit(req()).unwrap()).collect();
+        let t0 = Instant::now();
+        let (batch, depth) = q.next_batch(&policy).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(10), "must not block on the deadline");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(depth, 5);
+        // The 2 leftovers can't fill a batch of 3; flush them with a
+        // short deadline instead of waiting out the hour-long one.
+        let flush = BatchPolicy {
+            max_batch: 3,
+            max_wait: Duration::from_millis(1),
+        };
+        let (batch2, depth2) = q.next_batch(&flush).unwrap();
+        assert_eq!(batch2.len(), 2);
+        assert_eq!(depth2, 2);
+        // Fulfill so the tickets don't dangle.
+        for p in batch.iter().chain(batch2.iter()) {
+            p.fulfill(Err(ServeError::Closed));
+        }
+        for t in tickets {
+            assert_eq!(t.wait(), Err(ServeError::Closed));
+        }
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let q = BatchQueue::new();
+        let policy = BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_millis(5),
+        };
+        let _t = q.submit(req()).unwrap();
+        let (batch, _) = q.next_batch(&policy).unwrap();
+        assert_eq!(batch.len(), 1, "deadline must flush the lone request");
+        batch[0].fulfill(Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn close_rejects_new_work_and_drains_the_rest() {
+        let q = BatchQueue::new();
+        let t = q.submit(req()).unwrap();
+        q.close();
+        assert_eq!(q.submit(req()).unwrap_err(), ServeError::Closed);
+        let policy = BatchPolicy::default();
+        let (batch, _) = q.next_batch(&policy).unwrap();
+        assert_eq!(batch.len(), 1);
+        batch[0].fulfill(Err(ServeError::Closed));
+        let _ = t.wait();
+        assert!(q.next_batch(&policy).is_none(), "closed + empty ends the dispatcher");
+    }
+
+    #[test]
+    fn tickets_resolve_across_threads() {
+        let q = Arc::new(BatchQueue::new());
+        let qq = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || {
+            let t = qq.submit(req()).unwrap();
+            t.wait()
+        });
+        let policy = BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+        };
+        let (batch, _) = q.next_batch(&policy).unwrap();
+        batch[0].fulfill(Ok(InferResponse {
+            energy: -1.5,
+            forces: None,
+            version: 7,
+        }));
+        let resp = waiter.join().unwrap().unwrap();
+        assert_eq!(resp.energy, -1.5);
+        assert_eq!(resp.version, 7);
+    }
+}

@@ -1,0 +1,114 @@
+//! Serving throughput and latency benchmark.
+//!
+//! Writes `BENCH_serve.json` (schema in `dp_bench::report`): for each
+//! `max_batch` ∈ {1, 8, 32}, four client threads drive the engine with
+//! energy+force requests over a fixed working set of geometries, and
+//! the report records
+//!
+//! * `serve_requests_per_s` — completed requests per wall-clock second
+//!   (stored in the `median_ns` field; the name says what it is);
+//! * `serve_p50_ns` / `serve_p90_ns` / `serve_p99_ns` — end-to-end
+//!   submission-to-response latency percentiles;
+//! * `serve_mean_batch`, `serve_cache_hit_rate` — how well the
+//!   coalescer and the geometry cache are doing.
+//!
+//! The `shape` column carries `[max_batch]`. Flags: `--smoke` (fewer
+//! requests, for CI), `--out=DIR` (default `results/bench`).
+
+use dp_bench::report::BenchReport;
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::{BatchPolicy, Engine, ModelRegistry};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    smoke: bool,
+    out: PathBuf,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts { smoke: false, out: PathBuf::from("results/bench") };
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            o.smoke = true;
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            o.out = PathBuf::from(v);
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("flags: --smoke --out=DIR");
+            std::process::exit(0);
+        } else {
+            eprintln!("error: unknown flag '{arg}' (try --help)");
+            std::process::exit(2);
+        }
+    }
+    o
+}
+
+const CLIENTS: usize = 4;
+const BATCH_SIZES: &[usize] = &[1, 8, 32];
+
+fn main() {
+    let opts = parse_opts();
+    let total = if opts.smoke { 64 } else { 512 };
+    let per_client = total / CLIENTS;
+    let frames: Vec<_> = (0..16).map(demo_frame).collect();
+    let threads = dp_pool::current_threads();
+    let mut rep = BenchReport::new("serve");
+
+    for &max_batch in BATCH_SIZES {
+        let registry = Arc::new(ModelRegistry::new(demo_model(1)));
+        let engine = Engine::start(
+            registry,
+            BatchPolicy {
+                max_batch,
+                max_wait: Duration::from_micros(500),
+            },
+        );
+        let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                let frames = frames.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..per_client {
+                        let f = frames[(c * per_client + i) % frames.len()].clone();
+                        let resp = engine.infer(f, true).expect("live engine must serve");
+                        assert!(resp.energy.is_finite());
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for c in clients {
+            c.join().expect("client thread must not panic");
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let rps = (CLIENTS * per_client) as f64 / secs;
+
+        rep.push("serve_requests_per_s", &[max_batch], threads, rps, CLIENTS * per_client);
+        // No swap happened, so the current snapshot's cache counters
+        // were never folded into the engine accumulators; fold them by
+        // hand before exporting (the engine is idle and about to stop).
+        let live = engine.registry().current().cache.stats();
+        engine.raw_stats().record_cache(live.hits, live.misses);
+        engine
+            .raw_stats()
+            .report_into(&mut rep, "serve", max_batch, threads, engine.registry().swap_count());
+        engine.shutdown();
+        eprintln!(
+            "max_batch={max_batch}: {rps:.0} req/s over {} requests ({CLIENTS} clients)",
+            CLIENTS * per_client
+        );
+    }
+
+    let path = opts.out.join("BENCH_serve.json");
+    rep.write(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!("wrote {} ({} records)", path.display(), rep.records.len());
+}

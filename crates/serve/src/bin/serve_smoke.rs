@@ -1,0 +1,86 @@
+//! CI smoke test for the serving engine: 64 requests from 4 client
+//! threads against a live engine, one mid-run hot-swap, and a stats
+//! sanity pass. Any violated invariant panics (nonzero exit), so
+//! `scripts/ci.sh` can gate on it directly.
+
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::{BatchPolicy, Engine, ModelRegistry};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const PER_CLIENT: usize = 16;
+const GEOMETRIES: u64 = 8;
+
+fn main() {
+    let registry = Arc::new(ModelRegistry::new(demo_model(1)));
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut versions = Vec::with_capacity(PER_CLIENT);
+                for i in 0..PER_CLIENT {
+                    let f = demo_frame((c * PER_CLIENT + i) as u64 % GEOMETRIES);
+                    let resp = engine.infer(f, i % 2 == 0).expect("live engine must serve");
+                    assert!(resp.energy.is_finite(), "served energy must be finite");
+                    if let Some(forces) = &resp.forces {
+                        assert!(forces.iter().all(|f| f.0.iter().all(|v| v.is_finite())));
+                    }
+                    versions.push(resp.version);
+                }
+                versions
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    // Hot-swap while the clients are in flight.
+    std::thread::sleep(Duration::from_millis(2));
+    registry.publish(demo_model(2)).expect("publish must succeed");
+
+    let mut versions = Vec::new();
+    for c in clients {
+        let served = c.join().expect("client thread must not panic");
+        assert!(
+            served.windows(2).all(|w| w[0] <= w[1]),
+            "a client's observed versions must be monotone: {served:?}"
+        );
+        versions.extend(served);
+    }
+    assert_eq!(versions.len(), CLIENTS * PER_CLIENT);
+    assert!(versions.iter().all(|&v| v == 1 || v == 2), "unknown version served");
+    // Anything submitted after the swap resolved must see version 2.
+    assert_eq!(engine.infer(demo_frame(0), true).unwrap().version, 2);
+
+    let stats = engine.stats();
+    let total = (CLIENTS * PER_CLIENT + 1) as u64;
+    assert_eq!(stats.requests, total);
+    assert_eq!(stats.swaps, 1);
+    assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+    assert!(stats.mean_batch >= 1.0);
+    let p50 = stats.latency_p50_ns.expect("latency histogram populated");
+    let p99 = stats.latency_p99_ns.unwrap();
+    assert!(p50 > 0.0 && p99 >= p50);
+    assert!(
+        stats.cache_hit_rate > 0.0,
+        "{total} requests over {GEOMETRIES} geometries must hit the cache: {stats:?}"
+    );
+    engine.shutdown();
+
+    println!(
+        "serve smoke OK: {} requests in {} batches (mean {:.2}), p50 {:.0} ns, p99 {:.0} ns, \
+         1 hot-swap, cache hit rate {:.2}",
+        stats.requests, stats.batches, stats.mean_batch, p50, p99, stats.cache_hit_rate
+    );
+}

@@ -1,0 +1,305 @@
+//! The serving engine: one dispatcher thread draining the
+//! [`BatchQueue`], computing each micro-batch against the registry's
+//! current snapshot with the per-frame work fanned across `dp-pool`.
+//!
+//! Consistency contract: the dispatcher takes **one** snapshot per
+//! batch, so every request in a batch — and every number inside one
+//! response — is computed against exactly one published model. A
+//! hot-swap lands between batches, never inside one.
+//!
+//! Determinism contract: requests are independent (each one reads the
+//! snapshot and writes only its own response slot), so batching K
+//! frames is bitwise identical to K sequential single-frame calls at
+//! any `DP_POOL_THREADS` — the same argument as the training-side
+//! frame parallelism (DESIGN §8), with the combine step degenerate
+//! because nothing is reduced across requests.
+
+use crate::batch::{BatchPolicy, BatchQueue, InferRequest, InferResponse, ServeError, Ticket};
+use crate::registry::{ModelRegistry, PublishedModel};
+use crate::stats::{ServeStats, StatsSnapshot};
+use dp_data::dataset::Snapshot;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    queue: BatchQueue,
+    stats: ServeStats,
+    policy: BatchPolicy,
+}
+
+/// A running inference engine. Submissions are accepted from any
+/// thread; shutdown (explicit or on drop) drains the queue before the
+/// dispatcher exits, so every accepted request gets a response.
+pub struct Engine {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Start the dispatcher over `registry` with the given batching
+    /// policy.
+    pub fn start(registry: Arc<ModelRegistry>, policy: BatchPolicy) -> Arc<Engine> {
+        let shared = Arc::new(Shared {
+            registry,
+            queue: BatchQueue::new(),
+            stats: ServeStats::new(),
+            policy,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("dp-serve".into())
+            .spawn(move || dispatch_loop(&worker_shared))
+            .expect("dp-serve: failed to spawn dispatcher");
+        Arc::new(Engine {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Enqueue a request; block on the ticket for the response.
+    pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
+        self.shared.queue.submit(req)
+    }
+
+    /// Convenience: submit one frame and wait for its response.
+    pub fn infer(&self, frame: Snapshot, want_forces: bool) -> Result<InferResponse, ServeError> {
+        self.submit(InferRequest { frame, want_forces })?.wait()
+    }
+
+    /// The registry this engine serves from (publish into it to
+    /// hot-swap the model).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Requests currently queued (not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Point-in-time serving statistics. Folds the current snapshot's
+    /// live geometry-cache counters in with those of retired
+    /// snapshots.
+    pub fn stats(&self) -> StatsSnapshot {
+        let current = self.shared.registry.current();
+        let live = current.cache.stats();
+        let mut snap = self.shared.stats.snapshot(self.shared.registry.swap_count());
+        let hits = self.shared.stats.cache_hits.load(std::sync::atomic::Ordering::Relaxed) + live.hits;
+        let misses =
+            self.shared.stats.cache_misses.load(std::sync::atomic::Ordering::Relaxed) + live.misses;
+        snap.cache_hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        snap
+    }
+
+    /// Raw access to the engine's counters (the bench binary reports
+    /// through this).
+    pub fn raw_stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Stop accepting requests, drain what is queued, and join the
+    /// dispatcher. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let handle = self
+            .worker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reject requests the snapshot cannot evaluate (instead of letting a
+/// malformed frame panic the dispatcher).
+fn validate(req: &InferRequest, snapshot: &PublishedModel) -> Result<(), ServeError> {
+    let n_types = snapshot.model.cfg.n_types;
+    if req.frame.pos.len() != req.frame.types.len() {
+        return Err(ServeError::BadRequest(format!(
+            "{} positions for {} type ids",
+            req.frame.pos.len(),
+            req.frame.types.len()
+        )));
+    }
+    if req.frame.types.is_empty() {
+        return Err(ServeError::BadRequest("empty frame".into()));
+    }
+    if let Some(&t) = req.frame.types.iter().find(|&&t| t >= n_types) {
+        return Err(ServeError::BadRequest(format!(
+            "type id {t} out of range for a {n_types}-species model"
+        )));
+    }
+    Ok(())
+}
+
+fn dispatch_loop(shared: &Shared) {
+    // The dispatcher remembers the snapshot it last served from so a
+    // swap can fold the retired snapshot's cache counters into the
+    // engine-lifetime stats.
+    let mut last: Option<Arc<PublishedModel>> = None;
+    while let Some((batch, depth)) = shared.queue.next_batch(&shared.policy) {
+        let snapshot = shared.registry.current();
+        if let Some(prev) = &last {
+            if prev.version != snapshot.version {
+                let retired = prev.cache.stats();
+                shared.stats.record_cache(retired.hits, retired.misses);
+            }
+        }
+        last = Some(Arc::clone(&snapshot));
+        shared.stats.record_batch(batch.len(), depth);
+        let batch_ref = &batch;
+        let snapshot_ref = &snapshot;
+        let stats_ref = &shared.stats;
+        dp_pool::parallel_for(batch.len(), &|i| {
+            let pending = &batch_ref[i];
+            let result = match validate(&pending.req, snapshot_ref) {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let model = &snapshot_ref.model;
+                    let pass = model.forward_keyed(&snapshot_ref.cache, &pending.req.frame);
+                    let forces = pending.req.want_forces.then(|| model.forces(&pass));
+                    Ok(InferResponse {
+                        energy: pass.energy,
+                        forces,
+                        version: snapshot_ref.version,
+                    })
+                }
+            };
+            stats_ref.record_request(pending.submitted.elapsed().as_nanos() as u64);
+            pending.fulfill(result);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{demo_frame as frame, demo_model as model};
+    use std::time::Duration;
+
+    fn engine(seed: u64) -> Arc<Engine> {
+        let registry = Arc::new(ModelRegistry::new(model(seed)));
+        Engine::start(registry, BatchPolicy::default())
+    }
+
+    #[test]
+    fn served_response_matches_direct_prediction_bitwise() {
+        let e = engine(5);
+        let f = frame(9);
+        let direct = e.registry().current().model.predict(&f);
+        let resp = e.infer(f, true).unwrap();
+        assert_eq!(resp.energy.to_bits(), direct.energy.to_bits());
+        let forces = resp.forces.unwrap();
+        assert_eq!(forces.len(), direct.forces.len());
+        for (a, b) in forces.iter().zip(&direct.forces) {
+            assert_eq!(a.0.map(f64::to_bits), b.0.map(f64::to_bits));
+        }
+        assert_eq!(resp.version, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn energy_only_requests_skip_forces() {
+        let e = engine(6);
+        let resp = e.infer(frame(3), false).unwrap();
+        assert!(resp.energy.is_finite());
+        assert!(resp.forces.is_none());
+        e.shutdown();
+    }
+
+    #[test]
+    fn repeated_geometry_hits_the_snapshot_cache() {
+        let e = engine(7);
+        let f = frame(11);
+        let _ = e.infer(f.clone(), false).unwrap();
+        let _ = e.infer(f, false).unwrap();
+        let stats = e.stats();
+        assert!(
+            stats.cache_hit_rate > 0.0,
+            "second identical geometry must hit: {stats:?}"
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_a_typed_error_not_a_dead_dispatcher() {
+        let e = engine(8);
+        let mut bad = frame(2);
+        bad.types[0] = 9; // out of range for a 1-species model
+        let err = e.infer(bad, false).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "got {err}");
+        // The dispatcher survived and keeps serving.
+        assert!(e.infer(frame(4), false).unwrap().energy.is_finite());
+        e.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests_and_rejects_new_ones() {
+        let registry = Arc::new(ModelRegistry::new(model(9)));
+        let e = Engine::start(
+            registry,
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(50),
+            },
+        );
+        let tickets: Vec<_> = (0..6)
+            .map(|i| {
+                e.submit(InferRequest {
+                    frame: frame(20 + i),
+                    want_forces: false,
+                })
+                .unwrap()
+            })
+            .collect();
+        e.shutdown();
+        for t in tickets {
+            assert!(t.wait().unwrap().energy.is_finite(), "accepted request must be served");
+        }
+        assert_eq!(
+            e.infer(frame(1), false).unwrap_err(),
+            ServeError::Closed,
+            "post-shutdown submissions are refused"
+        );
+    }
+
+    #[test]
+    fn stats_count_requests_and_batches() {
+        let e = engine(10);
+        for i in 0..8 {
+            let _ = e.infer(frame(30 + i), i % 2 == 0).unwrap();
+        }
+        let s = e.stats();
+        assert_eq!(s.requests, 8);
+        assert!(s.batches >= 1 && s.batches <= 8);
+        assert!(s.latency_p50_ns.unwrap() > 0.0);
+        assert!(s.latency_p99_ns.unwrap() >= s.latency_p50_ns.unwrap());
+        e.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_changes_the_serving_version_between_requests() {
+        let e = engine(11);
+        let f = frame(40);
+        let r1 = e.infer(f.clone(), false).unwrap();
+        assert_eq!(r1.version, 1);
+        e.registry().publish(model(12)).unwrap();
+        let r2 = e.infer(f, false).unwrap();
+        assert_eq!(r2.version, 2);
+        assert_eq!(e.stats().swaps, 1);
+        e.shutdown();
+    }
+}

@@ -1,0 +1,173 @@
+//! Serving telemetry: queue depth, batch sizes, latency percentiles,
+//! swap count and geometry-cache hit rate.
+//!
+//! Every counter on the request path is an atomic or a fixed-bucket
+//! [`Histogram`] (`dp_bench::report`) — no lock, no allocation — so
+//! the stats layer cannot perturb the latencies it measures. Snapshots
+//! ([`ServeStats::snapshot`]) are taken off-path and exported through
+//! `dp_bench::report::BenchReport` by the `bench_serve` binary.
+
+use dp_bench::report::{BenchReport, Histogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters and histograms updated by the engine.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests completed.
+    pub requests: AtomicU64,
+    /// Micro-batches dispatched.
+    pub batches: AtomicU64,
+    /// Per-request latency from submission to response, nanoseconds
+    /// (log2 buckets).
+    pub latency_ns: Histogram,
+    /// Dispatched batch sizes (log2 buckets).
+    pub batch_sizes: Histogram,
+    /// Queue depth observed at each dispatch (log2 buckets).
+    pub queue_depth: Histogram,
+    /// Environment-cache hits across all snapshots served.
+    pub cache_hits: AtomicU64,
+    /// Environment-cache misses across all snapshots served.
+    pub cache_misses: AtomicU64,
+}
+
+/// A point-in-time, plain-value view of [`ServeStats`].
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Requests completed.
+    pub requests: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Latency percentiles in nanoseconds (`None` before any request).
+    pub latency_p50_ns: Option<f64>,
+    /// 90th percentile latency.
+    pub latency_p90_ns: Option<f64>,
+    /// 99th percentile latency.
+    pub latency_p99_ns: Option<f64>,
+    /// Model swaps observed by the engine (publishes after the first).
+    pub swaps: u64,
+    /// Geometry-cache hit rate over everything served, 0 when unused.
+    pub cache_hit_rate: f64,
+}
+
+impl ServeStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        ServeStats::default()
+    }
+
+    /// Record one dispatched batch of `size` requests drained from a
+    /// queue that held `depth` pending requests.
+    pub fn record_batch(&self, size: usize, depth: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_sizes.record(size as u64);
+        self.queue_depth.record(depth as u64);
+    }
+
+    /// Record one completed request with its submission-to-response
+    /// latency.
+    pub fn record_request(&self, latency_ns: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.latency_ns.record(latency_ns);
+    }
+
+    /// Fold one snapshot's cache counters in (called when a snapshot
+    /// is retired or at snapshot time with the live counters).
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Point-in-time view. `swaps` comes from the registry (the engine
+    /// passes it through).
+    pub fn snapshot(&self, swaps: u64) -> StatsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests,
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                requests as f64 / batches as f64
+            },
+            latency_p50_ns: self.latency_ns.p50(),
+            latency_p90_ns: self.latency_ns.p90(),
+            latency_p99_ns: self.latency_ns.p99(),
+            swaps,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+        }
+    }
+
+    /// Append the snapshot to a [`BenchReport`] under `name`, with the
+    /// shape column carrying the configured max batch size.
+    pub fn report_into(&self, report: &mut BenchReport, name: &str, max_batch: usize, threads: usize, swaps: u64) {
+        let snap = self.snapshot(swaps);
+        let mut push = |metric: &str, value: f64| {
+            report.push(
+                &format!("{name}_{metric}"),
+                &[max_batch],
+                threads,
+                value,
+                snap.requests as usize,
+            );
+        };
+        push("p50_ns", snap.latency_p50_ns.unwrap_or(0.0));
+        push("p90_ns", snap.latency_p90_ns.unwrap_or(0.0));
+        push("p99_ns", snap.latency_p99_ns.unwrap_or(0.0));
+        push("mean_batch", snap.mean_batch);
+        push("cache_hit_rate", snap.cache_hit_rate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_summarizes_counters() {
+        let s = ServeStats::new();
+        for i in 0..100u64 {
+            s.record_request(1_000 + i);
+        }
+        s.record_request(1_000_000);
+        s.record_batch(8, 12);
+        s.record_batch(4, 4);
+        s.record_cache(30, 10);
+        let snap = s.snapshot(3);
+        assert_eq!(snap.requests, 101);
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch - 50.5).abs() < 1e-12);
+        assert!(snap.latency_p50_ns.unwrap() < 4096.0);
+        assert!(snap.latency_p99_ns.unwrap() >= snap.latency_p50_ns.unwrap());
+        assert_eq!(snap.swaps, 3);
+        assert!((snap.cache_hit_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_no_percentiles() {
+        let s = ServeStats::new();
+        let snap = s.snapshot(0);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.latency_p50_ns, None);
+        assert_eq!(snap.mean_batch, 0.0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn report_rows_carry_the_batch_shape() {
+        let s = ServeStats::new();
+        s.record_request(512);
+        let mut r = BenchReport::new("serve");
+        s.report_into(&mut r, "serve", 8, 4, 1);
+        assert!(r.find("serve_p50_ns", &[8], 4).is_some());
+        assert!(r.find("serve_cache_hit_rate", &[8], 4).is_some());
+    }
+}

@@ -1,0 +1,67 @@
+//! Batch determinism: K frames served through the batching engine must
+//! be bitwise identical to K sequential direct calls, at every pool
+//! thread count. Requests are computationally independent (each writes
+//! only its own response slot, nothing is reduced across requests), so
+//! coalescing is a scheduling detail — the same contract as
+//! `dp_pool::parallel_for` (DESIGN §8), checked here end to end
+//! through the queue, the dispatcher and the per-snapshot cache.
+
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::{BatchPolicy, Engine, InferRequest, ModelRegistry};
+use std::sync::Arc;
+use std::time::Duration;
+
+const FRAMES: usize = 10;
+
+#[test]
+fn batched_results_match_sequential_bitwise_at_every_thread_count() {
+    let model = demo_model(3);
+    let frames: Vec<_> = (0..FRAMES as u64).map(|i| demo_frame(100 + i)).collect();
+    // Ground truth: sequential single-frame predictions, no engine.
+    let expected: Vec<_> = frames.iter().map(|f| model.predict(f)).collect();
+
+    for &threads in &[1usize, 2, 8] {
+        dp_pool::set_threads(threads);
+        let registry = Arc::new(ModelRegistry::new(model.clone()));
+        let engine = Engine::start(
+            registry,
+            BatchPolicy {
+                max_batch: FRAMES,
+                max_wait: Duration::from_millis(50),
+            },
+        );
+        // Submit everything before waiting so the dispatcher coalesces
+        // the requests into real multi-frame batches.
+        let tickets: Vec<_> = frames
+            .iter()
+            .map(|f| {
+                engine
+                    .submit(InferRequest { frame: f.clone(), want_forces: true })
+                    .expect("engine is live")
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().expect("request must be served");
+            assert_eq!(
+                resp.energy.to_bits(),
+                expected[i].energy.to_bits(),
+                "frame {i} energy differs at {threads} threads"
+            );
+            let forces = resp.forces.expect("forces were requested");
+            assert_eq!(forces.len(), expected[i].forces.len());
+            for (a, b) in forces.iter().zip(&expected[i].forces) {
+                assert_eq!(
+                    a.0.map(f64::to_bits),
+                    b.0.map(f64::to_bits),
+                    "frame {i} forces differ at {threads} threads"
+                );
+            }
+        }
+        assert!(
+            engine.stats().mean_batch > 1.0,
+            "requests must actually have been coalesced at {threads} threads"
+        );
+        engine.shutdown();
+    }
+    dp_pool::set_threads(1);
+}

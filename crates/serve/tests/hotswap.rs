@@ -1,0 +1,90 @@
+//! Concurrent hot-swap consistency: N client threads hammer the engine
+//! with the same probe frame while the main thread publishes M model
+//! versions. Every response must come from exactly one published
+//! snapshot — its energy bitwise equal to what that version computes
+//! on its own — and each client's observed versions must be monotone.
+//! A torn read (weights from one version, statistics from another)
+//! would produce an energy matching no version.
+
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::{BatchPolicy, Engine, ModelRegistry};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 40;
+const VERSIONS: u64 = 4;
+
+#[test]
+fn every_response_comes_from_exactly_one_published_version() {
+    let probe = demo_frame(77);
+    // Ground truth per version, computed outside the serving stack.
+    let models: Vec<_> = (1..=VERSIONS).map(demo_model).collect();
+    let expected: HashMap<u64, u64> = models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (i as u64 + 1, m.predict(&probe).energy.to_bits()))
+        .collect();
+    // Distinct seeds must give distinct energies, or the test is vacuous.
+    let distinct: std::collections::HashSet<_> = expected.values().collect();
+    assert_eq!(distinct.len(), VERSIONS as usize, "versions must be distinguishable");
+
+    let registry = Arc::new(ModelRegistry::new(models[0].clone()));
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+        },
+    );
+
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            let probe = probe.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut seen = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let resp = engine.infer(probe.clone(), false).expect("engine is live");
+                    seen.push((resp.version, resp.energy.to_bits()));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    for m in &models[1..] {
+        std::thread::sleep(Duration::from_millis(5));
+        registry.publish(m.clone()).expect("publish must succeed");
+    }
+
+    for c in clients {
+        let seen = c.join().expect("client must not panic");
+        assert_eq!(seen.len(), REQUESTS_PER_CLIENT);
+        for &(version, bits) in &seen {
+            let want = expected
+                .get(&version)
+                .unwrap_or_else(|| panic!("response tagged with unknown version {version}"));
+            assert_eq!(
+                bits, *want,
+                "version {version} served an energy that version does not compute — torn read"
+            );
+        }
+        assert!(
+            seen.windows(2).all(|w| w[0].0 <= w[1].0),
+            "client observed versions out of order: {:?}",
+            seen.iter().map(|s| s.0).collect::<Vec<_>>()
+        );
+    }
+
+    // After all publishes, new requests land on the last version.
+    let last = engine.infer(probe, false).unwrap();
+    assert_eq!(last.version, VERSIONS);
+    assert_eq!(engine.stats().swaps, VERSIONS - 1);
+    engine.shutdown();
+}

@@ -70,6 +70,23 @@ impl OnlineLoop {
     /// moves on to the next shard — an online-learning service must
     /// outlive a single bad retrain.
     pub fn run(&self, model: &mut DeepPotModel, shards: &[Dataset]) -> Vec<StageReport> {
+        self.run_published(model, shards, &mut |_, _| {})
+    }
+
+    /// [`OnlineLoop::run`] with a publication hook: after every stage
+    /// whose retrain *succeeded*, `publish` is called with the freshly
+    /// retrained weights and the stage report. This is how the loop
+    /// feeds a serving registry (`dp-serve`) without this crate
+    /// depending on it — the caller's closure typically clones the
+    /// model into `ModelRegistry::publish`, hot-swapping what MD
+    /// clients see while the next stage retrains. Failed stages are
+    /// recorded but never published: clients keep the last good model.
+    pub fn run_published(
+        &self,
+        model: &mut DeepPotModel,
+        shards: &[Dataset],
+        publish: &mut dyn FnMut(&DeepPotModel, &StageReport),
+    ) -> Vec<StageReport> {
         assert!(!shards.is_empty(), "need at least one shard");
         let mut seen = Dataset::new(&shards[0].name, shards[0].type_names.clone());
         let mut reports = Vec::with_capacity(shards.len());
@@ -143,6 +160,10 @@ impl OnlineLoop {
                 iterations: out.iterations,
                 failure,
             });
+            let report = reports.last().expect("just pushed");
+            if report.succeeded() {
+                publish(model, report);
+            }
         }
         reports
     }
@@ -225,6 +246,32 @@ mod tests {
                 r.after.combined()
             );
         }
+    }
+
+    #[test]
+    fn publish_hook_fires_once_per_successful_stage() {
+        let scale = GenScale { frames_per_temperature: 8, equilibration: 20, stride: 2 };
+        let mut s = setup(PaperSystem::Al, &scale, ModelScale::Small, 6);
+        let shards = shards_by_temperature(&s.train);
+        let looper = OnlineLoop {
+            cfg: TrainConfig {
+                batch_size: 4,
+                max_epochs: 2,
+                eval_frames: 8,
+                ..Default::default()
+            },
+            fekf: FekfConfig::default(),
+            robust: RobustConfig::default(),
+        };
+        let mut published: Vec<(usize, Vec<f64>)> = Vec::new();
+        let reports = looper.run_published(&mut s.model, &shards[..2], &mut |m, r| {
+            published.push((r.stage, m.get_params()));
+        });
+        let ok = reports.iter().filter(|r| r.succeeded()).count();
+        assert_eq!(published.len(), ok, "one publication per successful stage");
+        assert_eq!(published.last().unwrap().0, reports.last().unwrap().stage);
+        // The last publication carries the weights the loop ends with.
+        assert_eq!(published.last().unwrap().1, s.model.get_params());
     }
 
     #[test]

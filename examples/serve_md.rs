@@ -1,0 +1,212 @@
+//! An MD simulation driven *through the serving engine* while the
+//! model underneath it is hot-swapped twice mid-run — the full
+//! online-learning deployment shape: the MD client never holds the
+//! model, it submits frames to `dp-serve` and integrates with whatever
+//! the current published snapshot answers.
+//!
+//! A background "trainer" thread watches the MD step counter and
+//! publishes a new model version at steps 20 and 40. The client
+//! observes each swap only as a bumped version tag; at every swap the
+//! previous frame is re-submitted to the *new* snapshot and the energy
+//! jump is checked to be finite and bounded (the potential-energy
+//! surface moved — that is the point of retraining — but it must move
+//! to another well-defined surface, not to garbage).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serve_md
+//! ```
+
+use fekf_deepmd::mdsim::integrate::{evaluate, velocity_verlet_step};
+use fekf_deepmd::mdsim::lattice::{fcc, Species};
+use fekf_deepmd::mdsim::neighbor::NeighborList;
+use fekf_deepmd::mdsim::potential::Potential;
+use fekf_deepmd::mdsim::state::State;
+use fekf_deepmd::mdsim::Vec3;
+use fekf_deepmd::prelude::*;
+use fekf_deepmd::serve::demo::demo_model;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const STEPS: u64 = 60;
+const SWAP_AT: [u64; 2] = [20, 40];
+
+/// An MD force field that owns no weights: every evaluation is an
+/// inference request against the serving engine.
+struct ServedPotential {
+    engine: Arc<Engine>,
+    cutoff: f64,
+    /// Swap-tracking state (`Potential` is `Sync`; the driver is
+    /// single-threaded, so the lock is uncontended).
+    client: Mutex<ClientState>,
+}
+
+#[derive(Default)]
+struct ClientState {
+    /// Version tag of the last response, to detect swaps (0 = none yet).
+    last_version: u64,
+    /// Swaps this client has observed.
+    swaps_seen: u64,
+    /// Previous evaluated frame and its energy, for the continuity
+    /// check across a swap.
+    previous: Option<(Snapshot, f64)>,
+}
+
+impl ServedPotential {
+    fn new(engine: Arc<Engine>) -> Self {
+        let cutoff = engine.registry().current().model.cfg.rcut;
+        ServedPotential {
+            engine,
+            cutoff,
+            client: Mutex::new(ClientState::default()),
+        }
+    }
+
+    fn swaps_seen(&self) -> u64 {
+        self.client.lock().unwrap().swaps_seen
+    }
+
+    fn last_version(&self) -> u64 {
+        self.client.lock().unwrap().last_version
+    }
+
+    fn state_to_frame(&self, state: &State) -> Snapshot {
+        Snapshot {
+            cell: state.cell.lengths(),
+            types: state.types.clone(),
+            type_names: state.type_names.clone(),
+            pos: state.pos.iter().map(|p| state.cell.wrap(p)).collect(),
+            energy: 0.0,
+            forces: vec![Vec3::ZERO; state.n_atoms()],
+            temperature: 0.0,
+        }
+    }
+}
+
+impl Potential for ServedPotential {
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn name(&self) -> &'static str {
+        "served-deep-potential"
+    }
+
+    fn compute(&self, state: &State, _nl: &NeighborList, forces: &mut [Vec3]) -> f64 {
+        let frame = self.state_to_frame(state);
+        let resp = self
+            .engine
+            .infer(frame.clone(), true)
+            .expect("serving engine must be live for the whole trajectory");
+        let served_forces = resp.forces.expect("forces were requested");
+        for (dst, src) in forces.iter_mut().zip(&served_forces) {
+            *dst += *src;
+        }
+
+        let mut client = self.client.lock().unwrap();
+        let last = client.last_version;
+        client.last_version = resp.version;
+        if last != 0 && resp.version != last {
+            client.swaps_seen += 1;
+            // Continuity across the swap: the previous frame, re-served
+            // by the *new* snapshot, must land on a well-defined nearby
+            // surface — finite, and within a loose bound of what the
+            // old snapshot said.
+            if let Some((prev_frame, prev_energy)) = client.previous.clone() {
+                let reserved = self
+                    .engine
+                    .infer(prev_frame, false)
+                    .expect("engine must serve during a swap");
+                assert_eq!(reserved.version, resp.version);
+                let jump = reserved.energy - prev_energy;
+                assert!(jump.is_finite(), "energy across a swap must stay finite");
+                assert!(
+                    jump.abs() < 1e3,
+                    "swap moved the previous frame's energy by {jump} eV — not a model"
+                );
+                println!(
+                    "    swap observed: v{last} → v{} (previous frame: {prev_energy:.4} eV → {:.4} eV)",
+                    resp.version, reserved.energy
+                );
+            }
+        }
+        client.previous = Some((frame, resp.energy));
+        resp.energy
+    }
+}
+
+fn main() {
+    let registry = Arc::new(ModelRegistry::new(demo_model(1)));
+    let engine = Engine::start(Arc::clone(&registry), BatchPolicy::default());
+    println!("serving engine up (version {})", registry.current_version());
+
+    // The MD system: jittered fcc aluminium at 300 K.
+    let mut s = fcc(Species::new("Al", 27.0), 4.05, [2, 2, 2]);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    s.jitter_positions(0.05, &mut rng);
+    s.init_velocities(300.0, &mut rng);
+
+    // The "trainer": watches the MD clock and hot-swaps a new model at
+    // fixed steps, the way the online loop publishes each retrain.
+    let step = Arc::new(AtomicU64::new(0));
+    let trainer = {
+        let registry = Arc::clone(&registry);
+        let step = Arc::clone(&step);
+        std::thread::spawn(move || {
+            for (i, &at) in SWAP_AT.iter().enumerate() {
+                while step.load(Ordering::Acquire) < at {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let v = registry
+                    .publish(demo_model(2 + i as u64))
+                    .expect("publish must succeed");
+                println!("  trainer: published version {v} at MD step ≥ {at}");
+            }
+        })
+    };
+
+    let pot = ServedPotential::new(Arc::clone(&engine));
+    let (e0_pot, mut forces) = evaluate(&pot, &s);
+    let e0 = e0_pot + s.kinetic_energy();
+    println!("  initial energy: {e0:.4} eV ({} atoms)", s.n_atoms());
+    for i in 0..STEPS {
+        let e_pot = velocity_verlet_step(&pot, &mut s, &mut forces, 1.0);
+        step.store(i + 1, Ordering::Release);
+        // At a swap step, let the trainer win the race before
+        // integrating on: the swap must land mid-trajectory, not after
+        // the loop has already finished.
+        if let Some(k) = SWAP_AT.iter().position(|&at| at == i + 1) {
+            while registry.current_version() < 2 + k as u64 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert!(e_pot.is_finite(), "served energies must stay finite");
+        if (i + 1) % 20 == 0 {
+            println!(
+                "  step {:>3}: E_pot {e_pot:.4} eV, E_tot {:.4} eV (serving v{})",
+                i + 1,
+                e_pot + s.kinetic_energy(),
+                pot.last_version()
+            );
+        }
+    }
+    trainer.join().expect("trainer thread must not panic");
+
+    assert!(
+        pot.swaps_seen() >= 2,
+        "the trajectory must have crossed both hot-swaps, saw {}",
+        pot.swaps_seen()
+    );
+    assert_eq!(registry.current_version(), 3);
+    let stats = engine.stats();
+    assert_eq!(stats.swaps, 2);
+    println!(
+        "\nMD client done: {} requests served across 3 model versions, \
+         mean batch {:.2}, cache hit rate {:.2}",
+        stats.requests, stats.mean_batch, stats.cache_hit_rate
+    );
+    engine.shutdown();
+}

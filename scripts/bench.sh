@@ -2,7 +2,9 @@
 # Benchmark sweep: writes the machine-readable perf trajectory
 # (BENCH_gemm.json, BENCH_p_update.json, BENCH_train_iter.json,
 # BENCH_forward.json — the last adds forward/backward kernel timings,
-# FEKF frames/s with the env cache off vs on, and cache hit rates).
+# FEKF frames/s with the env cache off vs on, and cache hit rates —
+# plus BENCH_serve.json: serving requests/s and latency percentiles at
+# max_batch 1/8/32).
 #
 #   scripts/bench.sh                 # full sweep -> results/bench/
 #   scripts/bench.sh --smoke         # one shape per report (CI gate)
@@ -18,14 +20,16 @@ cd "$(dirname "$0")/.."
 OUT="${BENCH_OUT:-results/bench}"
 
 cargo build --release --offline -p dp-bench --bin bench_kernels --bin bench_forward
+cargo build --release --offline -p dp-serve --bin bench_serve
 
 KERNEL_ARGS=()
 FORWARD_ARGS=()
 for arg in "$@"; do
     KERNEL_ARGS+=("$arg")
-    # bench_forward has no --paper scale; pass everything else through.
+    # bench_forward/bench_serve have no --paper scale; pass the rest.
     [[ "$arg" == "--paper" ]] || FORWARD_ARGS+=("$arg")
 done
 
 cargo run --release --offline -p dp-bench --bin bench_kernels -- "--out=${OUT}" "${KERNEL_ARGS[@]+"${KERNEL_ARGS[@]}"}"
-exec cargo run --release --offline -p dp-bench --bin bench_forward -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
+cargo run --release --offline -p dp-bench --bin bench_forward -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
+exec cargo run --release --offline -p dp-serve --bin bench_serve -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"

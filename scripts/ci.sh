@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: build, test (single- and multi-threaded pool), lint, a
-# benchmark smoke run, then a fault-injection soak.
+# benchmark smoke run, a serving-engine smoke, then a fault-injection
+# soak.
 #
 # Everything runs --offline against the vendored dependency tree; no
 # network access is required (or attempted).
@@ -37,6 +38,12 @@ cargo clippy --offline --all-targets -- -D warnings
 
 step "bench smoke"
 BENCH_OUT="$(mktemp -d)" scripts/bench.sh --smoke
+
+# Serving engine smoke: 64 requests from 4 client threads with one
+# mid-run hot-swap; the binary asserts response/version consistency
+# and stats sanity (exits nonzero on any violation).
+step "serve smoke (DP_POOL_THREADS=4)"
+DP_POOL_THREADS=4 cargo run --release --offline -p dp-serve --bin serve_smoke
 
 step "fault soak (${SOAK_SECONDS}s, seed ${SOAK_SEED})"
 cargo run --release --offline --example fault_soak -- "$SOAK_SEED" "$SOAK_SECONDS"

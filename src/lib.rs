@@ -18,6 +18,7 @@ pub use dp_data as data;
 pub use dp_mdsim as mdsim;
 pub use dp_optim as optim;
 pub use dp_parallel as parallel;
+pub use dp_serve as serve;
 pub use dp_tensor as tensor;
 pub use dp_train as train;
 
@@ -31,6 +32,7 @@ pub mod prelude {
     pub use dp_optim::adam::{Adam, AdamConfig};
     pub use dp_optim::fekf::{Fekf, FekfConfig};
     pub use dp_optim::rlekf::Rlekf;
+    pub use dp_serve::{BatchPolicy, Engine, InferRequest, InferResponse, ModelRegistry};
     pub use dp_train::recipes;
     pub use dp_train::trainer::{TrainConfig, TrainOutcome, Trainer};
 }
