@@ -39,7 +39,7 @@ fn main() {
         print!("it {it}: E abe={abe:.4} |g|={gn:.3} |dw|={dn:.4} ");
         // force
         let mut grads = vec![vec![0.0; n_params]; 4];
-        let mut abes = vec![0.0; 4];
+        let mut abes = [0.0; 4];
         for &i in &batch {
             let frame = &s.train.frames[i];
             let pass = model.forward(frame);

@@ -743,14 +743,14 @@ mod tests {
         let pass = model.forward(&frame);
         let forces = model.forces(&pass);
         let h = 1e-6;
-        for i in 0..frame.types.len() {
+        for (i, force) in forces.iter().enumerate() {
             for a in 0..3 {
                 let mut fp = frame.clone();
                 fp.pos[i].0[a] += h;
                 let mut fm = frame.clone();
                 fm.pos[i].0[a] -= h;
                 let fd = -(model.forward(&fp).energy - model.forward(&fm).energy) / (2.0 * h);
-                let an = forces[i].0[a];
+                let an = force.0[a];
                 assert!(
                     (fd - an).abs() < 1e-5 * (1.0 + fd.abs()),
                     "atom {i} comp {a}: fd {fd} vs analytic {an}"

@@ -138,8 +138,8 @@ proptest! {
                 signs[1] * a.0[perm[1]],
                 signs[2] * a.0[perm[2]],
             ];
-            for k in 0..3 {
-                prop_assert!((ar[k] - b.0[k]).abs() < 1e-9, "force not equivariant");
+            for (arc, bc) in ar.iter().zip(b.0) {
+                prop_assert!((arc - bc).abs() < 1e-9, "force not equivariant");
             }
         }
     }

@@ -1,0 +1,140 @@
+//! Corrupt-input hardening for the DPMD v2 model format: every
+//! malformed byte stream must come back as a typed `io::Error`
+//! (`InvalidData`/`UnexpectedEof`), never a panic, never a silently
+//! wrong model. The serving registry feeds `from_bytes` with whatever
+//! arrives over the wire (`publish_bytes`), so this surface is
+//! adversarial by construction.
+
+use deepmd_core::config::ModelConfig;
+use deepmd_core::env::EnvStats;
+use deepmd_core::model::DeepPotModel;
+use deepmd_core::model_io;
+use dp_data::stats::EnergyBias;
+use dp_tensor::wire::crc32;
+use std::io::ErrorKind;
+
+fn model(seed: u64) -> DeepPotModel {
+    let mut cfg = ModelConfig::small(2, 3.0);
+    cfg.rcut_smooth = 1.8;
+    cfg.seed = seed;
+    DeepPotModel::with_stats(
+        cfg,
+        EnvStats::identity(2),
+        EnergyBias { per_type: vec![0.1, -0.2] },
+    )
+}
+
+/// Recompute the v2 CRC-32 trailer after an intentional payload patch,
+/// so the test reaches the decoder behind the checksum.
+fn refresh_crc(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let crc = crc32(&bytes[..n - 4]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = model_io::to_bytes(&model(1));
+    // All short prefixes plus a stride through the long ones: each
+    // must produce Err (never panic, never Ok on a partial model).
+    let mut lengths: Vec<usize> = (0..bytes.len().min(64)).collect();
+    let stride = (bytes.len() / 256).max(1);
+    lengths.extend((64..bytes.len()).step_by(stride));
+    lengths.push(bytes.len() - 1);
+    for len in lengths {
+        let e = model_io::from_bytes(&bytes[..len])
+            .expect_err(&format!("truncation to {len} bytes must fail"));
+        assert!(
+            matches!(e.kind(), ErrorKind::InvalidData | ErrorKind::UnexpectedEof),
+            "truncation to {len}: unexpected error kind {:?}",
+            e.kind()
+        );
+    }
+}
+
+#[test]
+fn flipped_crc_trailer_byte_is_rejected() {
+    let bytes = model_io::to_bytes(&model(2));
+    let n = bytes.len();
+    for i in n - 4..n {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x01;
+        let e = model_io::from_bytes(&bad).expect_err("corrupt trailer must fail");
+        assert!(
+            e.to_string().contains("checksum"),
+            "trailer byte {i}: expected a checksum error, got {e}"
+        );
+    }
+}
+
+#[test]
+fn any_single_byte_flip_never_panics_and_always_errors() {
+    // The CRC-32 trailer guarantees any single-byte corruption is
+    // detected; sweep a stride of positions across the whole file
+    // (magic, version, config, stats, weights, trailer) and demand a
+    // typed error from every one.
+    let bytes = model_io::to_bytes(&model(3));
+    let stride = (bytes.len() / 512).max(1);
+    for i in (0..bytes.len()).step_by(stride) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xFF;
+        assert!(
+            model_io::from_bytes(&bad).is_err(),
+            "flip at byte {i} must be detected"
+        );
+    }
+}
+
+#[test]
+fn non_finite_weight_is_rejected_behind_a_valid_checksum() {
+    // A checksum-valid stream carrying a NaN weight models in-memory
+    // corruption at the *producer* (the CRC was computed over the bad
+    // bytes). The decoder's finiteness gate must still refuse it.
+    let m = model(4);
+    let params = m.get_params();
+    let needle = params[0].to_le_bytes();
+    let mut bytes = model_io::to_bytes(&m);
+    let at = bytes
+        .windows(8)
+        .position(|w| w == needle)
+        .expect("first weight's bytes should appear in the serialized form");
+    bytes[at..at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    refresh_crc(&mut bytes);
+    let e = model_io::from_bytes(&bytes).expect_err("NaN weight must be rejected");
+    assert_eq!(e.kind(), ErrorKind::InvalidData);
+    assert!(
+        e.to_string().contains("non-finite"),
+        "want a non-finite diagnostic, got: {e}"
+    );
+}
+
+#[test]
+fn wrong_species_count_is_rejected_behind_a_valid_checksum() {
+    // n_types is the u64 right after magic+version (offset 8). Claiming
+    // 3 species over a 2-species payload must fail on the embedding-
+    // table shape, not read garbage into the wrong nets.
+    let mut bytes = model_io::to_bytes(&model(5));
+    bytes[8..16].copy_from_slice(&3u64.to_le_bytes());
+    refresh_crc(&mut bytes);
+    let e = model_io::from_bytes(&bytes).expect_err("wrong species count must fail");
+    assert_eq!(e.kind(), ErrorKind::InvalidData);
+
+    // Zero species trips config validation before any table is read.
+    let mut bytes = model_io::to_bytes(&model(5));
+    bytes[8..16].copy_from_slice(&0u64.to_le_bytes());
+    refresh_crc(&mut bytes);
+    let e = model_io::from_bytes(&bytes).expect_err("zero species must fail");
+    assert_eq!(e.kind(), ErrorKind::InvalidData);
+}
+
+#[test]
+fn empty_and_garbage_streams_are_typed_errors() {
+    assert!(model_io::from_bytes(&[]).is_err());
+    assert!(model_io::from_bytes(b"not a model at all").is_err());
+    // Right magic, absurd version.
+    let mut junk = b"DPMD".to_vec();
+    junk.extend_from_slice(&99u32.to_le_bytes());
+    junk.extend_from_slice(&[0u8; 64]);
+    let e = model_io::from_bytes(&junk).expect_err("unsupported version must fail");
+    assert!(e.to_string().contains("version"), "got: {e}");
+}

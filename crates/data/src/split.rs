@@ -90,7 +90,7 @@ mod tests {
     fn extreme_fraction_keeps_both_sides_nonempty() {
         let d = dataset(3);
         let (train, test) = train_test_split(&d, 0.99, 0);
-        assert!(train.len() >= 1 && test.len() >= 1);
+        assert!(!train.is_empty() && !test.is_empty());
     }
 
     #[test]

@@ -139,8 +139,8 @@ mod tests {
             ) {
                 let cell = Cell::orthorhombic(lens[0], lens[1], lens[2]);
                 let d = cell.min_image(&Vec3(a), &Vec3(b));
-                for k in 0..3 {
-                    prop_assert!(d.0[k].abs() <= 0.5 * lens[k] + 1e-9);
+                for (dk, lk) in d.0.iter().zip(lens) {
+                    prop_assert!(dk.abs() <= 0.5 * lk + 1e-9);
                 }
             }
 

@@ -140,9 +140,9 @@ mod tests {
         let layout = BlockLayout::from_layer_sizes(&layers, 8);
         let mut covered = vec![false; layout.n_params];
         for b in &layout.blocks {
-            for i in b.start..b.end {
-                assert!(!covered[i], "index {i} covered twice");
-                covered[i] = true;
+            for (i, c) in covered.iter_mut().enumerate().take(b.end).skip(b.start) {
+                assert!(!*c, "index {i} covered twice");
+                *c = true;
             }
         }
         assert!(covered.iter().all(|&c| c), "all indices covered");
@@ -189,7 +189,7 @@ mod tests {
             let mut expected_start = 0;
             for b in &layout.blocks {
                 prop_assert_eq!(b.start, expected_start);
-                prop_assert!(b.len() >= 1);
+                prop_assert!(!b.is_empty());
                 prop_assert!(b.len() <= blocksize);
                 expected_start = b.end;
             }

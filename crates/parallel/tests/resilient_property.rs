@@ -1,0 +1,180 @@
+//! Property test for the resilient ring-allreduce: under *random*
+//! seeded fault plans (drops, payload corruption, a straggler, up to
+//! two dead ranks) at every paper-relevant rank count, the collective
+//! must keep exactly one of three promises:
+//!
+//! 1. `Ok` with no dead ranks → every buffer equals the no-fault sum
+//!    (ring order vs naive order: 1e-9 relative);
+//! 2. `Ok` with dead ranks → survivors hold the survivor-sum scaled by
+//!    `r / r_alive` and the dead ranks' buffers are untouched;
+//! 3. `Err` → a typed [`CommError`] and **all** inputs bitwise
+//!    restored.
+//!
+//! Anything else — a panic, a half-written buffer, a silently wrong
+//! sum — is a training-run corrupter, which is exactly what property
+//! fuzzing is for.
+
+use dp_parallel::fault::{DeadRank, FaultPlan, Straggler};
+use dp_parallel::ring::{naive_allreduce, resilient_allreduce};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const RANK_COUNTS: [usize; 4] = [2, 3, 5, 8];
+
+/// Random inputs: one buffer of length `n` per rank, values in ±8.
+fn buffers_strategy(r: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..=12).prop_flat_map(move |n| {
+        proptest::collection::vec(proptest::collection::vec(-8.0f64..8.0, n), r)
+    })
+}
+
+/// Random fault plan for `r` ranks: moderate drop/corrupt rates (the
+/// retry budget must stay winnable), an optional 1 ms straggler, and
+/// 0–2 ranks dying at random ring steps.
+fn plan_strategy(r: usize) -> impl Strategy<Value = FaultPlan> {
+    let steps = 2 * (r - 1);
+    (
+        0u64..u64::MAX,
+        0.0f64..0.3,
+        0.0f64..0.3,
+        // `r` encodes "no straggler" (the vendored proptest has no
+        // Option strategy).
+        0usize..=r,
+        proptest::collection::vec((0..r, 0..steps.max(1)), 0..=2),
+    )
+        .prop_map(move |(seed, drop_prob, corrupt_prob, straggler, dead)| FaultPlan {
+            seed,
+            drop_prob,
+            corrupt_prob,
+            straggler: (straggler < r)
+                .then(|| Straggler { rank: straggler, delay: Duration::from_millis(1) }),
+            dead: dead
+                .into_iter()
+                .map(|(rank, step)| DeadRank { rank, step })
+                .collect(),
+            max_retries: 6,
+            ack_timeout: Duration::from_millis(5),
+        })
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+}
+
+fn check_contract(mut bufs: Vec<Vec<f64>>, plan: FaultPlan) -> Result<(), TestCaseError> {
+    let original = bufs.clone();
+    // The no-fault oracle.
+    let mut expect = original.clone();
+    naive_allreduce(&mut expect).expect("naive oracle cannot fail on well-formed input");
+    let full_sum = expect[0].clone();
+
+    match resilient_allreduce(&mut bufs, &plan) {
+        Ok(stats) if stats.dead_ranks == 0 => {
+            // Promise 1: every rank converged to the full-group sum.
+            for (rank, b) in bufs.iter().enumerate() {
+                for (i, (&got, &want)) in b.iter().zip(&full_sum).enumerate() {
+                    prop_assert!(
+                        rel_close(got, want),
+                        "no-fault result: rank {rank} elem {i}: {got} vs {want} (plan {plan:?})"
+                    );
+                }
+            }
+        }
+        Ok(stats) => {
+            // Promise 2: survivors hold the renormalized survivor sum;
+            // the dead keep their original inputs.
+            let total_steps = 2 * (original.len() - 1);
+            let dead: Vec<usize> = plan
+                .dead_ranks()
+                .into_iter()
+                .filter(|&d| {
+                    d < original.len() && plan.death_step(d).is_some_and(|s| s < total_steps)
+                })
+                .collect();
+            prop_assert_eq!(stats.dead_ranks, dead.len());
+            let alive: Vec<usize> =
+                (0..original.len()).filter(|i| !dead.contains(i)).collect();
+            let n = original[0].len();
+            let scale = original.len() as f64 / alive.len() as f64;
+            let survivor_sum: Vec<f64> = (0..n)
+                .map(|i| alive.iter().map(|&rk| original[rk][i]).sum::<f64>() * scale)
+                .collect();
+            for &rank in &alive {
+                for (i, (&got, &want)) in bufs[rank].iter().zip(&survivor_sum).enumerate() {
+                    prop_assert!(
+                        rel_close(got, want),
+                        "survivor result: rank {rank} elem {i}: {got} vs {want} (plan {plan:?})"
+                    );
+                }
+            }
+            for &rank in &dead {
+                prop_assert!(
+                    bufs[rank] == original[rank],
+                    "dead rank {rank} buffer must be untouched"
+                );
+            }
+        }
+        Err(_typed) => {
+            // Promise 3: typed error (the match arm itself proves the
+            // type) and bitwise-restored inputs.
+            for (rank, (b, orig)) in bufs.iter().zip(&original).enumerate() {
+                for (i, (&got, &want)) in b.iter().zip(orig).enumerate() {
+                    prop_assert!(
+                        got.to_bits() == want.to_bits(),
+                        "after Err, rank {rank} elem {i} not restored: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn resilient_allreduce_keeps_its_contract_r2(
+        bufs in buffers_strategy(RANK_COUNTS[0]),
+        plan in plan_strategy(RANK_COUNTS[0]),
+    ) {
+        check_contract(bufs, plan)?;
+    }
+
+    #[test]
+    fn resilient_allreduce_keeps_its_contract_r3(
+        bufs in buffers_strategy(RANK_COUNTS[1]),
+        plan in plan_strategy(RANK_COUNTS[1]),
+    ) {
+        check_contract(bufs, plan)?;
+    }
+
+    #[test]
+    fn resilient_allreduce_keeps_its_contract_r5(
+        bufs in buffers_strategy(RANK_COUNTS[2]),
+        plan in plan_strategy(RANK_COUNTS[2]),
+    ) {
+        check_contract(bufs, plan)?;
+    }
+
+    #[test]
+    fn resilient_allreduce_keeps_its_contract_r8(
+        bufs in buffers_strategy(RANK_COUNTS[3]),
+        plan in plan_strategy(RANK_COUNTS[3]),
+    ) {
+        check_contract(bufs, plan)?;
+    }
+}
+
+#[test]
+fn all_ranks_dead_is_a_typed_error_with_restored_inputs() {
+    let original = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+    let mut bufs = original.clone();
+    let plan = FaultPlan {
+        dead: vec![DeadRank { rank: 0, step: 0 }, DeadRank { rank: 1, step: 0 }],
+        ..FaultPlan::none()
+    };
+    let err = resilient_allreduce(&mut bufs, &plan).expect_err("everyone died");
+    let _ = format!("{err:?}"); // typed and printable
+    assert_eq!(bufs, original);
+}

@@ -595,8 +595,8 @@ mod tests {
         let xm = Mat::from_vec(6, 1, x.clone());
         let y = a.matvec(&x);
         let ym = a.matmul(&xm);
-        for i in 0..8 {
-            assert!((y[i] - ym.get(i, 0)).abs() < 1e-12);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((yi - ym.get(i, 0)).abs() < 1e-12);
         }
     }
 

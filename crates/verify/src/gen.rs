@@ -1,0 +1,210 @@
+//! Deterministic generator library: a seeded xorshift RNG plus
+//! frame/model/matrix generators shared by every oracle family.
+//!
+//! Self-contained by design (no `proptest`, no `rand` trait plumbing —
+//! consistent with the vendored-deps policy): every generated input is
+//! a pure function of a `u64` seed, so a failing case number printed by
+//! the `verify` bin replays bit-for-bit with `--seed`.
+
+use deepmd_core::config::ModelConfig;
+use deepmd_core::model::DeepPotModel;
+use dp_data::dataset::{Dataset, Snapshot};
+use dp_mdsim::integrate::evaluate;
+use dp_mdsim::lattice::{rocksalt, Species};
+use dp_mdsim::systems::PaperSystem;
+use dp_mdsim::Vec3;
+use dp_tensor::Mat;
+
+/// xorshift64* — 8 bytes of state, passes BigCrush's small-state tier,
+/// and (unlike `rand`'s thread-local entropy) replays from a seed.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator; a zero seed is remapped (xorshift's one fixed
+    /// point) through SplitMix64 so every seed yields a healthy stream.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64 { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform index in `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Build one labelled frame of `sys`: the preset's crystal, positions
+/// jittered by `jitter` Å, labels from the preset's classical
+/// potential (the same oracle the training data uses).
+pub fn system_frame(sys: PaperSystem, seed: u64, jitter: f64) -> Snapshot {
+    let preset = sys.preset();
+    let (mut state, pot) = preset.instantiate();
+    let mut rng = XorShift64::new(seed ^ 0xF0A3_17C5_9B2D_4E61);
+    for p in &mut state.pos {
+        for a in 0..3 {
+            p.0[a] += jitter * rng.range(-1.0, 1.0);
+        }
+    }
+    let (energy, forces) = evaluate(pot.as_ref(), &state);
+    Snapshot {
+        cell: state.cell.lengths(),
+        types: state.types.clone(),
+        type_names: state.type_names.clone(),
+        pos: state.pos.iter().map(|p| state.cell.wrap(p)).collect(),
+        energy,
+        forces,
+        temperature: 300.0,
+    }
+}
+
+/// A freshly initialized small-scale model for `sys`, with its
+/// statistics computed from `n_frames` generated frames. Returns the
+/// model and the frames (reusable as oracle inputs).
+pub fn system_model(sys: PaperSystem, seed: u64, n_frames: usize) -> (DeepPotModel, Vec<Snapshot>) {
+    let preset = sys.preset();
+    let (state, pot) = preset.instantiate();
+    let rcut = pot.cutoff().max(3.0).min(0.5 * state.cell.min_length());
+    let frames: Vec<Snapshot> = (0..n_frames.max(2))
+        .map(|i| system_frame(sys, seed.wrapping_add(i as u64), 0.08))
+        .collect();
+    let mut ds = Dataset::new(preset.name, frames[0].type_names.clone());
+    for f in &frames {
+        ds.push(f.clone());
+    }
+    let mut cfg = ModelConfig::small(ds.n_types(), rcut);
+    cfg.seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(17);
+    (DeepPotModel::new(cfg, &ds), frames)
+}
+
+/// The 8-atom two-type toy lattice the fast gradient checks use: a
+/// jittered 1×1×1 rocksalt cell, labels synthetic (gradcheck compares
+/// the model against itself, not against the labels).
+pub fn toy_frame(seed: u64) -> Snapshot {
+    let mut s = rocksalt(Species::new("A", 20.0), Species::new("B", 30.0), 4.4, [1, 1, 1]);
+    let mut rng = XorShift64::new(seed ^ 0x51AB_FE02_77D3_19C4);
+    for p in &mut s.pos {
+        for a in 0..3 {
+            p.0[a] += 0.25 * rng.range(-1.0, 1.0);
+        }
+    }
+    Snapshot {
+        cell: s.cell.lengths(),
+        types: s.types.clone(),
+        type_names: s.type_names.clone(),
+        pos: s.pos.clone(),
+        energy: -10.0,
+        forces: vec![Vec3::ZERO; s.n_atoms()],
+        temperature: 300.0,
+    }
+}
+
+/// A small two-type model over [`toy_frame`] geometry (cheap enough for
+/// finite differences over every parameter stride).
+pub fn toy_model(seed: u64) -> DeepPotModel {
+    let mut cfg = ModelConfig::small(2, 2.1);
+    cfg.rcut_smooth = 1.2;
+    cfg.seed = seed;
+    let mut ds = Dataset::new("toy", vec!["A".into(), "B".into()]);
+    ds.push(toy_frame(seed.wrapping_add(1)));
+    ds.push(toy_frame(seed.wrapping_add(2)));
+    DeepPotModel::new(cfg, &ds)
+}
+
+/// Random dense matrix with entries in `[-1, 1)`.
+pub fn random_mat(rng: &mut XorShift64, rows: usize, cols: usize) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| rng.range(-1.0, 1.0))
+}
+
+/// Random vector with entries in `[-1, 1)`.
+pub fn random_vec(rng: &mut XorShift64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_replays_from_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_healthy() {
+        let mut r = XorShift64::new(0);
+        let vals: Vec<u64> = (0..10).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        assert_ne!(vals[0], vals[1]);
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn system_frames_are_deterministic_and_finite() {
+        let a = system_frame(PaperSystem::Cu, 5, 0.08);
+        let b = system_frame(PaperSystem::Cu, 5, 0.08);
+        assert_eq!(a.pos.len(), b.pos.len());
+        for (p, q) in a.pos.iter().zip(&b.pos) {
+            assert_eq!(p.0, q.0);
+        }
+        assert!(a.energy.is_finite());
+        assert!(a.forces.iter().all(|f| f.norm().is_finite()));
+    }
+
+    #[test]
+    fn toy_model_forward_is_finite() {
+        let model = toy_model(3);
+        let frame = toy_frame(9);
+        assert!(model.forward(&frame).energy.is_finite());
+    }
+}

@@ -1,0 +1,238 @@
+//! Oracle family 1 — gradient checks.
+//!
+//! The paper's headline replaces framework autograd with handwritten
+//! derivative kernels (§3.4 Opt1): analytic forces from a reverse
+//! sweep, `∇θE` for the Kalman energy update, and `∇θ(cᵀF)` from a
+//! forward-tangent + reverse sweep. Each is validated here against the
+//! only oracle that cannot share a bug with the implementation:
+//! central finite differences of the *forward pass alone*,
+//!
+//! ```text
+//! F_ia  ≟  −(E(r + h·e_ia) − E(r − h·e_ia)) / 2h
+//! ∂E/∂θ_e  ≟  (E(θ + h·e_e) − E(θ − h·e_e)) / 2h
+//! ∂(cᵀF)/∂θ_e  ≟  (cᵀF(θ + h·e_e) − cᵀF(θ − h·e_e)) / 2h
+//! ```
+//!
+//! with per-component relative errors reported. The FD truncation
+//! error is O(h²) with an O(ε/h) rounding floor; at `h = 1e-6` a
+//! correct kernel sits around 1e-9 relative, so the 1e-5/2e-5
+//! tolerances have four orders of headroom while a sign or factor bug
+//! lands at O(1).
+
+use crate::gen;
+use crate::{rel_err, Check, Profile, VerifyCheck};
+use deepmd_core::model::DeepPotModel;
+use dp_data::dataset::Snapshot;
+
+/// Step used by every central difference below.
+const FD_H: f64 = 1e-6;
+/// Tolerance for first-order position derivatives (forces, `∇θE`).
+const TOL_FD: f64 = 1e-5;
+/// Tolerance for the dual-sweep `∇θ(cᵀF)` (one more differentiation
+/// level: slightly looser floor).
+const TOL_FD_DUAL: f64 = 2e-5;
+
+/// Check analytic forces against `−ΔE/Δr` for every atom/component.
+pub fn forces_vs_fd(model: &DeepPotModel, frame: &Snapshot, check: &mut Check) {
+    let pass = model.forward(frame);
+    let forces = model.forces(&pass);
+    for (i, force) in forces.iter().enumerate() {
+        for a in 0..3 {
+            let mut fp = frame.clone();
+            fp.pos[i].0[a] += FD_H;
+            let mut fm = frame.clone();
+            fm.pos[i].0[a] -= FD_H;
+            let fd = -(model.forward(&fp).energy - model.forward(&fm).energy) / (2.0 * FD_H);
+            let an = force.0[a];
+            check.case(rel_err(an, fd), || {
+                format!("atom {i} comp {a}: fd {fd:+.9e} vs analytic {an:+.9e}")
+            });
+        }
+    }
+}
+
+/// Check `∇θE` against parameter perturbation on a strided sample of
+/// parameters (`probes` evenly spread over the flat vector).
+pub fn grad_energy_vs_fd(model: &DeepPotModel, frame: &Snapshot, probes: usize, check: &mut Check) {
+    let pass = model.forward(frame);
+    let grad = model.grad_energy_params(&pass);
+    let p0 = model.get_params();
+    let stride = (p0.len() / probes.max(1)).max(1);
+    for e in (0..p0.len()).step_by(stride) {
+        let eval = |delta: f64| {
+            let mut m = model.clone();
+            let mut p = p0.clone();
+            p[e] += delta;
+            m.set_params(&p);
+            m.forward(frame).energy
+        };
+        let fd = (eval(FD_H) - eval(-FD_H)) / (2.0 * FD_H);
+        check.case(rel_err(grad[e], fd), || {
+            format!("param {e}: fd {fd:+.9e} vs analytic {:+.9e}", grad[e])
+        });
+    }
+}
+
+/// Check the dual-sweep `∇θ(Σ c_k F_k)` against parameter perturbation
+/// of the contraction, with seeded random coefficients.
+pub fn grad_force_vs_fd(
+    model: &DeepPotModel,
+    frame: &Snapshot,
+    probes: usize,
+    seed: u64,
+    check: &mut Check,
+) {
+    let n = frame.types.len();
+    let mut rng = gen::XorShift64::new(seed ^ 0xC0FF_EE00_D15E_A5E5);
+    let coeffs: Vec<f64> = (0..3 * n).map(|_| rng.range(-1.0, 1.0)).collect();
+    let pass = model.forward(frame);
+    let grad = model.grad_force_sum_params(&pass, &coeffs);
+    let p0 = model.get_params();
+    let stride = (p0.len() / probes.max(1)).max(1);
+    for e in (0..p0.len()).step_by(stride) {
+        let eval = |delta: f64| {
+            let mut m = model.clone();
+            let mut p = p0.clone();
+            p[e] += delta;
+            m.set_params(&p);
+            let pass = m.forward(frame);
+            m.force_contraction(&pass, &coeffs)
+        };
+        let fd = (eval(FD_H) - eval(-FD_H)) / (2.0 * FD_H);
+        check.case(rel_err(grad[e], fd), || {
+            format!("param {e}: fd {fd:+.9e} vs analytic {:+.9e}", grad[e])
+        });
+    }
+}
+
+/// Run the whole family: the toy lattice (every atom/component and a
+/// dense parameter sample) plus the profile's system generators (one
+/// jittered frame each, strided probes).
+pub fn run(seed: u64, profile: Profile) -> Vec<VerifyCheck> {
+    let mut out = Vec::new();
+    let probes = profile.param_probes();
+
+    // Toy lattice: cheap enough to check everything.
+    let model = gen::toy_model(seed);
+    let frame = gen::toy_frame(seed.wrapping_add(40));
+    let mut c = Check::new("gradcheck", "forces_vs_fd/toy", &["deepmd-core", "dp-tensor"], TOL_FD);
+    forces_vs_fd(&model, &frame, &mut c);
+    out.push(c.finish());
+    let mut c = Check::new("gradcheck", "grad_energy_vs_fd/toy", &["deepmd-core", "dp-tensor"], TOL_FD);
+    grad_energy_vs_fd(&model, &frame, probes, &mut c);
+    out.push(c.finish());
+    let mut c = Check::new(
+        "gradcheck",
+        "grad_force_vs_fd/toy",
+        &["deepmd-core", "dp-tensor"],
+        TOL_FD_DUAL,
+    );
+    grad_force_vs_fd(&model, &frame, probes, seed, &mut c);
+    out.push(c.finish());
+
+    // Real system generators: larger frames, strided components.
+    for (si, &sys) in profile.gradcheck_systems().iter().enumerate() {
+        let sseed = seed.wrapping_add(1000 + si as u64);
+        let (model, frames) = gen::system_model(sys, sseed, 2);
+        let frame = &frames[0];
+        let name = sys.preset().name;
+
+        let mut c = Check::new(
+            "gradcheck",
+            format!("forces_vs_fd/{name}"),
+            &["deepmd-core", "dp-tensor", "dp-mdsim"],
+            TOL_FD,
+        );
+        // FD forwards on a 32–108 atom frame are the cost driver:
+        // sample atoms, check all three components of each.
+        let mut rng = gen::XorShift64::new(sseed ^ 0xA11C_E5ED);
+        let n_probe_atoms = frame.types.len().min(4);
+        for _ in 0..n_probe_atoms {
+            let i = rng.index(frame.types.len());
+            let pass = model.forward(frame);
+            let forces = model.forces(&pass);
+            for a in 0..3 {
+                let mut fp = frame.clone();
+                fp.pos[i].0[a] += FD_H;
+                let mut fm = frame.clone();
+                fm.pos[i].0[a] -= FD_H;
+                let fd =
+                    -(model.forward(&fp).energy - model.forward(&fm).energy) / (2.0 * FD_H);
+                let an = forces[i].0[a];
+                c.case(rel_err(an, fd), || {
+                    format!("{name} atom {i} comp {a}: fd {fd:+.9e} vs analytic {an:+.9e}")
+                });
+            }
+        }
+        out.push(c.finish());
+
+        let mut c = Check::new(
+            "gradcheck",
+            format!("grad_energy_vs_fd/{name}"),
+            &["deepmd-core", "dp-tensor", "dp-mdsim"],
+            TOL_FD,
+        );
+        grad_energy_vs_fd(&model, frame, probes / 2, &mut c);
+        out.push(c.finish());
+
+        let mut c = Check::new(
+            "gradcheck",
+            format!("grad_force_vs_fd/{name}"),
+            &["deepmd-core", "dp-tensor", "dp-mdsim"],
+            TOL_FD_DUAL,
+        );
+        grad_force_vs_fd(&model, frame, probes / 2, sseed, &mut c);
+        out.push(c.finish());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_gradchecks_pass_at_default_tolerances() {
+        let model = gen::toy_model(11);
+        let frame = gen::toy_frame(51);
+        let mut c = Check::new("gradcheck", "t", &[], TOL_FD);
+        forces_vs_fd(&model, &frame, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "details: {:?}", r.details);
+
+        let mut c = Check::new("gradcheck", "t", &[], TOL_FD);
+        grad_energy_vs_fd(&model, &frame, 30, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "details: {:?}", r.details);
+
+        let mut c = Check::new("gradcheck", "t", &[], TOL_FD_DUAL);
+        grad_force_vs_fd(&model, &frame, 30, 11, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "details: {:?}", r.details);
+    }
+
+    #[test]
+    fn a_sign_flip_is_caught() {
+        // The acceptance criterion in miniature: corrupt the force
+        // output (as a flipped assembly sign would) and the check must
+        // fail loudly.
+        let model = gen::toy_model(12);
+        let frame = gen::toy_frame(52);
+        let pass = model.forward(&frame);
+        let forces = model.forces(&pass);
+        let mut c = Check::new("gradcheck", "t", &[], TOL_FD);
+        let i = 0;
+        let a = 0;
+        let mut fp = frame.clone();
+        fp.pos[i].0[a] += FD_H;
+        let mut fm = frame.clone();
+        fm.pos[i].0[a] -= FD_H;
+        let fd = -(model.forward(&fp).energy - model.forward(&fm).energy) / (2.0 * FD_H);
+        let flipped = -forces[i].0[a];
+        c.case(rel_err(flipped, fd), || "flipped".to_string());
+        assert!(
+            c.failures() == 1 || fd.abs() < 1e-7,
+            "a flipped sign must fail unless the component is ~zero"
+        );
+    }
+}

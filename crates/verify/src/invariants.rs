@@ -1,0 +1,317 @@
+//! Oracle family 2 — physics invariants.
+//!
+//! The DeePMD descriptor is constructed (paper §2) so the fitted
+//! energy inherits the exact symmetries of the physical PES:
+//!
+//! * **translation** — `E(r + t) = E(r)` for any rigid shift `t`
+//!   (only interatomic displacements enter the env matrix);
+//! * **rotation** — for the orthorhombic cells used here, a cyclic
+//!   axis relabel `(x,y,z) → (y,z,x)` of positions *and* cell lengths
+//!   is an exact lattice rotation: energy invariant, forces co-rotate;
+//! * **permutation** — swapping two atoms of the same species leaves
+//!   the energy unchanged and permutes the forces;
+//! * **zero net force** — `Σᵢ Fᵢ = 0` (Newton's third law survives the
+//!   reverse sweep's pair assembly);
+//! * **cutoff smoothness** — the quintic switch takes each neighbor's
+//!   contribution to zero with two continuous derivatives at `r_c`, so
+//!   the energy of a dimer crossing the cutoff is continuous and its
+//!   force vanishes as `r → r_c⁻`.
+//!
+//! Each invariant runs across all eight `dp-mdsim` paper systems in
+//! both profiles — the invariants are cheap (no finite differences)
+//! and each system exercises a different lattice/type-count path.
+//!
+//! Tolerances: these transforms permute or shift *inputs*, so results
+//! agree to accumulation-order noise, not bitwise — `1e-12` relative
+//! for axis/atom permutations (summation order changes), `1e-9` for
+//! translation (wrapping re-rounds every coordinate).
+
+use crate::gen;
+use crate::{rel_err, Check, Profile, VerifyCheck};
+use deepmd_core::env::switch;
+use deepmd_core::model::DeepPotModel;
+use dp_data::dataset::Snapshot;
+use dp_mdsim::systems::PaperSystem;
+use dp_mdsim::Vec3;
+
+/// Accumulation-order tolerance for exact input permutations.
+const TOL_PERM: f64 = 1e-12;
+/// Tolerance for translation + re-wrap (coordinates re-round).
+const TOL_TRANS: f64 = 1e-9;
+/// Net-force tolerance (pure cancellation noise).
+const TOL_PHYS: f64 = 1e-9;
+/// Cutoff-smoothness tolerance: the quintic switch leaves an O(eps²)
+/// residual force at `rc − eps`, so probes at `eps = 1e-5` sit around
+/// `1e-10`–`1e-8` depending on the net's descriptor sensitivity.
+const TOL_CUT: f64 = 1e-6;
+
+/// Wrap a coordinate into `[0, len)`.
+fn wrap1(x: f64, len: f64) -> f64 {
+    let w = x - len * (x / len).floor();
+    if w >= len {
+        0.0
+    } else {
+        w
+    }
+}
+
+/// `E(r + t)` equals `E(r)` after wrapping back into the cell.
+pub fn translation(model: &DeepPotModel, frame: &Snapshot, seed: u64, check: &mut Check) {
+    let e0 = model.forward(frame).energy;
+    let mut rng = gen::XorShift64::new(seed ^ 0x7541_6AB3_0C9E_2D88);
+    for _ in 0..3 {
+        let t = Vec3([
+            rng.range(-1.0, 1.0) * frame.cell[0],
+            rng.range(-1.0, 1.0) * frame.cell[1],
+            rng.range(-1.0, 1.0) * frame.cell[2],
+        ]);
+        let mut shifted = frame.clone();
+        for p in &mut shifted.pos {
+            for a in 0..3 {
+                p.0[a] = wrap1(p.0[a] + t.0[a], frame.cell[a]);
+            }
+        }
+        let e1 = model.forward(&shifted).energy;
+        check.case(rel_err(e1, e0), || {
+            format!("shift {:?}: E {e1:.12e} vs {e0:.12e}", t.0)
+        });
+    }
+}
+
+/// Cyclic axis relabel of positions and cell lengths: energy invariant,
+/// forces co-rotate component-wise.
+pub fn rotation(model: &DeepPotModel, frame: &Snapshot, check: &mut Check) {
+    let pass0 = model.forward(frame);
+    let f0 = model.forces(&pass0);
+    let mut rot = frame.clone();
+    rot.cell = [frame.cell[1], frame.cell[2], frame.cell[0]];
+    for (p, q) in rot.pos.iter_mut().zip(&frame.pos) {
+        *p = Vec3([q.0[1], q.0[2], q.0[0]]);
+    }
+    let pass1 = model.forward(&rot);
+    check.case(rel_err(pass1.energy, pass0.energy), || {
+        format!(
+            "axis cycle: E {:.12e} vs {:.12e}",
+            pass1.energy, pass0.energy
+        )
+    });
+    let f1 = model.forces(&pass1);
+    for i in 0..f0.len() {
+        for a in 0..3 {
+            // F'[i][a] in the rotated frame equals F[i][(a+1) mod 3].
+            check.case(rel_err(f1[i].0[a], f0[i].0[(a + 1) % 3]), || {
+                format!(
+                    "axis cycle force atom {i} comp {a}: {:+.9e} vs {:+.9e}",
+                    f1[i].0[a],
+                    f0[i].0[(a + 1) % 3]
+                )
+            });
+        }
+    }
+}
+
+/// Swap random same-type atom pairs: energy invariant, forces swap.
+pub fn permutation(model: &DeepPotModel, frame: &Snapshot, seed: u64, check: &mut Check) {
+    let pass0 = model.forward(frame);
+    let f0 = model.forces(&pass0);
+    let mut rng = gen::XorShift64::new(seed ^ 0x3E9A_55B1_D274_08FC);
+    let n = frame.types.len();
+    for _ in 0..4 {
+        let i = rng.index(n);
+        // Pick a random partner of the same species (every lattice here
+        // has ≥2 atoms per species; a species singleton would make the
+        // swap a no-op, which still passes trivially).
+        let partners: Vec<usize> = (0..n)
+            .filter(|&j| j != i && frame.types[j] == frame.types[i])
+            .collect();
+        let j = if partners.is_empty() { i } else { partners[rng.index(partners.len())] };
+        let mut swapped = frame.clone();
+        swapped.pos.swap(i, j);
+        let pass1 = model.forward(&swapped);
+        check.case(rel_err(pass1.energy, pass0.energy), || {
+            format!(
+                "swap {i}<->{j}: E {:.12e} vs {:.12e}",
+                pass1.energy, pass0.energy
+            )
+        });
+        let f1 = model.forces(&pass1);
+        for a in 0..3 {
+            check.case(rel_err(f1[i].0[a], f0[j].0[a]), || {
+                format!(
+                    "swap {i}<->{j} force comp {a}: {:+.9e} vs {:+.9e}",
+                    f1[i].0[a], f0[j].0[a]
+                )
+            });
+        }
+    }
+}
+
+/// `|Σᵢ Fᵢ|` must vanish relative to the total force magnitude.
+pub fn net_force(model: &DeepPotModel, frame: &Snapshot, check: &mut Check) {
+    let pass = model.forward(frame);
+    let forces = model.forces(&pass);
+    let mut net = [0.0f64; 3];
+    let mut scale = 0.0f64;
+    for f in &forces {
+        for (n, c) in net.iter_mut().zip(f.0) {
+            *n += c;
+        }
+        scale += f.norm();
+    }
+    for (a, n) in net.iter().enumerate() {
+        check.case(n.abs() / (1.0 + scale), || {
+            format!("net force comp {a}: {n:+.3e} (scale {scale:.3e})")
+        });
+    }
+}
+
+/// Dimer frames for the cutoff-smoothness check: two atoms separated by
+/// `r` along x in a large cubic cell (no periodic images inside rcut).
+fn dimer(r: f64) -> Snapshot {
+    let box_len = 20.0;
+    Snapshot {
+        cell: [box_len; 3],
+        types: vec![0, 1],
+        type_names: vec!["A".into(), "B".into()],
+        pos: vec![
+            Vec3([5.0, 5.0, 5.0]),
+            Vec3([5.0 + r, 5.0, 5.0]),
+        ],
+        energy: 0.0,
+        forces: vec![Vec3::ZERO; 2],
+        temperature: 300.0,
+    }
+}
+
+/// Energy is continuous and the force vanishes as a dimer crosses the
+/// cutoff; also checks the switch function itself at both knots.
+pub fn cutoff_smoothness(seed: u64, check: &mut Check) {
+    let model = gen::toy_model(seed);
+    let rc = 2.1; // toy_model cutoff
+    let rcs = 1.2; // toy_model rcut_smooth
+
+    // E is continuous across r = rc: just inside vs just outside (the
+    // outside energy is the two isolated-atom biases).
+    let eps = 1e-5;
+    let e_in = model.forward(&dimer(rc - eps)).energy;
+    let e_out = model.forward(&dimer(rc + eps)).energy;
+    check.case(rel_err(e_in, e_out), || {
+        format!("E across cutoff: inside {e_in:.12e} vs outside {e_out:.12e}")
+    });
+
+    // The force on the dimer vanishes approaching rc from below — the
+    // quintic switch kills value and slope, so at rc−1e-5 the force is
+    // already O(eps²)·scale.
+    let near = dimer(rc - 1e-5);
+    let pass = model.forward(&near);
+    let f = model.forces(&pass);
+    let fmax = f.iter().map(|v| v.norm()).fold(0.0f64, f64::max);
+    check.case(fmax, || {
+        format!("force at rc-1e-5 should be ~0, got {fmax:.3e}")
+    });
+
+    // Empty environment (r > rc for every pair) must evaluate cleanly:
+    // finite energy, exactly zero forces.
+    let apart = dimer(rc + 1.0);
+    let pass = model.forward(&apart);
+    check.exact(pass.energy.is_finite(), || {
+        format!("isolated-atoms energy not finite: {}", pass.energy)
+    });
+    let f = model.forces(&pass);
+    check.exact(f.iter().all(|v| v.norm() == 0.0), || {
+        "isolated atoms should feel exactly zero force".to_string()
+    });
+
+    // The switch function itself: s(rc) = 0 with zero slope, and the
+    // piecewise join at rcs is continuous in value and derivative.
+    let (s_rc, ds_rc) = switch(rc - 1e-9, rcs, rc);
+    check.case(s_rc.abs(), || format!("s(rc-) = {s_rc:.3e}, want 0"));
+    check.case(ds_rc.abs(), || format!("s'(rc-) = {ds_rc:.3e}, want 0"));
+    let (s_lo, _) = switch(rcs - 1e-9, rcs, rc);
+    let (s_hi, _) = switch(rcs + 1e-9, rcs, rc);
+    check.case(rel_err(s_lo, s_hi), || {
+        format!("switch discontinuous at rcs: {s_lo:.12e} vs {s_hi:.12e}")
+    });
+}
+
+/// Run the whole family over every paper system plus the dimer probes.
+pub fn run(seed: u64, _profile: Profile) -> Vec<VerifyCheck> {
+    let mut out = Vec::new();
+
+    let mut trans = Check::new("invariants", "translation", &["deepmd-core", "dp-mdsim"], TOL_TRANS);
+    let mut rot = Check::new("invariants", "rotation", &["deepmd-core", "dp-mdsim"], TOL_PERM);
+    let mut perm = Check::new("invariants", "permutation", &["deepmd-core", "dp-mdsim"], TOL_PERM);
+    let mut net = Check::new("invariants", "net_force", &["deepmd-core", "dp-tensor"], TOL_PHYS);
+    for (si, &sys) in PaperSystem::ALL.iter().enumerate() {
+        let sseed = seed.wrapping_add(2000 + si as u64);
+        let (model, frames) = gen::system_model(sys, sseed, 2);
+        for frame in &frames {
+            translation(&model, frame, sseed, &mut trans);
+            rotation(&model, frame, &mut rot);
+            permutation(&model, frame, sseed, &mut perm);
+            net_force(&model, frame, &mut net);
+        }
+    }
+    out.push(trans.finish());
+    out.push(rot.finish());
+    out.push(perm.finish());
+    out.push(net.finish());
+
+    let mut cut = Check::new(
+        "invariants",
+        "cutoff_smoothness",
+        &["deepmd-core"],
+        TOL_CUT,
+    );
+    cutoff_smoothness(seed, &mut cut);
+    out.push(cut.finish());
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_model_satisfies_invariants() {
+        let model = gen::toy_model(21);
+        let frame = gen::toy_frame(61);
+
+        let mut c = Check::new("invariants", "t", &[], TOL_TRANS);
+        translation(&model, &frame, 21, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "translation: {:?}", r.details);
+
+        let mut c = Check::new("invariants", "t", &[], TOL_PERM);
+        rotation(&model, &frame, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "rotation: {:?}", r.details);
+
+        let mut c = Check::new("invariants", "t", &[], TOL_PERM);
+        permutation(&model, &frame, 21, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "permutation: {:?}", r.details);
+
+        let mut c = Check::new("invariants", "t", &[], TOL_PHYS);
+        net_force(&model, &frame, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "net force: {:?}", r.details);
+    }
+
+    #[test]
+    fn cutoff_smoothness_holds() {
+        let mut c = Check::new("invariants", "t", &[], TOL_CUT);
+        cutoff_smoothness(33, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "cutoff: {:?}", r.details);
+    }
+
+    #[test]
+    fn dimer_frames_are_isolated_in_the_box() {
+        let d = dimer(2.0);
+        let r = (d.pos[0].0[0] - d.pos[1].0[0]).abs();
+        assert!((r - 2.0).abs() < 1e-12);
+        assert!(d.cell[0] - 2.0 > 2.0 * 2.1, "no periodic image within rcut");
+    }
+}

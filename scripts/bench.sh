@@ -14,6 +14,18 @@
 # Thread counts {1, 2, 4} are swept in-process via dp_pool::set_threads,
 # so one run produces the whole scaling picture. Results are medians;
 # run on an idle machine before committing a new baseline.
+#
+# The nightly correctness sweep pairs with this perf sweep: run the
+# dp-verify harness at the *full* profile (more systems, more parameter
+# probes, larger random shapes than the quick CI gate in ci.sh):
+#
+#   cargo run --release --offline -p dp-verify --bin verify -- \
+#       --seed "$(date +%s)" --profile full
+#
+# A varying seed widens generated-input coverage over time; the golden
+# fingerprints are pinned to an internal seed and stay valid. After an
+# intentional numeric change, regenerate them with `verify --bless`
+# and commit results/golden/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -34,7 +34,14 @@ step "cargo test dp-train (DP_ENV_CACHE=0, DP_POOL_THREADS=4)"
 DP_ENV_CACHE=0 DP_POOL_THREADS=4 cargo test --offline -p dp-train -q
 
 step "cargo clippy -D warnings"
-cargo clippy --offline --all-targets -- -D warnings
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Correctness harness, quick profile: all four oracle families
+# (gradient checks, physics invariants, differential equivalences,
+# golden fingerprints) at a fixed seed. The full sweep is documented in
+# scripts/bench.sh.
+step "verify (quick profile, seed 42)"
+cargo run --release --offline -p dp-verify --bin verify -- --seed 42 --profile quick
 
 step "bench smoke"
 BENCH_OUT="$(mktemp -d)" scripts/bench.sh --smoke

@@ -21,6 +21,7 @@ pub use dp_parallel as parallel;
 pub use dp_serve as serve;
 pub use dp_tensor as tensor;
 pub use dp_train as train;
+pub use dp_verify as verify;
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
@@ -35,4 +36,5 @@ pub mod prelude {
     pub use dp_serve::{BatchPolicy, Engine, InferRequest, InferResponse, ModelRegistry};
     pub use dp_train::recipes;
     pub use dp_train::trainer::{TrainConfig, TrainOutcome, Trainer};
+    pub use dp_verify::{Profile, VerifyCheck, VerifyReport};
 }

@@ -511,6 +511,9 @@ macro_rules! __proptest_items {
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr $(,)?) => {
+        // `!(a <= b)` style conditions are deliberate here: they must
+        // also fail on NaN, which `a > b` would silently pass.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
                 format!("assertion failed: {}", stringify!($cond)),
@@ -518,6 +521,7 @@ macro_rules! prop_assert {
         }
     };
     ($cond:expr, $($fmt:tt)+) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
                 format!($($fmt)+),
