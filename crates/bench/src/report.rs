@@ -98,6 +98,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile — the serving-SLO tail metric (DESIGN §12).
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     /// Largest recorded bucket's upper bound (an upper bound on the
     /// maximum recorded value), or `None` when empty.
     pub fn max_bound(&self) -> Option<f64> {
@@ -491,7 +496,9 @@ mod tests {
         assert!((64.0..256.0).contains(&p50), "p50 {p50}");
         assert!((64.0..256.0).contains(&p90), "p90 {p90}");
         assert!((8192.0..32768.0).contains(&p99), "p99 {p99}");
-        assert!(p50 <= p90 && p90 <= p99);
+        let p999 = h.p999().unwrap();
+        assert!((524288.0..2097152.0).contains(&p999), "p999 {p999}");
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
         assert!(h.max_bound().unwrap() >= 1_000_000.0);
     }
 

@@ -9,21 +9,62 @@
 //! per-request latency and per-batch overhead. Everything is plain
 //! threads and condvars (async-free by design: the compute below is
 //! CPU-bound and runs on `dp-pool`).
+//!
+//! Overload protection (DESIGN §12): the queue is *bounded* and has
+//! two priority lanes. A submission beyond capacity is rejected with
+//! [`ServeError::Overloaded`] — unless the arrival is interactive and
+//! a bulk request can be evicted instead (the bulk lane is shed
+//! first). The dispatcher drains the interactive lane before the bulk
+//! lane. Every accepted request is fulfilled exactly once: a
+//! [`Pending`] that is dropped unfulfilled (dispatcher panic,
+//! shutdown) resolves its ticket with [`ServeError::Closed`] rather
+//! than stranding the waiting client.
 
+use crate::slo::Priority;
+use crate::stats::ServeStats;
 use dp_data::dataset::Snapshot;
 use dp_mdsim::Vec3;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// One inference request: a frame, and whether forces are wanted
-/// (energy-only requests skip the reverse sweep).
+/// One inference request: a frame, whether forces are wanted
+/// (energy-only requests skip the reverse sweep), the lane it rides
+/// in, and an optional latency budget.
 #[derive(Clone, Debug)]
 pub struct InferRequest {
     /// The configuration to evaluate (labels are ignored).
     pub frame: Snapshot,
     /// Compute forces too?
     pub want_forces: bool,
+    /// Which lane: interactive (an MD driver blocked on this step) or
+    /// bulk (relabeling); bulk is shed first under overload.
+    pub priority: Priority,
+    /// Latency budget measured from submission. A request whose wait
+    /// (plus projected service time, under `SloPolicy::shed_projected`)
+    /// exceeds it is shed with [`ServeError::DeadlineExceeded`] instead
+    /// of being computed late. `None` = no deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl InferRequest {
+    /// An interactive request with no deadline (the pre-SLO default).
+    pub fn new(frame: Snapshot, want_forces: bool) -> Self {
+        InferRequest { frame, want_forces, priority: Priority::Interactive, deadline: None }
+    }
+
+    /// Move this request to the bulk lane.
+    pub fn bulk(mut self) -> Self {
+        self.priority = Priority::Bulk;
+        self
+    }
+
+    /// Attach a latency budget.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
 }
 
 /// The served result, tagged with the snapshot that computed it.
@@ -31,11 +72,15 @@ pub struct InferRequest {
 pub struct InferResponse {
     /// Total predicted energy (eV).
     pub energy: f64,
-    /// Forces (eV/Å) when requested.
+    /// Forces (eV/Å) when requested (and not degraded away).
     pub forces: Option<Vec<Vec3>>,
     /// Version of the published snapshot that served this request —
     /// every value in this response came from exactly this snapshot.
     pub version: u64,
+    /// `true` when the engine served energy-only under sustained queue
+    /// pressure although forces were requested. The energy is bitwise
+    /// identical to what the full response would have carried.
+    pub degraded: bool,
 }
 
 /// Why a request could not be served.
@@ -45,6 +90,26 @@ pub enum ServeError {
     Closed,
     /// The request cannot be evaluated by the served model.
     BadRequest(String),
+    /// The queue is at capacity; the request was rejected (or, for a
+    /// queued bulk request, evicted to admit an interactive arrival).
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The request's latency budget was already unmeetable at dispatch
+    /// time, so the dispatcher shed it instead of computing it late.
+    DeadlineExceeded {
+        /// How long the request had waited when it was shed.
+        waited: Duration,
+        /// The budget it carried.
+        budget: Duration,
+    },
+    /// Model evaluation failed (poisoned request or a snapshot that
+    /// produces non-finite output). Repeated eval failures trip the
+    /// engine's circuit breaker.
+    EvalFailed(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -52,6 +117,16 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Closed => write!(f, "serving engine is closed"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
+            }
+            ServeError::DeadlineExceeded { waited, budget } => write!(
+                f,
+                "deadline exceeded: waited {:.1} ms of a {:.1} ms budget",
+                waited.as_secs_f64() * 1e3,
+                budget.as_secs_f64() * 1e3
+            ),
+            ServeError::EvalFailed(m) => write!(f, "model evaluation failed: {m}"),
         }
     }
 }
@@ -82,6 +157,8 @@ impl Default for BatchPolicy {
 struct ResponseSlot {
     result: Mutex<Option<Result<InferResponse, ServeError>>>,
     done: Condvar,
+    /// Set by the first (and only effective) fulfill.
+    fulfilled: AtomicBool,
 }
 
 /// A pending request's handle; [`Ticket::wait`] blocks until the
@@ -110,37 +187,123 @@ impl Ticket {
                 .unwrap_or_else(|e| e.into_inner());
         }
     }
+
+    /// Block for at most `timeout`. `None` means the response was not
+    /// ready in time — the ticket stays valid, so the caller can keep
+    /// waiting, poll again, or walk away (an eventual fulfill of an
+    /// abandoned ticket is harmless).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<InferResponse, ServeError>> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = guard.take() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .slot
+                .done
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
 }
 
-/// One queued request with its completion slot and arrival time.
-pub(crate) struct Pending {
+/// One queued request with its completion slot and arrival time. Held
+/// by the queue, then by the dispatcher; public so custom dispatchers
+/// (and the property tests) can drain a [`BatchQueue`] directly.
+pub struct Pending {
     pub(crate) req: InferRequest,
     pub(crate) submitted: Instant,
     slot: Arc<ResponseSlot>,
 }
 
 impl Pending {
+    /// The request this entry carries.
+    pub fn request(&self) -> &InferRequest {
+        &self.req
+    }
+
+    /// When the request was accepted into the queue.
+    pub fn submitted(&self) -> Instant {
+        self.submitted
+    }
+
     /// Fulfill the request (any thread; wakes the waiting client).
-    pub(crate) fn fulfill(&self, result: Result<InferResponse, ServeError>) {
+    /// Idempotent: only the first fulfill lands.
+    pub fn fulfill(&self, result: Result<InferResponse, ServeError>) {
         let mut guard = self
             .slot
             .result
             .lock()
             .unwrap_or_else(|e| e.into_inner());
+        if self.slot.fulfilled.swap(true, Ordering::AcqRel) {
+            return;
+        }
         *guard = Some(result);
         self.slot.done.notify_all();
     }
 }
 
+impl Drop for Pending {
+    /// Every accepted request resolves: an entry dropped unfulfilled
+    /// (dispatcher panic, shutdown teardown) closes out its ticket
+    /// with a typed error instead of stranding the client forever.
+    fn drop(&mut self) {
+        if !self.slot.fulfilled.load(Ordering::Acquire) {
+            self.fulfill(Err(ServeError::Closed));
+        }
+    }
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("priority", &self.req.priority)
+            .field("want_forces", &self.req.want_forces)
+            .finish()
+    }
+}
+
 struct QueueState {
-    pending: VecDeque<Pending>,
+    interactive: VecDeque<Pending>,
+    bulk: VecDeque<Pending>,
     closed: bool,
 }
 
-/// Thread-safe submission queue with size-or-deadline batch draining.
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+}
+
+/// One drained micro-batch plus the queue geometry at drain time.
+pub struct Drained {
+    /// The requests to evaluate, interactive lane first.
+    pub batch: Vec<Pending>,
+    /// Total queue depth at drain time (before removal).
+    pub depth: usize,
+    /// Interactive-lane depth at drain time.
+    pub interactive_depth: usize,
+    /// Bulk-lane depth at drain time.
+    pub bulk_depth: usize,
+}
+
+/// Thread-safe bounded submission queue with two priority lanes and
+/// size-or-deadline batch draining.
 pub struct BatchQueue {
     state: Mutex<QueueState>,
     arrived: Condvar,
+    capacity: usize,
+    stats: Arc<ServeStats>,
 }
 
 impl Default for BatchQueue {
@@ -150,43 +313,87 @@ impl Default for BatchQueue {
 }
 
 impl BatchQueue {
-    /// An open, empty queue.
+    /// An open, empty, effectively unbounded queue with its own stats
+    /// sink (the pre-SLO behavior).
     pub fn new() -> Self {
+        Self::bounded(usize::MAX, Arc::new(ServeStats::new()))
+    }
+
+    /// An open, empty queue holding at most `capacity` requests across
+    /// both lanes (clamped to ≥ 1). Shed/overload events are counted
+    /// into `stats`.
+    pub fn bounded(capacity: usize, stats: Arc<ServeStats>) -> Self {
         BatchQueue {
             state: Mutex::new(QueueState {
-                pending: VecDeque::new(),
+                interactive: VecDeque::new(),
+                bulk: VecDeque::new(),
                 closed: false,
             }),
             arrived: Condvar::new(),
+            capacity: capacity.max(1),
+            stats,
         }
     }
 
-    /// Enqueue a request. Returns the ticket the client blocks on, or
-    /// [`ServeError::Closed`] after [`BatchQueue::close`].
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue a request. Returns the ticket the client blocks on;
+    /// [`ServeError::Closed`] after [`BatchQueue::close`], or
+    /// [`ServeError::Overloaded`] when the queue is full and nothing
+    /// lower-priority can be evicted. An interactive arrival into a
+    /// full queue evicts the *newest bulk* request (which resolves with
+    /// `Overloaded`) — the bulk lane is shed first, and depth never
+    /// exceeds capacity.
     pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
         let slot = Arc::new(ResponseSlot::default());
+        let evicted: Option<Pending>;
         {
             let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
             if st.closed {
                 return Err(ServeError::Closed);
             }
-            st.pending.push_back(Pending {
+            let depth = st.depth();
+            if depth >= self.capacity {
+                if req.priority == Priority::Interactive && !st.bulk.is_empty() {
+                    evicted = st.bulk.pop_back();
+                } else {
+                    drop(st);
+                    self.stats.record_shed();
+                    return Err(ServeError::Overloaded { depth, capacity: self.capacity });
+                }
+            } else {
+                evicted = None;
+            }
+            let pending = Pending {
                 req,
                 submitted: Instant::now(),
                 slot: Arc::clone(&slot),
-            });
+            };
+            match pending.req.priority {
+                Priority::Interactive => st.interactive.push_back(pending),
+                Priority::Bulk => st.bulk.push_back(pending),
+            }
+        }
+        if let Some(p) = evicted {
+            self.stats.record_shed();
+            p.fulfill(Err(ServeError::Overloaded {
+                depth: self.capacity,
+                capacity: self.capacity,
+            }));
         }
         self.arrived.notify_all();
         Ok(Ticket { slot })
     }
 
-    /// Number of requests currently queued.
+    /// Number of requests currently queued, across both lanes.
     pub fn depth(&self) -> usize {
         self.state
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .pending
-            .len()
+            .depth()
     }
 
     /// Refuse new submissions and wake the dispatcher so it can drain
@@ -198,20 +405,35 @@ impl BatchQueue {
         self.arrived.notify_all();
     }
 
+    /// Fulfill anything still queued with [`ServeError::Closed`] — the
+    /// engine's post-join safety net, covering a dispatcher that died
+    /// before draining.
+    pub fn reject_remaining(&self) {
+        let leftovers: Vec<Pending> = {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut left: Vec<Pending> = st.interactive.drain(..).collect();
+            left.extend(st.bulk.drain(..));
+            left
+        };
+        for p in leftovers {
+            p.fulfill(Err(ServeError::Closed));
+        }
+    }
+
     /// Dispatcher side: block for the next micro-batch. Returns the
-    /// drained batch plus the queue depth at drain time, or `None`
-    /// once the queue is closed *and* empty.
+    /// drained batch (interactive lane first) plus the per-lane depths
+    /// at drain time, or `None` once the queue is closed *and* empty.
     ///
     /// The coalescing rule: wait until `max_batch` requests are
     /// pending, or until `max_wait` has passed since the oldest
     /// pending request arrived, whichever is first. A closed queue
     /// dispatches immediately (drain fast, don't make a shutdown wait
     /// out the deadline).
-    pub(crate) fn next_batch(&self, policy: &BatchPolicy) -> Option<(Vec<Pending>, usize)> {
+    pub fn next_batch(&self, policy: &BatchPolicy) -> Option<Drained> {
         let max_batch = policy.max_batch.max(1);
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if !st.pending.is_empty() {
+            if st.depth() > 0 {
                 break;
             }
             if st.closed {
@@ -219,8 +441,15 @@ impl BatchQueue {
             }
             st = self.arrived.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        let deadline = st.pending.front().map(|p| p.submitted + policy.max_wait);
-        while st.pending.len() < max_batch && !st.closed {
+        let oldest = st
+            .interactive
+            .front()
+            .map(|p| p.submitted)
+            .into_iter()
+            .chain(st.bulk.front().map(|p| p.submitted))
+            .min();
+        let deadline = oldest.map(|t| t + policy.max_wait);
+        while st.depth() < max_batch && !st.closed {
             let Some(deadline) = deadline else { break };
             let now = Instant::now();
             if now >= deadline {
@@ -235,10 +464,21 @@ impl BatchQueue {
                 break;
             }
         }
-        let depth = st.pending.len();
+        let interactive_depth = st.interactive.len();
+        let bulk_depth = st.bulk.len();
+        let depth = interactive_depth + bulk_depth;
         let take = depth.min(max_batch);
-        let batch: Vec<Pending> = st.pending.drain(..take).collect();
-        Some((batch, depth))
+        let mut batch = Vec::with_capacity(take);
+        while batch.len() < take {
+            if let Some(p) = st.interactive.pop_front() {
+                batch.push(p);
+            } else if let Some(p) = st.bulk.pop_front() {
+                batch.push(p);
+            } else {
+                break;
+            }
+        }
+        Some(Drained { batch, depth, interactive_depth, bulk_depth })
     }
 }
 
@@ -248,8 +488,8 @@ mod tests {
     use dp_mdsim::Vec3;
 
     fn req() -> InferRequest {
-        InferRequest {
-            frame: Snapshot {
+        InferRequest::new(
+            Snapshot {
                 cell: [10.0; 3],
                 types: vec![0],
                 type_names: vec!["A".into()],
@@ -258,8 +498,8 @@ mod tests {
                 forces: vec![Vec3::ZERO],
                 temperature: 0.0,
             },
-            want_forces: false,
-        }
+            false,
+        )
     }
 
     #[test]
@@ -271,21 +511,21 @@ mod tests {
         };
         let tickets: Vec<_> = (0..5).map(|_| q.submit(req()).unwrap()).collect();
         let t0 = Instant::now();
-        let (batch, depth) = q.next_batch(&policy).unwrap();
+        let d = q.next_batch(&policy).unwrap();
         assert!(t0.elapsed() < Duration::from_secs(10), "must not block on the deadline");
-        assert_eq!(batch.len(), 3);
-        assert_eq!(depth, 5);
+        assert_eq!(d.batch.len(), 3);
+        assert_eq!(d.depth, 5);
         // The 2 leftovers can't fill a batch of 3; flush them with a
         // short deadline instead of waiting out the hour-long one.
         let flush = BatchPolicy {
             max_batch: 3,
             max_wait: Duration::from_millis(1),
         };
-        let (batch2, depth2) = q.next_batch(&flush).unwrap();
-        assert_eq!(batch2.len(), 2);
-        assert_eq!(depth2, 2);
+        let d2 = q.next_batch(&flush).unwrap();
+        assert_eq!(d2.batch.len(), 2);
+        assert_eq!(d2.depth, 2);
         // Fulfill so the tickets don't dangle.
-        for p in batch.iter().chain(batch2.iter()) {
+        for p in d.batch.iter().chain(d2.batch.iter()) {
             p.fulfill(Err(ServeError::Closed));
         }
         for t in tickets {
@@ -301,9 +541,9 @@ mod tests {
             max_wait: Duration::from_millis(5),
         };
         let _t = q.submit(req()).unwrap();
-        let (batch, _) = q.next_batch(&policy).unwrap();
-        assert_eq!(batch.len(), 1, "deadline must flush the lone request");
-        batch[0].fulfill(Err(ServeError::Closed));
+        let d = q.next_batch(&policy).unwrap();
+        assert_eq!(d.batch.len(), 1, "deadline must flush the lone request");
+        d.batch[0].fulfill(Err(ServeError::Closed));
     }
 
     #[test]
@@ -313,9 +553,9 @@ mod tests {
         q.close();
         assert_eq!(q.submit(req()).unwrap_err(), ServeError::Closed);
         let policy = BatchPolicy::default();
-        let (batch, _) = q.next_batch(&policy).unwrap();
-        assert_eq!(batch.len(), 1);
-        batch[0].fulfill(Err(ServeError::Closed));
+        let d = q.next_batch(&policy).unwrap();
+        assert_eq!(d.batch.len(), 1);
+        d.batch[0].fulfill(Err(ServeError::Closed));
         let _ = t.wait();
         assert!(q.next_batch(&policy).is_none(), "closed + empty ends the dispatcher");
     }
@@ -332,14 +572,117 @@ mod tests {
             max_batch: 1,
             max_wait: Duration::from_millis(1),
         };
-        let (batch, _) = q.next_batch(&policy).unwrap();
-        batch[0].fulfill(Ok(InferResponse {
+        let d = q.next_batch(&policy).unwrap();
+        d.batch[0].fulfill(Ok(InferResponse {
             energy: -1.5,
             forces: None,
             version: 7,
+            degraded: false,
         }));
         let resp = waiter.join().unwrap().unwrap();
         assert_eq!(resp.energy, -1.5);
         assert_eq!(resp.version, 7);
+    }
+
+    #[test]
+    fn capacity_rejects_with_overloaded_and_sheds_bulk_first() {
+        let stats = Arc::new(ServeStats::new());
+        let q = BatchQueue::bounded(2, Arc::clone(&stats));
+        let b1 = q.submit(req().bulk()).unwrap();
+        let b2 = q.submit(req().bulk()).unwrap();
+        // Full. A bulk arrival is rejected outright…
+        match q.submit(req().bulk()).unwrap_err() {
+            ServeError::Overloaded { depth, capacity } => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            e => panic!("expected Overloaded, got {e}"),
+        }
+        // …an interactive arrival evicts the newest bulk request.
+        let _i = q.submit(req()).unwrap();
+        assert_eq!(q.depth(), 2, "depth never exceeds capacity");
+        assert!(
+            matches!(b2.wait(), Err(ServeError::Overloaded { .. })),
+            "the evicted bulk ticket resolves with a typed error"
+        );
+        // The next interactive arrival evicts the remaining bulk
+        // request (b1); after that the queue is all-interactive, so a
+        // further interactive arrival has nothing to evict and is
+        // rejected itself.
+        let _i2 = q.submit(req()).unwrap();
+        assert!(
+            matches!(b1.wait(), Err(ServeError::Overloaded { .. })),
+            "b1 was evicted by the second interactive arrival"
+        );
+        assert!(matches!(
+            q.submit(req()).unwrap_err(),
+            ServeError::Overloaded { .. }
+        ));
+        assert_eq!(stats.shed.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn dispatcher_drains_interactive_lane_first() {
+        let q = BatchQueue::new();
+        let _b = q.submit(req().bulk()).unwrap();
+        let _i = q.submit(req()).unwrap();
+        let d = q
+            .next_batch(&BatchPolicy { max_batch: 1, max_wait: Duration::from_millis(1) })
+            .unwrap();
+        assert_eq!(d.batch[0].request().priority, Priority::Interactive);
+        assert_eq!(d.interactive_depth, 1);
+        assert_eq!(d.bulk_depth, 1);
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_then_the_result() {
+        let q = BatchQueue::new();
+        let t = q.submit(req()).unwrap();
+        assert!(
+            t.wait_timeout(Duration::from_millis(5)).is_none(),
+            "nothing fulfilled yet"
+        );
+        let d = q
+            .next_batch(&BatchPolicy { max_batch: 1, max_wait: Duration::from_millis(1) })
+            .unwrap();
+        d.batch[0].fulfill(Err(ServeError::EvalFailed("test".into())));
+        assert_eq!(
+            t.wait_timeout(Duration::from_secs(5)),
+            Some(Err(ServeError::EvalFailed("test".into())))
+        );
+    }
+
+    #[test]
+    fn dropping_an_unfulfilled_pending_resolves_the_ticket() {
+        let q = BatchQueue::new();
+        let t = q.submit(req()).unwrap();
+        let d = q
+            .next_batch(&BatchPolicy { max_batch: 1, max_wait: Duration::from_millis(1) })
+            .unwrap();
+        drop(d.batch); // dispatcher "dies" holding the batch
+        assert_eq!(t.wait(), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn fulfill_is_idempotent_first_result_wins() {
+        let q = BatchQueue::new();
+        let t = q.submit(req()).unwrap();
+        let d = q
+            .next_batch(&BatchPolicy { max_batch: 1, max_wait: Duration::from_millis(1) })
+            .unwrap();
+        d.batch[0].fulfill(Err(ServeError::EvalFailed("first".into())));
+        d.batch[0].fulfill(Err(ServeError::EvalFailed("second".into())));
+        assert_eq!(t.wait(), Err(ServeError::EvalFailed("first".into())));
+    }
+
+    #[test]
+    fn reject_remaining_fulfills_queued_requests() {
+        let q = BatchQueue::new();
+        let t1 = q.submit(req()).unwrap();
+        let t2 = q.submit(req().bulk()).unwrap();
+        q.close();
+        q.reject_remaining();
+        assert_eq!(t1.wait(), Err(ServeError::Closed));
+        assert_eq!(t2.wait(), Err(ServeError::Closed));
+        assert_eq!(q.depth(), 0);
     }
 }

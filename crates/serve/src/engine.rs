@@ -13,19 +13,35 @@
 //! any `DP_POOL_THREADS` — the same argument as the training-side
 //! frame parallelism (DESIGN §8), with the combine step degenerate
 //! because nothing is reduced across requests.
+//!
+//! Overload contract (DESIGN §12): under an [`SloPolicy`] the engine
+//! sheds work it cannot serve within policy — typed, never silent.
+//! Admission control lives in the queue ([`ServeError::Overloaded`]);
+//! the dispatcher sheds requests whose deadline is already unmeetable
+//! ([`ServeError::DeadlineExceeded`]), degrades to energy-only
+//! responses under sustained queue pressure, and trips a circuit
+//! breaker off a snapshot that keeps failing evaluation, routing
+//! batches back to the last-good registry version. A seeded
+//! [`ChaosPlan`] can inject dispatcher stalls and poisoned requests
+//! for soak testing; production passes [`ChaosPlan::none`].
 
-use crate::batch::{BatchPolicy, BatchQueue, InferRequest, InferResponse, ServeError, Ticket};
+use crate::batch::{BatchPolicy, BatchQueue, InferRequest, InferResponse, Pending, ServeError, Ticket};
+use crate::chaos::ChaosPlan;
 use crate::registry::{ModelRegistry, PublishedModel};
+use crate::slo::{CircuitBreaker, DegradeController, SloPolicy};
 use crate::stats::{ServeStats, StatsSnapshot};
 use dp_data::dataset::Snapshot;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 struct Shared {
     registry: Arc<ModelRegistry>,
     queue: BatchQueue,
-    stats: ServeStats,
-    policy: BatchPolicy,
+    stats: Arc<ServeStats>,
+    slo: SloPolicy,
+    chaos: ChaosPlan,
 }
 
 /// A running inference engine. Submissions are accepted from any
@@ -38,13 +54,32 @@ pub struct Engine {
 
 impl Engine {
     /// Start the dispatcher over `registry` with the given batching
-    /// policy.
+    /// policy and no overload protection beyond the circuit breaker
+    /// (the pre-SLO behavior; see [`SloPolicy::unbounded`]).
     pub fn start(registry: Arc<ModelRegistry>, policy: BatchPolicy) -> Arc<Engine> {
+        Self::start_slo(registry, SloPolicy::unbounded(policy))
+    }
+
+    /// Start the dispatcher under a full [`SloPolicy`]: bounded queue,
+    /// priority lanes, deadline shedding, degradation, breaker.
+    pub fn start_slo(registry: Arc<ModelRegistry>, slo: SloPolicy) -> Arc<Engine> {
+        Self::start_chaos(registry, slo, ChaosPlan::none())
+    }
+
+    /// [`Engine::start_slo`] with seeded chaos injection (dispatcher
+    /// stalls, poisoned requests) — the soak harness's entry point.
+    pub fn start_chaos(
+        registry: Arc<ModelRegistry>,
+        slo: SloPolicy,
+        chaos: ChaosPlan,
+    ) -> Arc<Engine> {
+        let stats = Arc::new(ServeStats::new());
         let shared = Arc::new(Shared {
             registry,
-            queue: BatchQueue::new(),
-            stats: ServeStats::new(),
-            policy,
+            queue: BatchQueue::bounded(slo.queue_capacity, Arc::clone(&stats)),
+            stats,
+            slo,
+            chaos,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -62,15 +97,21 @@ impl Engine {
         self.shared.queue.submit(req)
     }
 
-    /// Convenience: submit one frame and wait for its response.
+    /// Convenience: submit one interactive frame and wait for its
+    /// response.
     pub fn infer(&self, frame: Snapshot, want_forces: bool) -> Result<InferResponse, ServeError> {
-        self.submit(InferRequest { frame, want_forces })?.wait()
+        self.submit(InferRequest::new(frame, want_forces))?.wait()
     }
 
     /// The registry this engine serves from (publish into it to
     /// hot-swap the model).
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.shared.registry
+    }
+
+    /// The policy the engine runs under.
+    pub fn slo(&self) -> &SloPolicy {
+        &self.shared.slo
     }
 
     /// Requests currently queued (not yet dispatched).
@@ -85,9 +126,9 @@ impl Engine {
         let current = self.shared.registry.current();
         let live = current.cache.stats();
         let mut snap = self.shared.stats.snapshot(self.shared.registry.swap_count());
-        let hits = self.shared.stats.cache_hits.load(std::sync::atomic::Ordering::Relaxed) + live.hits;
+        let hits = self.shared.stats.cache_hits.load(Ordering::Relaxed) + live.hits;
         let misses =
-            self.shared.stats.cache_misses.load(std::sync::atomic::Ordering::Relaxed) + live.misses;
+            self.shared.stats.cache_misses.load(Ordering::Relaxed) + live.misses;
         snap.cache_hit_rate = if hits + misses == 0 {
             0.0
         } else {
@@ -103,7 +144,10 @@ impl Engine {
     }
 
     /// Stop accepting requests, drain what is queued, and join the
-    /// dispatcher. Idempotent.
+    /// dispatcher. Requests still queued when the dispatcher exits —
+    /// it drains everything in the normal case, so this only covers a
+    /// dispatcher that died — are fulfilled with
+    /// [`ServeError::Closed`], never stranded. Idempotent.
     pub fn shutdown(&self) {
         self.shared.queue.close();
         let handle = self
@@ -114,6 +158,8 @@ impl Engine {
         if let Some(h) = handle {
             let _ = h.join();
         }
+        // Safety net: a panicked dispatcher leaves the queue non-empty.
+        self.shared.queue.reject_remaining();
     }
 }
 
@@ -145,13 +191,39 @@ fn validate(req: &InferRequest, snapshot: &PublishedModel) -> Result<(), ServeEr
     Ok(())
 }
 
+/// Per-request outcome codes fed to the circuit breaker after the
+/// parallel fan-out (plain `u8`s behind atomics so worker threads can
+/// write them without locks).
+const OUTCOME_CLIENT_ERR: u8 = 0;
+const OUTCOME_OK: u8 = 1;
+const OUTCOME_EVAL_FAILED: u8 = 2;
+
 fn dispatch_loop(shared: &Shared) {
     // The dispatcher remembers the snapshot it last served from so a
     // swap can fold the retired snapshot's cache counters into the
     // engine-lifetime stats.
     let mut last: Option<Arc<PublishedModel>> = None;
-    while let Some((batch, depth)) = shared.queue.next_batch(&shared.policy) {
-        let snapshot = shared.registry.current();
+    let mut breaker = CircuitBreaker::new(shared.slo.breaker_threshold);
+    let mut degrade = DegradeController::new(&shared.slo);
+    let mut batch_idx: u64 = 0;
+    let mut req_idx: u64 = 0;
+    // EWMA of per-request service time, the projection used for
+    // deadline shedding (0 until the first batch completes).
+    let mut ewma_service_ns: f64 = 0.0;
+    while let Some(drained) = shared.queue.next_batch(&shared.slo.batch) {
+        if shared.chaos.stalls(batch_idx) {
+            std::thread::sleep(shared.chaos.stall);
+        }
+        batch_idx += 1;
+        let current = shared.registry.current();
+        let routed = breaker.route(current.version);
+        let snapshot = if routed == current.version {
+            current
+        } else {
+            // Route around the poisoned snapshot; if the fallback was
+            // pruned, there is nothing better than current.
+            shared.registry.snapshot_at(routed).unwrap_or(current)
+        };
         if let Some(prev) = &last {
             if prev.version != snapshot.version {
                 let retired = prev.cache.stats();
@@ -159,28 +231,111 @@ fn dispatch_loop(shared: &Shared) {
             }
         }
         last = Some(Arc::clone(&snapshot));
-        shared.stats.record_batch(batch.len(), depth);
-        let batch_ref = &batch;
+        shared.stats.record_batch(
+            drained.batch.len(),
+            drained.depth,
+            drained.interactive_depth,
+            drained.bulk_depth,
+        );
+        let degraded = degrade.observe(drained.depth);
+
+        // Deadline shedding, before any compute is spent: a request
+        // whose budget is already blown — or provably will be once the
+        // projected service time is added — resolves with a typed
+        // error instead of a late answer.
+        let projection = if shared.slo.shed_projected {
+            Duration::from_nanos(ewma_service_ns as u64)
+        } else {
+            Duration::ZERO
+        };
+        let mut eval: Vec<Pending> = Vec::with_capacity(drained.batch.len());
+        for p in drained.batch {
+            if let Some(budget) = p.request().deadline {
+                let waited = p.submitted().elapsed();
+                if waited + projection > budget {
+                    shared.stats.record_deadline_miss();
+                    shared.stats.record_request(waited.as_nanos() as u64);
+                    p.fulfill(Err(ServeError::DeadlineExceeded { waited, budget }));
+                    continue;
+                }
+            }
+            eval.push(p);
+        }
+        if eval.is_empty() {
+            continue;
+        }
+
+        let outcomes: Vec<AtomicU8> =
+            (0..eval.len()).map(|_| AtomicU8::new(OUTCOME_CLIENT_ERR)).collect();
+        let t_eval = Instant::now();
+        let eval_ref = &eval;
+        let outcomes_ref = &outcomes;
         let snapshot_ref = &snapshot;
         let stats_ref = &shared.stats;
-        dp_pool::parallel_for(batch.len(), &|i| {
-            let pending = &batch_ref[i];
+        let chaos_ref = &shared.chaos;
+        dp_pool::parallel_for(eval.len(), &|i| {
+            let pending = &eval_ref[i];
             let result = match validate(&pending.req, snapshot_ref) {
                 Err(e) => Err(e),
+                Ok(()) if chaos_ref.poisons(req_idx + i as u64) => {
+                    outcomes_ref[i].store(OUTCOME_EVAL_FAILED, Ordering::Relaxed);
+                    stats_ref.record_eval_failure();
+                    Err(ServeError::EvalFailed("chaos-poisoned request".into()))
+                }
                 Ok(()) => {
                     let model = &snapshot_ref.model;
                     let pass = model.forward_keyed(&snapshot_ref.cache, &pending.req.frame);
-                    let forces = pending.req.want_forces.then(|| model.forces(&pass));
-                    Ok(InferResponse {
-                        energy: pass.energy,
-                        forces,
-                        version: snapshot_ref.version,
-                    })
+                    let serve_forces = pending.req.want_forces && !degraded;
+                    let forces = serve_forces.then(|| model.forces(&pass));
+                    let finite = pass.energy.is_finite()
+                        && forces
+                            .as_ref()
+                            .is_none_or(|fs| fs.iter().all(|f| f.0.iter().all(|v| v.is_finite())));
+                    if finite {
+                        outcomes_ref[i].store(OUTCOME_OK, Ordering::Relaxed);
+                        let was_degraded = degraded && pending.req.want_forces;
+                        if was_degraded {
+                            stats_ref.record_degraded();
+                        }
+                        Ok(InferResponse {
+                            energy: pass.energy,
+                            forces,
+                            version: snapshot_ref.version,
+                            degraded: was_degraded,
+                        })
+                    } else {
+                        outcomes_ref[i].store(OUTCOME_EVAL_FAILED, Ordering::Relaxed);
+                        stats_ref.record_eval_failure();
+                        Err(ServeError::EvalFailed(format!(
+                            "non-finite model output from snapshot v{}",
+                            snapshot_ref.version
+                        )))
+                    }
                 }
             };
             stats_ref.record_request(pending.submitted.elapsed().as_nanos() as u64);
             pending.fulfill(result);
         });
+        req_idx += eval.len() as u64;
+        let per_req_ns = t_eval.elapsed().as_nanos() as f64 / eval.len() as f64;
+        ewma_service_ns = if ewma_service_ns == 0.0 {
+            per_req_ns
+        } else {
+            0.8 * ewma_service_ns + 0.2 * per_req_ns
+        };
+        // Feed the breaker in index order (deterministic given the
+        // batch contents — the parallel fan-out only wrote the codes).
+        for o in &outcomes {
+            match o.load(Ordering::Relaxed) {
+                OUTCOME_OK => {
+                    breaker.on_result(snapshot.version, true);
+                }
+                OUTCOME_EVAL_FAILED if breaker.on_result(snapshot.version, false) => {
+                    shared.stats.record_breaker_trip();
+                }
+                _ => {}
+            }
+        }
     }
 }
 
@@ -188,11 +343,21 @@ fn dispatch_loop(shared: &Shared) {
 mod tests {
     use super::*;
     use crate::demo::{demo_frame as frame, demo_model as model};
+    use crate::slo::Priority;
     use std::time::Duration;
 
     fn engine(seed: u64) -> Arc<Engine> {
         let registry = Arc::new(ModelRegistry::new(model(seed)));
         Engine::start(registry, BatchPolicy::default())
+    }
+
+    /// A model whose every evaluation is non-finite (NaN weights pass
+    /// config validation — catching them is the breaker's job).
+    fn poisoned_model(seed: u64) -> deepmd_core::model::DeepPotModel {
+        let mut m = model(seed);
+        let n = m.get_params().len();
+        m.set_params(&vec![f64::NAN; n]);
+        m
     }
 
     #[test]
@@ -208,6 +373,7 @@ mod tests {
             assert_eq!(a.0.map(f64::to_bits), b.0.map(f64::to_bits));
         }
         assert_eq!(resp.version, 1);
+        assert!(!resp.degraded);
         e.shutdown();
     }
 
@@ -217,6 +383,7 @@ mod tests {
         let resp = e.infer(frame(3), false).unwrap();
         assert!(resp.energy.is_finite());
         assert!(resp.forces.is_none());
+        assert!(!resp.degraded, "energy-only by request is not degradation");
         e.shutdown();
     }
 
@@ -258,11 +425,7 @@ mod tests {
         );
         let tickets: Vec<_> = (0..6)
             .map(|i| {
-                e.submit(InferRequest {
-                    frame: frame(20 + i),
-                    want_forces: false,
-                })
-                .unwrap()
+                e.submit(InferRequest::new(frame(20 + i), false)).unwrap()
             })
             .collect();
         e.shutdown();
@@ -301,5 +464,165 @@ mod tests {
         assert_eq!(r2.version, 2);
         assert_eq!(e.stats().swaps, 1);
         e.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_with_a_typed_error() {
+        let registry = Arc::new(ModelRegistry::new(model(13)));
+        let e = Engine::start_slo(
+            registry,
+            SloPolicy {
+                batch: BatchPolicy { max_batch: 8, max_wait: Duration::from_millis(30) },
+                ..SloPolicy::default()
+            },
+        );
+        // A zero budget is blown by the coalescing wait alone.
+        let t = e
+            .submit(InferRequest::new(frame(1), true).with_deadline(Duration::ZERO))
+            .unwrap();
+        match t.wait() {
+            Err(ServeError::DeadlineExceeded { waited, budget }) => {
+                assert_eq!(budget, Duration::ZERO);
+                assert!(waited > Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A generous budget is met.
+        let ok = e
+            .submit(InferRequest::new(frame(2), true).with_deadline(Duration::from_secs(60)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(ok.energy.is_finite());
+        assert_eq!(e.stats().deadline_miss, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn sustained_pressure_degrades_to_energy_only_and_recovers() {
+        let registry = Arc::new(ModelRegistry::new(model(14)));
+        let e = Engine::start_slo(
+            registry,
+            SloPolicy {
+                batch: BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(1) },
+                ..SloPolicy::always_degraded(BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(1),
+                })
+            },
+        );
+        let f = frame(21);
+        let resp = e.infer(f.clone(), true).unwrap();
+        assert!(resp.degraded, "always-degraded policy must flag the response");
+        assert!(resp.forces.is_none(), "degraded response skips forces");
+        // The energy is the full path's energy, bitwise.
+        let direct = e.registry().current().model.predict(&f);
+        assert_eq!(resp.energy.to_bits(), direct.energy.to_bits());
+        assert!(e.stats().degraded >= 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn breaker_routes_around_a_poisoned_snapshot_and_recovers() {
+        let registry = Arc::new(ModelRegistry::new(model(15)));
+        let e = Engine::start_slo(
+            registry,
+            SloPolicy {
+                batch: BatchPolicy { max_batch: 1, max_wait: Duration::from_micros(100) },
+                breaker_threshold: 3,
+                ..SloPolicy::default()
+            },
+        );
+        // Healthy v1 establishes last-good.
+        assert_eq!(e.infer(frame(1), false).unwrap().version, 1);
+        // v2 is poisoned: every evaluation is non-finite.
+        e.registry().publish(poisoned_model(16)).unwrap();
+        let mut failures = 0;
+        for i in 0..3 {
+            match e.infer(frame(50 + i), false) {
+                Err(ServeError::EvalFailed(_)) => failures += 1,
+                other => panic!("expected EvalFailed from poisoned v2, got {other:?}"),
+            }
+        }
+        assert_eq!(failures, 3);
+        // The breaker tripped: subsequent requests are served by v1
+        // even though the registry's current version is 2.
+        let routed = e.infer(frame(60), false).unwrap();
+        assert_eq!(routed.version, 1, "poisoned snapshot must be routed around");
+        assert!(routed.energy.is_finite());
+        assert_eq!(e.registry().current_version(), 2);
+        let s = e.stats();
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.eval_failures, 3);
+        // A healthy v3 publish closes the breaker.
+        e.registry().publish(model(17)).unwrap();
+        assert_eq!(e.infer(frame(61), false).unwrap().version, 3);
+        e.shutdown();
+    }
+
+    #[test]
+    fn bulk_lane_is_shed_before_interactive_under_overload() {
+        let registry = Arc::new(ModelRegistry::new(model(18)));
+        let e = Engine::start_slo(
+            registry,
+            SloPolicy {
+                // max_batch above capacity: the dispatcher holds the
+                // queued requests until the coalescing deadline, so the
+                // queue deterministically fills to capacity.
+                batch: BatchPolicy { max_batch: 8, max_wait: Duration::from_millis(300) },
+                queue_capacity: 4,
+                ..SloPolicy::default()
+            },
+        );
+        // Fill the queue with bulk work (the dispatcher is waiting out
+        // max_wait on the first batch, so these pile up).
+        let bulk: Vec<_> = (0..4)
+            .filter_map(|i| e.submit(InferRequest::new(frame(70 + i), false).bulk()).ok())
+            .collect();
+        // Interactive arrivals evict queued bulk rather than being
+        // rejected themselves.
+        let inter = e.submit(InferRequest::new(frame(80), false));
+        assert!(inter.is_ok(), "interactive arrival must be admitted");
+        let outcomes: Vec<_> = bulk.into_iter().map(|t| t.wait()).collect();
+        let evicted = outcomes
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Overloaded { .. })))
+            .count();
+        assert!(evicted >= 1, "a queued bulk request must have been evicted: {outcomes:?}");
+        assert!(inter.unwrap().wait().is_ok());
+        assert!(e.stats().shed >= 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn chaos_poisoned_requests_fail_typed_and_the_engine_survives() {
+        let registry = Arc::new(ModelRegistry::new(model(19)));
+        let e = Engine::start_chaos(
+            registry,
+            SloPolicy {
+                batch: BatchPolicy { max_batch: 1, max_wait: Duration::from_micros(100) },
+                breaker_threshold: 0, // isolate the poison path
+                ..SloPolicy::default()
+            },
+            ChaosPlan { seed: 4, poison_prob: 1.0, ..ChaosPlan::none() },
+        );
+        for i in 0..4 {
+            match e.infer(frame(90 + i), true) {
+                Err(ServeError::EvalFailed(m)) => assert!(m.contains("poisoned")),
+                other => panic!("expected chaos poison, got {other:?}"),
+            }
+        }
+        assert_eq!(e.stats().eval_failures, 4);
+        e.shutdown();
+    }
+
+    #[test]
+    fn request_builders_set_lane_and_deadline() {
+        let r = InferRequest::new(frame(1), true);
+        assert_eq!(r.priority, Priority::Interactive);
+        assert_eq!(r.deadline, None);
+        let r = r.bulk().with_deadline(Duration::from_millis(7));
+        assert_eq!(r.priority, Priority::Bulk);
+        assert_eq!(r.deadline, Some(Duration::from_millis(7)));
     }
 }

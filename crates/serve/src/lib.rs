@@ -35,12 +35,18 @@
 //! ```
 
 pub mod batch;
+pub mod chaos;
 pub mod demo;
 pub mod engine;
 pub mod registry;
+pub mod slo;
 pub mod stats;
 
-pub use batch::{BatchPolicy, BatchQueue, InferRequest, InferResponse, ServeError, Ticket};
+pub use batch::{
+    BatchPolicy, BatchQueue, Drained, InferRequest, InferResponse, Pending, ServeError, Ticket,
+};
+pub use chaos::ChaosPlan;
 pub use engine::Engine;
 pub use registry::{ModelRegistry, PublishedModel};
+pub use slo::{infer_with_retry, Priority, RetryBudget, RetryPolicy, SloPolicy};
 pub use stats::{ServeStats, StatsSnapshot};

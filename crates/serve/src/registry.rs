@@ -139,6 +139,19 @@ impl ModelRegistry {
         self.history.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Look up a retained snapshot by version — the engine's circuit
+    /// breaker uses this to route batches back to the last-good
+    /// version when the current snapshot keeps failing evaluation.
+    /// `None` if that version was pruned (or never existed).
+    pub fn snapshot_at(&self, version: u64) -> Option<Arc<PublishedModel>> {
+        self.history
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|s| s.version == version)
+            .map(Arc::clone)
+    }
+
     /// Publish a new model: validate it against the serving contract
     /// (same species count as the current snapshot — an MD client mid-
     /// trajectory cannot change chemistry) and swap it in atomically.

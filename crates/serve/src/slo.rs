@@ -1,0 +1,491 @@
+//! SLO policy: overload protection and graceful degradation.
+//!
+//! `BatchPolicy` bounds *latency per batch*; this module bounds the
+//! whole serving loop under overload and partial failure, the way the
+//! training side's `RobustConfig` bounds a retrain (DESIGN §7). Five
+//! mechanisms, each with a typed outcome — nothing is ever dropped
+//! silently:
+//!
+//! * **Admission control** — the queue has a hard capacity; a full
+//!   queue rejects with [`ServeError::Overloaded`], and an interactive
+//!   arrival evicts the newest *bulk* request first (the bulk lane is
+//!   shed before the interactive lane ever is).
+//! * **Deadline shedding** — a request may carry a latency budget; the
+//!   dispatcher sheds requests whose wait (plus the projected service
+//!   time) already exceeds it, with [`ServeError::DeadlineExceeded`] —
+//!   work that cannot possibly meet its SLO is not worth computing.
+//! * **Graceful degradation** — sustained queue pressure switches the
+//!   engine to energy-only responses (the reverse force sweep is the
+//!   expensive half of a request); pressure release switches back, with
+//!   hysteresis on both edges. Degraded responses are flagged, and
+//!   their energies are bitwise identical to the full path's.
+//! * **Circuit breaker** — repeated model-eval failures
+//!   ([`ServeError::EvalFailed`], e.g. a snapshot that predicts NaN)
+//!   trip a breaker that routes batches back to the last-good
+//!   registry version until a newer snapshot is published.
+//! * **Client-side retry** — [`infer_with_retry`] retries *only*
+//!   [`ServeError::Overloaded`] with capped exponential backoff under a
+//!   shared [`RetryBudget`], so a stampede of retries cannot amplify
+//!   the overload it is reacting to.
+
+use crate::batch::{BatchPolicy, InferRequest, InferResponse, ServeError};
+use crate::engine::Engine;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+
+/// Which lane a request rides in. Under overload the bulk lane is shed
+/// first: an interactive MD step blocks a running trajectory, a bulk
+/// relabeling request only delays a future retrain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive (an MD driver waiting on this step's forces).
+    Interactive,
+    /// Throughput work (relabeling, dataset replay); first to be shed.
+    Bulk,
+}
+
+/// Full serving policy: the micro-batching knobs plus the overload,
+/// degradation and breaker thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct SloPolicy {
+    /// Micro-batch coalescing (size-or-deadline), as before.
+    pub batch: BatchPolicy,
+    /// Hard bound on queued requests across both lanes. Submissions
+    /// beyond it get [`ServeError::Overloaded`] (or evict the newest
+    /// bulk request if the arrival is interactive).
+    pub queue_capacity: usize,
+    /// Also shed when the *projected* completion (wait so far + EWMA
+    /// service time) exceeds the request's deadline, not just when the
+    /// deadline has already passed.
+    pub shed_projected: bool,
+    /// Queue depth at dispatch that counts as pressure.
+    pub degrade_above: usize,
+    /// Consecutive pressured dispatches before degrading to
+    /// energy-only responses (0 and 1 both mean "on the first one").
+    pub degrade_after: u32,
+    /// Depth at dispatch that counts as calm again.
+    pub resume_below: usize,
+    /// Consecutive calm dispatches before resuming full responses.
+    pub resume_after: u32,
+    /// Consecutive model-eval failures that trip the circuit breaker
+    /// (0 disables the breaker).
+    pub breaker_threshold: u32,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            batch: BatchPolicy::default(),
+            queue_capacity: 256,
+            shed_projected: true,
+            degrade_above: 128,
+            degrade_after: 4,
+            resume_below: 16,
+            resume_after: 4,
+            breaker_threshold: 4,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// The pre-SLO behavior: unbounded queue, no shedding, no
+    /// degradation — only the breaker stays armed (routing around a
+    /// snapshot that fails evaluation is strictly better than serving
+    /// its NaNs). `Engine::start` uses this for compatibility.
+    pub fn unbounded(batch: BatchPolicy) -> Self {
+        SloPolicy {
+            batch,
+            queue_capacity: usize::MAX,
+            shed_projected: false,
+            degrade_above: usize::MAX,
+            degrade_after: u32::MAX,
+            resume_below: 0,
+            resume_after: 1,
+            breaker_threshold: 4,
+        }
+    }
+
+    /// Always-degraded variant (pressure threshold zero) — the verify
+    /// harness uses it to hold degraded energies to the bitwise claim.
+    pub fn always_degraded(batch: BatchPolicy) -> Self {
+        SloPolicy {
+            batch,
+            degrade_above: 0,
+            degrade_after: 0,
+            resume_below: 0,
+            resume_after: u32::MAX,
+            ..SloPolicy::default()
+        }
+    }
+}
+
+/// Hysteresis controller for the energy-only degradation mode. Driven
+/// by the dispatcher with the queue depth it observed at each drain.
+#[derive(Debug)]
+pub(crate) struct DegradeController {
+    above: usize,
+    after: u32,
+    resume_below: usize,
+    resume_after: u32,
+    pressured: u32,
+    calm: u32,
+    degraded: bool,
+}
+
+impl DegradeController {
+    pub(crate) fn new(policy: &SloPolicy) -> Self {
+        DegradeController {
+            above: policy.degrade_above,
+            after: policy.degrade_after.max(1),
+            resume_below: policy.resume_below,
+            resume_after: policy.resume_after.max(1),
+            pressured: 0,
+            calm: 0,
+            degraded: false,
+        }
+    }
+
+    /// Observe one dispatch-time queue depth; returns whether the
+    /// engine should serve this batch degraded (energy-only).
+    pub(crate) fn observe(&mut self, depth: usize) -> bool {
+        if depth >= self.above {
+            self.calm = 0;
+            self.pressured = self.pressured.saturating_add(1);
+            if self.pressured >= self.after {
+                self.degraded = true;
+            }
+        } else if depth <= self.resume_below {
+            self.pressured = 0;
+            self.calm = self.calm.saturating_add(1);
+            if self.calm >= self.resume_after {
+                self.degraded = false;
+            }
+        } else {
+            // In between the thresholds: hold the current mode, reset
+            // both streaks (hysteresis).
+            self.pressured = 0;
+            self.calm = 0;
+        }
+        self.degraded
+    }
+
+    /// Current mode without observing a new depth.
+    #[cfg(test)]
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+/// Circuit-breaker state: closed (normal) or open against one poisoned
+/// snapshot version, serving from a known-good fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving the registry's current snapshot.
+    Closed,
+    /// `poisoned` failed repeatedly; batches are routed to `fallback`
+    /// (the last version that served a request successfully) until a
+    /// version other than `poisoned` succeeds.
+    Open {
+        /// The version the breaker tripped against.
+        poisoned: u64,
+        /// The last-good version batches are routed to instead.
+        fallback: u64,
+    },
+}
+
+/// Tracks consecutive model-eval failures per snapshot and routes
+/// around a snapshot that keeps failing. Single-owner (the dispatcher
+/// thread); results are fed in completion order.
+#[derive(Debug)]
+pub(crate) struct CircuitBreaker {
+    threshold: u32,
+    consecutive: u32,
+    last_good: Option<u64>,
+    state: BreakerState,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold,
+            consecutive: 0,
+            last_good: None,
+            state: BreakerState::Closed,
+            trips: 0,
+        }
+    }
+
+    /// The version batches should be served from, given the registry's
+    /// current snapshot version.
+    pub(crate) fn route(&self, current: u64) -> u64 {
+        match self.state {
+            // A version newer than the poisoned one gets a half-open
+            // trial: serve it, and let its results close or re-trip.
+            BreakerState::Open { poisoned, fallback } if current == poisoned => fallback,
+            _ => current,
+        }
+    }
+
+    /// Record one evaluated request against `version`. Returns `true`
+    /// when this exact observation trips the breaker (so the caller can
+    /// count trips).
+    pub(crate) fn on_result(&mut self, version: u64, ok: bool) -> bool {
+        if ok {
+            self.consecutive = 0;
+            self.last_good = Some(version);
+            if let BreakerState::Open { poisoned, .. } = self.state {
+                if version > poisoned {
+                    // A publish newer than the poisoned snapshot is
+                    // healthy — close. Success on the older fallback
+                    // proves nothing about the poisoned version, so it
+                    // keeps the breaker open.
+                    self.state = BreakerState::Closed;
+                }
+            }
+            return false;
+        }
+        self.consecutive = self.consecutive.saturating_add(1);
+        if self.threshold == 0 || self.consecutive < self.threshold {
+            return false;
+        }
+        self.consecutive = 0;
+        // Trip only if there is a distinct known-good version to route
+        // to; with no alternative, routing would be a no-op.
+        match self.last_good {
+            Some(good) if good != version => {
+                self.state = BreakerState::Open { poisoned: version, fallback: good };
+                self.trips += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    #[cfg(test)]
+    pub(crate) fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+/// Capped-exponential-backoff retry schedule for overloaded submits.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based), capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let mult = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(mult)
+            .map(|d| d.min(self.max_backoff))
+            .unwrap_or(self.max_backoff)
+    }
+}
+
+/// A token bucket shared by all clients of one engine: each retry
+/// withdraws a token, each first-try success deposits a fraction of
+/// one. When the bucket is empty, retries fail fast — under sustained
+/// overload the retry traffic decays to a small fraction of the real
+/// traffic instead of multiplying it.
+#[derive(Debug)]
+pub struct RetryBudget {
+    tokens_milli: AtomicI64,
+    max_milli: i64,
+    deposit_milli: i64,
+}
+
+impl RetryBudget {
+    /// A budget of `max_tokens` retries, refilled at `deposit_per_success`
+    /// tokens (may be fractional) per successful request.
+    pub fn new(max_tokens: u32, deposit_per_success: f64) -> Self {
+        let max_milli = i64::from(max_tokens) * 1000;
+        RetryBudget {
+            tokens_milli: AtomicI64::new(max_milli),
+            max_milli,
+            deposit_milli: (deposit_per_success.max(0.0) * 1000.0) as i64,
+        }
+    }
+
+    /// Take one retry token; `false` means the budget is exhausted.
+    pub fn try_withdraw(&self) -> bool {
+        let prev = self.tokens_milli.fetch_sub(1000, Ordering::Relaxed);
+        if prev < 1000 {
+            // Undo: the bucket did not hold a whole token.
+            self.tokens_milli.fetch_add(1000, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Credit one successful request.
+    pub fn deposit(&self) {
+        let prev = self.tokens_milli.fetch_add(self.deposit_milli, Ordering::Relaxed);
+        if prev + self.deposit_milli > self.max_milli {
+            self.tokens_milli.store(self.max_milli, Ordering::Relaxed);
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u32 {
+        (self.tokens_milli.load(Ordering::Relaxed).max(0) / 1000) as u32
+    }
+}
+
+/// Submit with retries on [`ServeError::Overloaded`] only — every other
+/// error (typed rejection, deadline miss, eval failure, closed engine)
+/// is final and returned as-is. Backoff is capped exponential per
+/// [`RetryPolicy`]; each retry must win a token from `budget`.
+pub fn infer_with_retry(
+    engine: &Engine,
+    req: InferRequest,
+    policy: &RetryPolicy,
+    budget: &RetryBudget,
+) -> Result<InferResponse, ServeError> {
+    let mut attempt = 0u32;
+    loop {
+        match engine.submit(req.clone()) {
+            Ok(ticket) => {
+                let result = ticket.wait();
+                if result.is_ok() {
+                    budget.deposit();
+                }
+                return result;
+            }
+            Err(e @ ServeError::Overloaded { .. }) => {
+                if attempt >= policy.max_retries || !budget.try_withdraw() {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.backoff(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_controller_has_hysteresis_on_both_edges() {
+        let policy = SloPolicy {
+            degrade_above: 10,
+            degrade_after: 3,
+            resume_below: 2,
+            resume_after: 2,
+            ..SloPolicy::default()
+        };
+        let mut d = DegradeController::new(&policy);
+        assert!(!d.observe(50));
+        assert!(!d.observe(50), "needs 3 consecutive pressured dispatches");
+        assert!(d.observe(50), "third pressured dispatch degrades");
+        assert!(d.observe(5), "mid-band holds the degraded mode");
+        assert!(d.observe(1), "one calm dispatch is not enough");
+        assert!(!d.observe(0), "second calm dispatch resumes");
+        assert!(!d.is_degraded());
+        // A pressure blip between calm runs resets the calm streak.
+        assert!(!d.observe(50));
+        assert!(!d.observe(1));
+        assert!(!d.observe(50));
+        assert!(!d.observe(50));
+        assert!(d.observe(50), "streak restarted after the calm dispatch");
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_routes_to_last_good() {
+        let mut b = CircuitBreaker::new(3);
+        assert!(!b.on_result(1, true));
+        assert_eq!(b.route(2), 2);
+        assert!(!b.on_result(2, false));
+        assert!(!b.on_result(2, false));
+        assert!(b.on_result(2, false), "third consecutive failure trips");
+        assert_eq!(b.trips(), 1);
+        assert_eq!(
+            b.state(),
+            BreakerState::Open { poisoned: 2, fallback: 1 }
+        );
+        assert_eq!(b.route(2), 1, "poisoned version is routed around");
+        assert_eq!(b.route(3), 3, "a newer publish gets a half-open trial");
+        // Success on the fallback keeps the breaker open against v2 …
+        assert!(!b.on_result(1, true));
+        assert_eq!(b.route(2), 1);
+        // … and success on a new version closes it.
+        assert!(!b.on_result(3, true));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.route(3), 3);
+    }
+
+    #[test]
+    fn breaker_does_not_trip_without_an_alternative() {
+        let mut b = CircuitBreaker::new(2);
+        // Failures on the only version ever seen: nothing to route to.
+        assert!(!b.on_result(1, false));
+        assert!(!b.on_result(1, false));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn breaker_threshold_zero_disables() {
+        let mut b = CircuitBreaker::new(0);
+        b.on_result(1, true);
+        for _ in 0..20 {
+            assert!(!b.on_result(2, false));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(9),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(2));
+        assert_eq!(p.backoff(1), Duration::from_millis(4));
+        assert_eq!(p.backoff(2), Duration::from_millis(8));
+        assert_eq!(p.backoff(3), Duration::from_millis(9), "capped");
+        assert_eq!(p.backoff(40), Duration::from_millis(9), "shift overflow capped");
+    }
+
+    #[test]
+    fn retry_budget_bounds_retries_and_refills_on_success() {
+        let b = RetryBudget::new(2, 0.5);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "budget exhausted");
+        b.deposit();
+        assert!(!b.try_withdraw(), "half a token is not a retry");
+        b.deposit();
+        assert!(b.try_withdraw(), "two successes bought one retry");
+        for _ in 0..100 {
+            b.deposit();
+        }
+        assert_eq!(b.available(), 2, "deposits cap at the configured maximum");
+    }
+}

@@ -1,11 +1,14 @@
 //! Serving telemetry: queue depth, batch sizes, latency percentiles,
-//! swap count and geometry-cache hit rate.
+//! swap count, geometry-cache hit rate, and the SLO counters (shed,
+//! deadline misses, breaker trips, degraded responses, per-lane
+//! depth).
 //!
 //! Every counter on the request path is an atomic or a fixed-bucket
 //! [`Histogram`] (`dp_bench::report`) — no lock, no allocation — so
 //! the stats layer cannot perturb the latencies it measures. Snapshots
 //! ([`ServeStats::snapshot`]) are taken off-path and exported through
-//! `dp_bench::report::BenchReport` by the `bench_serve` binary.
+//! `dp_bench::report::BenchReport` by the `bench_serve` and
+//! `overload_soak` binaries.
 
 use dp_bench::report::{BenchReport, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,7 +16,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Atomic counters and histograms updated by the engine.
 #[derive(Debug, Default)]
 pub struct ServeStats {
-    /// Requests completed.
+    /// Requests completed (with a response or a dispatch-side typed
+    /// error; admission-time rejections count under `shed` only).
     pub requests: AtomicU64,
     /// Micro-batches dispatched.
     pub batches: AtomicU64,
@@ -24,6 +28,25 @@ pub struct ServeStats {
     pub batch_sizes: Histogram,
     /// Queue depth observed at each dispatch (log2 buckets).
     pub queue_depth: Histogram,
+    /// Interactive-lane depth at each dispatch (log2 buckets).
+    pub interactive_depth: Histogram,
+    /// Bulk-lane depth at each dispatch (log2 buckets).
+    pub bulk_depth: Histogram,
+    /// Largest queue depth ever observed at a dispatch.
+    pub max_depth: AtomicU64,
+    /// Overload sheds: submissions rejected at capacity plus queued
+    /// bulk requests evicted for interactive arrivals.
+    pub shed: AtomicU64,
+    /// Requests shed by the dispatcher because their deadline was (or
+    /// provably would be) exceeded.
+    pub deadline_miss: AtomicU64,
+    /// Circuit-breaker trips (transitions into the open state).
+    pub breaker_trips: AtomicU64,
+    /// Responses served energy-only under degradation although forces
+    /// were requested.
+    pub degraded: AtomicU64,
+    /// Model-eval failures (poisoned requests, non-finite output).
+    pub eval_failures: AtomicU64,
     /// Environment-cache hits across all snapshots served.
     pub cache_hits: AtomicU64,
     /// Environment-cache misses across all snapshots served.
@@ -45,10 +68,24 @@ pub struct StatsSnapshot {
     pub latency_p90_ns: Option<f64>,
     /// 99th percentile latency.
     pub latency_p99_ns: Option<f64>,
+    /// 99.9th percentile latency.
+    pub latency_p999_ns: Option<f64>,
     /// Model swaps observed by the engine (publishes after the first).
     pub swaps: u64,
     /// Geometry-cache hit rate over everything served, 0 when unused.
     pub cache_hit_rate: f64,
+    /// Overload sheds (capacity rejections + bulk evictions).
+    pub shed: u64,
+    /// Dispatcher-side deadline sheds.
+    pub deadline_miss: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Energy-only degraded responses.
+    pub degraded: u64,
+    /// Model-eval failures.
+    pub eval_failures: u64,
+    /// Largest queue depth observed at any dispatch.
+    pub max_depth: u64,
 }
 
 impl ServeStats {
@@ -58,11 +95,14 @@ impl ServeStats {
     }
 
     /// Record one dispatched batch of `size` requests drained from a
-    /// queue that held `depth` pending requests.
-    pub fn record_batch(&self, size: usize, depth: usize) {
+    /// queue holding `depth` pending requests (`interactive` + `bulk`).
+    pub fn record_batch(&self, size: usize, depth: usize, interactive: usize, bulk: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_sizes.record(size as u64);
         self.queue_depth.record(depth as u64);
+        self.interactive_depth.record(interactive as u64);
+        self.bulk_depth.record(bulk as u64);
+        self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
     /// Record one completed request with its submission-to-response
@@ -70,6 +110,31 @@ impl ServeStats {
     pub fn record_request(&self, latency_ns: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.latency_ns.record(latency_ns);
+    }
+
+    /// Record one overload shed (capacity rejection or bulk eviction).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one dispatcher-side deadline shed.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_miss.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one circuit-breaker trip.
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one degraded (energy-only) response.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one model-eval failure.
+    pub fn record_eval_failure(&self) {
+        self.eval_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Fold one snapshot's cache counters in (called when a snapshot
@@ -97,12 +162,19 @@ impl ServeStats {
             latency_p50_ns: self.latency_ns.p50(),
             latency_p90_ns: self.latency_ns.p90(),
             latency_p99_ns: self.latency_ns.p99(),
+            latency_p999_ns: self.latency_ns.p999(),
             swaps,
             cache_hit_rate: if hits + misses == 0 {
                 0.0
             } else {
                 hits as f64 / (hits + misses) as f64
             },
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_miss: self.deadline_miss.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            eval_failures: self.eval_failures.load(Ordering::Relaxed),
+            max_depth: self.max_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -122,8 +194,19 @@ impl ServeStats {
         push("p50_ns", snap.latency_p50_ns.unwrap_or(0.0));
         push("p90_ns", snap.latency_p90_ns.unwrap_or(0.0));
         push("p99_ns", snap.latency_p99_ns.unwrap_or(0.0));
+        push("p999_ns", snap.latency_p999_ns.unwrap_or(0.0));
         push("mean_batch", snap.mean_batch);
         push("cache_hit_rate", snap.cache_hit_rate);
+        push("shed", snap.shed as f64);
+        push("deadline_miss", snap.deadline_miss as f64);
+        push("breaker_trips", snap.breaker_trips as f64);
+        push("degraded", snap.degraded as f64);
+        push("max_depth", snap.max_depth as f64);
+        push(
+            "interactive_depth_p50",
+            self.interactive_depth.p50().unwrap_or(0.0),
+        );
+        push("bulk_depth_p50", self.bulk_depth.p50().unwrap_or(0.0));
     }
 }
 
@@ -138,17 +221,30 @@ mod tests {
             s.record_request(1_000 + i);
         }
         s.record_request(1_000_000);
-        s.record_batch(8, 12);
-        s.record_batch(4, 4);
+        s.record_batch(8, 12, 9, 3);
+        s.record_batch(4, 4, 4, 0);
         s.record_cache(30, 10);
+        s.record_shed();
+        s.record_shed();
+        s.record_deadline_miss();
+        s.record_breaker_trip();
+        s.record_degraded();
+        s.record_eval_failure();
         let snap = s.snapshot(3);
         assert_eq!(snap.requests, 101);
         assert_eq!(snap.batches, 2);
         assert!((snap.mean_batch - 50.5).abs() < 1e-12);
         assert!(snap.latency_p50_ns.unwrap() < 4096.0);
         assert!(snap.latency_p99_ns.unwrap() >= snap.latency_p50_ns.unwrap());
+        assert!(snap.latency_p999_ns.unwrap() >= snap.latency_p99_ns.unwrap());
         assert_eq!(snap.swaps, 3);
         assert!((snap.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.deadline_miss, 1);
+        assert_eq!(snap.breaker_trips, 1);
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.eval_failures, 1);
+        assert_eq!(snap.max_depth, 12);
     }
 
     #[test]
@@ -157,8 +253,11 @@ mod tests {
         let snap = s.snapshot(0);
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.latency_p50_ns, None);
+        assert_eq!(snap.latency_p999_ns, None);
         assert_eq!(snap.mean_batch, 0.0);
         assert_eq!(snap.cache_hit_rate, 0.0);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.max_depth, 0);
     }
 
     #[test]
@@ -168,6 +267,14 @@ mod tests {
         let mut r = BenchReport::new("serve");
         s.report_into(&mut r, "serve", 8, 4, 1);
         assert!(r.find("serve_p50_ns", &[8], 4).is_some());
+        assert!(r.find("serve_p999_ns", &[8], 4).is_some());
         assert!(r.find("serve_cache_hit_rate", &[8], 4).is_some());
+        assert!(r.find("serve_shed", &[8], 4).is_some());
+        assert!(r.find("serve_deadline_miss", &[8], 4).is_some());
+        assert!(r.find("serve_breaker_trips", &[8], 4).is_some());
+        assert!(r.find("serve_degraded", &[8], 4).is_some());
+        assert!(r.find("serve_max_depth", &[8], 4).is_some());
+        assert!(r.find("serve_interactive_depth_p50", &[8], 4).is_some());
+        assert!(r.find("serve_bulk_depth_p50", &[8], 4).is_some());
     }
 }

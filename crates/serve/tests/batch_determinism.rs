@@ -36,7 +36,7 @@ fn batched_results_match_sequential_bitwise_at_every_thread_count() {
             .iter()
             .map(|f| {
                 engine
-                    .submit(InferRequest { frame: f.clone(), want_forces: true })
+                    .submit(InferRequest::new(f.clone(), true))
                     .expect("engine is live")
             })
             .collect();

@@ -1,0 +1,183 @@
+//! Property test for `BatchQueue` under concurrent submit / close /
+//! drain, across seeded random schedules:
+//!
+//! 1. every *accepted* ticket is fulfilled exactly once (ok, evicted
+//!    `Overloaded`, or `Closed` at teardown — one outcome, no hangs);
+//! 2. a submission after `close` returns `ServeError::Closed`;
+//! 3. the queue depth never exceeds the configured capacity, at any
+//!    drain point, under any interleaving.
+//!
+//! The dispatcher here is a custom drain loop over the public
+//! `next_batch` — the same driver the engine uses — so the properties
+//! hold for any consumer of the queue, not just `Engine`.
+
+use dp_serve::demo::demo_frame;
+use dp_serve::{
+    BatchPolicy, BatchQueue, InferRequest, InferResponse, ServeError, ServeStats,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const SUBMITTERS: usize = 4;
+const REQUESTS_PER_SUBMITTER: usize = 40;
+const CAPACITY: usize = 8;
+const HANG: Duration = Duration::from_secs(30);
+
+/// Tiny deterministic generator for the per-thread schedules.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn accepted_tickets_resolve_exactly_once_and_depth_is_bounded() {
+    for seed in 0..4u64 {
+        let stats = Arc::new(ServeStats::new());
+        let q = Arc::new(BatchQueue::bounded(CAPACITY, Arc::clone(&stats)));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let resolved_ok = Arc::new(AtomicU64::new(0));
+        let resolved_overloaded = Arc::new(AtomicU64::new(0));
+        let resolved_closed = Arc::new(AtomicU64::new(0));
+        let rejected_overloaded = Arc::new(AtomicU64::new(0));
+        let rejected_closed = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(Barrier::new(SUBMITTERS + 2));
+
+        // Custom dispatcher: drain batches, check the depth bound,
+        // fulfill everything drained exactly once.
+        let dispatcher = {
+            let q = Arc::clone(&q);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let policy = BatchPolicy { max_batch: 3, max_wait: Duration::from_micros(200) };
+                let mut max_depth_seen = 0usize;
+                while let Some(d) = q.next_batch(&policy) {
+                    assert!(
+                        d.depth <= CAPACITY,
+                        "depth {} exceeded capacity {CAPACITY}",
+                        d.depth
+                    );
+                    assert_eq!(d.depth, d.interactive_depth + d.bulk_depth);
+                    max_depth_seen = max_depth_seen.max(d.depth);
+                    for p in &d.batch {
+                        p.fulfill(Ok(InferResponse {
+                            energy: -1.0,
+                            forces: None,
+                            version: 1,
+                            degraded: false,
+                        }));
+                    }
+                }
+                max_depth_seen
+            })
+        };
+
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|s| {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                let accepted = Arc::clone(&accepted);
+                let resolved_ok = Arc::clone(&resolved_ok);
+                let resolved_overloaded = Arc::clone(&resolved_overloaded);
+                let resolved_closed = Arc::clone(&resolved_closed);
+                let rejected_overloaded = Arc::clone(&rejected_overloaded);
+                let rejected_closed = Arc::clone(&rejected_closed);
+                std::thread::spawn(move || {
+                    let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15) ^ s as u64;
+                    barrier.wait();
+                    for i in 0..REQUESTS_PER_SUBMITTER {
+                        let roll = splitmix(&mut rng);
+                        let mut req = InferRequest::new(demo_frame(i as u64), false);
+                        if roll.is_multiple_of(2) {
+                            req = req.bulk();
+                        }
+                        match q.submit(req) {
+                            Ok(t) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                match t.wait_timeout(HANG) {
+                                    Some(Ok(_)) => resolved_ok.fetch_add(1, Ordering::Relaxed),
+                                    Some(Err(ServeError::Overloaded { .. })) => {
+                                        resolved_overloaded.fetch_add(1, Ordering::Relaxed)
+                                    }
+                                    Some(Err(ServeError::Closed)) => {
+                                        resolved_closed.fetch_add(1, Ordering::Relaxed)
+                                    }
+                                    Some(Err(e)) => panic!("unexpected outcome: {e}"),
+                                    None => panic!("accepted ticket never resolved"),
+                                };
+                            }
+                            Err(ServeError::Overloaded { depth, capacity }) => {
+                                assert!(depth >= capacity, "rejection implies a full queue");
+                                rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServeError::Closed) => {
+                                rejected_closed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                        if roll.is_multiple_of(7) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Closer: let the storm develop, then close mid-run.
+        let closer = {
+            let q = Arc::clone(&q);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                std::thread::sleep(Duration::from_millis(1 + seed));
+                q.close();
+                // Property 2: a post-close submission gets Closed, not
+                // a hang and not a silent drop.
+                assert_eq!(
+                    q.submit(InferRequest::new(demo_frame(999), false)).unwrap_err(),
+                    ServeError::Closed
+                );
+            })
+        };
+
+        for s in submitters {
+            s.join().expect("submitter must finish");
+        }
+        closer.join().expect("closer must finish");
+        let max_depth_seen = dispatcher.join().expect("dispatcher must finish");
+        q.reject_remaining();
+
+        // Property 1: accepted = resolved, one outcome each.
+        let resolved = resolved_ok.load(Ordering::Relaxed)
+            + resolved_overloaded.load(Ordering::Relaxed)
+            + resolved_closed.load(Ordering::Relaxed);
+        assert_eq!(
+            accepted.load(Ordering::Relaxed),
+            resolved,
+            "seed {seed}: every accepted ticket resolves exactly once"
+        );
+        assert_eq!(
+            accepted.load(Ordering::Relaxed)
+                + rejected_overloaded.load(Ordering::Relaxed)
+                + rejected_closed.load(Ordering::Relaxed),
+            (SUBMITTERS * REQUESTS_PER_SUBMITTER) as u64,
+            "seed {seed}: submissions are accepted or typed-rejected, nothing vanishes"
+        );
+        // Property 3 held at every drain; the queue is empty at the end.
+        assert!(max_depth_seen <= CAPACITY);
+        assert_eq!(q.depth(), 0, "seed {seed}: teardown leaves nothing queued");
+        // Shed accounting: one shed per eviction (ticket resolved
+        // Overloaded) plus one per capacity rejection; Closed
+        // rejections are not sheds.
+        assert_eq!(
+            stats.shed.load(Ordering::Relaxed),
+            resolved_overloaded.load(Ordering::Relaxed)
+                + rejected_overloaded.load(Ordering::Relaxed),
+            "seed {seed}: shed counter matches observed evictions + rejections"
+        );
+    }
+}

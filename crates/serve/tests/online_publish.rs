@@ -1,0 +1,71 @@
+//! `run_published` failure paths, end to end against a live registry
+//! and engine: a publish whose bytes are corrupted in flight must be
+//! rejected by `model_io` validation *before* anything reaches the
+//! serving path, recorded on the stage report, and skipped — the
+//! registry stays on its last-good version and serving is bitwise
+//! stable across the failed publish.
+
+use deepmd_core::model_io;
+use dp_data::generate::GenScale;
+use dp_mdsim::systems::PaperSystem;
+use dp_serve::chaos::ChaosPlan;
+use dp_serve::{BatchPolicy, Engine, ModelRegistry};
+use dp_train::online::{shards_by_temperature, OnlineLoop};
+use dp_train::recipes::{setup, ModelScale};
+use dp_optim::fekf::FekfConfig;
+use dp_train::{RobustConfig, TrainConfig};
+
+#[test]
+fn corrupt_publish_is_rejected_recorded_and_serving_stays_on_last_good() {
+    let scale = GenScale { frames_per_temperature: 8, equilibration: 20, stride: 2 };
+    let mut s = setup(PaperSystem::Al, &scale, ModelScale::Small, 6);
+    let shards = shards_by_temperature(&s.train);
+    let probe = s.train.frames[0].clone();
+
+    let registry = std::sync::Arc::new(ModelRegistry::new(s.model.clone()));
+    let engine = Engine::start(std::sync::Arc::clone(&registry), BatchPolicy::default());
+    let baseline = engine.infer(probe.clone(), true).expect("engine is live");
+    assert_eq!(baseline.version, 1);
+
+    let chaos = ChaosPlan { seed: 11, corrupt_publish_prob: 1.0, ..ChaosPlan::none() };
+    let looper = OnlineLoop {
+        cfg: TrainConfig { batch_size: 4, max_epochs: 2, eval_frames: 8, ..Default::default() },
+        fekf: FekfConfig::default(),
+        robust: RobustConfig::default(),
+    };
+    // Stage 0's bytes are corrupted in flight (single deterministic bit
+    // flip); stage 1 publishes clean. The serving-stability probe runs
+    // at stage 1 entry — after the corrupt publish was rejected, before
+    // anything new lands.
+    let reports = looper.run_published(&mut s.model, &shards[..2], &mut |model, report| {
+        let mut bytes = model_io::to_bytes(model);
+        if report.stage == 0 {
+            chaos.corrupt_bytes(&mut bytes, report.stage as u64);
+        } else {
+            // The corrupt publish never reached the registry: serving
+            // is still on last-good v1, bitwise identical to before the
+            // failed publish.
+            let after_fail = engine.infer(probe.clone(), true).expect("engine is live");
+            assert_eq!(after_fail.version, 1, "registry must stay on last-good");
+            assert_eq!(after_fail.energy.to_bits(), baseline.energy.to_bits());
+            let fb = baseline.forces.as_ref().expect("forces were requested");
+            for (a, b) in after_fail.forces.unwrap().iter().zip(fb) {
+                assert_eq!(a.0.map(f64::to_bits), b.0.map(f64::to_bits));
+            }
+        }
+        registry.publish_bytes(&bytes).map(|_| ()).map_err(|e| e.to_string())
+    });
+
+    // The corrupt publish was rejected by model_io validation and
+    // recorded on the stage report — not aborted, not silently dropped.
+    assert!(reports[0].succeeded(), "the retrain itself was fine");
+    assert!(!reports[0].published());
+    let why = reports[0].publish_failure.as_deref().expect("failure recorded");
+    assert!(why.contains("checksum"), "model_io names the reason: {why}");
+
+    // Stage 1's clean publish goes through and is immediately servable.
+    assert!(reports[1].published(), "stage 1 publish failed: {:?}", reports[1].publish_failure);
+    assert_eq!(registry.current_version(), 2);
+    assert_eq!(engine.infer(probe, false).unwrap().version, 2);
+    engine.shutdown();
+}

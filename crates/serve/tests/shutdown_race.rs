@@ -1,0 +1,81 @@
+//! Regression for the shutdown-while-queued race: clients racing
+//! submissions against `Engine::shutdown` must each end with exactly
+//! one outcome — a served response or a typed error — never a hang.
+//! The engine's contract is that shutdown *fulfills* queued requests
+//! (the dispatcher drains them) rather than stranding their tickets.
+
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::{BatchPolicy, Engine, InferRequest, ModelRegistry, ServeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 25;
+/// Far above any plausible service time; reaching it means a ticket
+/// was stranded, which is exactly the bug this test pins.
+const HANG: Duration = Duration::from_secs(30);
+
+#[test]
+fn every_ticket_resolves_when_shutdown_races_submission() {
+    for round in 0..3u64 {
+        let registry = Arc::new(ModelRegistry::new(demo_model(round + 1)));
+        let engine = Engine::start(
+            registry,
+            BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(1) },
+        );
+        let served = Arc::new(AtomicU64::new(0));
+        let closed = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                let served = Arc::clone(&served);
+                let closed = Arc::clone(&closed);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let frame = demo_frame((c * REQUESTS_PER_CLIENT + i) as u64);
+                        match engine.submit(InferRequest::new(frame, false)) {
+                            Ok(t) => match t.wait_timeout(HANG) {
+                                Some(Ok(_)) => {
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some(Err(ServeError::Closed)) => {
+                                    closed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some(Err(e)) => panic!("unexpected error: {e}"),
+                                None => panic!("ticket stranded by shutdown race"),
+                            },
+                            Err(ServeError::Closed) => {
+                                closed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Shut down while the clients are mid-burst: some requests are
+        // queued, some in flight, some not yet submitted.
+        std::thread::sleep(Duration::from_millis(2));
+        engine.shutdown();
+        for c in clients {
+            c.join().expect("client must finish, not hang");
+        }
+        let total = served.load(Ordering::Relaxed) + closed.load(Ordering::Relaxed);
+        assert_eq!(
+            total,
+            (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+            "round {round}: every request must resolve exactly once"
+        );
+        // Shutdown is idempotent and post-shutdown submits are refused.
+        engine.shutdown();
+        assert_eq!(
+            engine.infer(demo_frame(0), false).unwrap_err(),
+            ServeError::Closed
+        );
+    }
+}

@@ -40,12 +40,24 @@ pub struct StageReport {
     /// recorded and *skipped* — the loop carries the recovered model
     /// into the next stage instead of aborting the whole run.
     pub failure: Option<String>,
+    /// Why the stage's *publication* was rejected, if it was (e.g. the
+    /// serving registry's `model_io` validation refused the bytes). A
+    /// failed publish is record-and-skip exactly like a failed retrain:
+    /// the loop keeps training, and serving clients keep the last-good
+    /// snapshot.
+    pub publish_failure: Option<String>,
 }
 
 impl StageReport {
     /// Did this stage's retrain complete?
     pub fn succeeded(&self) -> bool {
         self.failure.is_none()
+    }
+
+    /// Did this stage's model reach the serving side (retrain succeeded
+    /// *and* the publish hook accepted it)?
+    pub fn published(&self) -> bool {
+        self.failure.is_none() && self.publish_failure.is_none()
     }
 }
 
@@ -70,7 +82,7 @@ impl OnlineLoop {
     /// moves on to the next shard — an online-learning service must
     /// outlive a single bad retrain.
     pub fn run(&self, model: &mut DeepPotModel, shards: &[Dataset]) -> Vec<StageReport> {
-        self.run_published(model, shards, &mut |_, _| {})
+        self.run_published(model, shards, &mut |_, _| Ok(()))
     }
 
     /// [`OnlineLoop::run`] with a publication hook: after every stage
@@ -81,11 +93,18 @@ impl OnlineLoop {
     /// model into `ModelRegistry::publish`, hot-swapping what MD
     /// clients see while the next stage retrains. Failed stages are
     /// recorded but never published: clients keep the last good model.
+    ///
+    /// The hook is fallible: a rejected publication (corrupt bytes, a
+    /// registry validation failure) is recorded on the stage report as
+    /// [`StageReport::publish_failure`] and *skipped* — the loop keeps
+    /// retraining on the same weights, and the serving side stays on
+    /// its last-good snapshot. An online-learning service must outlive
+    /// a bad publish exactly as it outlives a bad retrain.
     pub fn run_published(
         &self,
         model: &mut DeepPotModel,
         shards: &[Dataset],
-        publish: &mut dyn FnMut(&DeepPotModel, &StageReport),
+        publish: &mut dyn FnMut(&DeepPotModel, &StageReport) -> Result<(), String>,
     ) -> Vec<StageReport> {
         assert!(!shards.is_empty(), "need at least one shard");
         let mut seen = Dataset::new(&shards[0].name, shards[0].type_names.clone());
@@ -146,6 +165,7 @@ impl OnlineLoop {
                         retrain_s: 0.0,
                         iterations: 0,
                         failure: Some(e.to_string()),
+                        publish_failure: None,
                     });
                     continue;
                 }
@@ -159,10 +179,13 @@ impl OnlineLoop {
                 retrain_s: out.wall_s,
                 iterations: out.iterations,
                 failure,
+                publish_failure: None,
             });
             let report = reports.last().expect("just pushed");
             if report.succeeded() {
-                publish(model, report);
+                if let Err(why) = publish(model, report) {
+                    reports.last_mut().expect("just pushed").publish_failure = Some(why);
+                }
             }
         }
         reports
@@ -266,12 +289,46 @@ mod tests {
         let mut published: Vec<(usize, Vec<f64>)> = Vec::new();
         let reports = looper.run_published(&mut s.model, &shards[..2], &mut |m, r| {
             published.push((r.stage, m.get_params()));
+            Ok(())
         });
         let ok = reports.iter().filter(|r| r.succeeded()).count();
+        assert!(reports.iter().all(|r| r.published() == r.succeeded()));
         assert_eq!(published.len(), ok, "one publication per successful stage");
         assert_eq!(published.last().unwrap().0, reports.last().unwrap().stage);
         // The last publication carries the weights the loop ends with.
         assert_eq!(published.last().unwrap().1, s.model.get_params());
+    }
+
+    #[test]
+    fn rejected_publish_is_recorded_and_skipped_not_aborted() {
+        let scale = GenScale { frames_per_temperature: 8, equilibration: 20, stride: 2 };
+        let mut s = setup(PaperSystem::Al, &scale, ModelScale::Small, 6);
+        let shards = shards_by_temperature(&s.train);
+        let looper = OnlineLoop {
+            cfg: TrainConfig {
+                batch_size: 4,
+                max_epochs: 2,
+                eval_frames: 8,
+                ..Default::default()
+            },
+            fekf: FekfConfig::default(),
+            robust: RobustConfig::default(),
+        };
+        let reports = looper.run_published(&mut s.model, &shards[..2], &mut |_, r| {
+            if r.stage == 0 {
+                Err("registry refused: checksum mismatch".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(reports.len(), 2, "a failed publish must not abort the loop");
+        assert!(reports[0].succeeded(), "the retrain itself was fine");
+        assert!(!reports[0].published());
+        assert_eq!(
+            reports[0].publish_failure.as_deref(),
+            Some("registry refused: checksum mismatch")
+        );
+        assert!(reports[1].published(), "stage 1 publishes normally");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * **bitwise** (`tol = 0`) where the fast path documents identical
 //!   accumulation order: `matmul`/`t_matmul` vs a k-ascending naive
 //!   loop, cached vs uncached forwards, batched vs sequential serving,
+//!   degraded (energy-only) vs full serving under the SLO layer,
 //!   FEKF vs Naive-EKF/RLEKF at `bs = 1` with a shared memory factor;
 //! * **tight-ULP** where only the combine order differs: the
 //!   4-accumulator `rowdot` behind `matmul_t`/`matvec` (`1e-13`), the
@@ -291,9 +292,7 @@ pub fn serve_batched_vs_sequential(seed: u64, profile: Profile) -> VerifyCheck {
     // then collect: the claim is bitwise equality *despite* batching.
     let tickets: Vec<_> = frames
         .iter()
-        .map(|f| {
-            engine.submit(dp_serve::batch::InferRequest { frame: f.clone(), want_forces: true })
-        })
+        .map(|f| engine.submit(dp_serve::batch::InferRequest::new(f.clone(), true)))
         .collect();
     for (i, (t, frame)) in tickets.into_iter().zip(&frames).enumerate() {
         let resp = match t.and_then(|t| t.wait()) {
@@ -319,6 +318,58 @@ pub fn serve_batched_vs_sequential(seed: u64, profile: Profile) -> VerifyCheck {
         check.exact(all_eq, || format!("request {i}: served forces differ bitwise"));
     }
     engine.shutdown();
+    check.finish()
+}
+
+/// Degraded (energy-only) serving vs full serving: under overload the
+/// engine may drop the force sweep, but the energy it returns must be
+/// bitwise the energy half of the full response — degradation changes
+/// *what* is served, never the numbers (DESIGN §12).
+pub fn serve_degraded_energy(seed: u64, profile: Profile) -> VerifyCheck {
+    let mut check = Check::new(
+        "differential",
+        "serve/degraded_vs_full_energy",
+        &["dp-serve", "deepmd-core"],
+        0.0,
+    );
+    let model = gen::toy_model(seed.wrapping_add(23));
+    let policy = BatchPolicy { max_batch: 4, max_wait: std::time::Duration::from_millis(5) };
+    let full = Engine::start(Arc::new(ModelRegistry::new(model.clone())), policy);
+    let degraded = Engine::start_slo(
+        Arc::new(ModelRegistry::new(model)),
+        dp_serve::SloPolicy::always_degraded(policy),
+    );
+    for i in 0..profile.serve_requests() as u64 {
+        let frame = gen::toy_frame(seed.wrapping_add(900 + i));
+        let f = match full.infer(frame.clone(), true) {
+            Ok(r) => r,
+            Err(e) => {
+                check.exact(false, || format!("full request {i} failed: {e}"));
+                continue;
+            }
+        };
+        let d = match degraded.infer(frame, true) {
+            Ok(r) => r,
+            Err(e) => {
+                check.exact(false, || format!("degraded request {i} failed: {e}"));
+                continue;
+            }
+        };
+        check.exact(d.degraded && d.forces.is_none(), || {
+            format!("request {i}: always-degraded engine served a full response")
+        });
+        check.exact(!f.degraded && f.forces.is_some(), || {
+            format!("request {i}: unpressured engine degraded a response")
+        });
+        check.exact(d.energy.to_bits() == f.energy.to_bits(), || {
+            format!(
+                "request {i} energy: degraded {:.17e} vs full {:.17e}",
+                d.energy, f.energy
+            )
+        });
+    }
+    full.shutdown();
+    degraded.shutdown();
     check.finish()
 }
 
@@ -378,6 +429,7 @@ pub fn run(seed: u64, profile: Profile) -> Vec<VerifyCheck> {
     out.push(env_cache_bitwise(seed, profile));
     out.push(manual_vs_tape(seed, profile));
     out.push(serve_batched_vs_sequential(seed, profile));
+    out.push(serve_degraded_energy(seed, profile));
     out.push(fekf_vs_baselines_bs1(seed, profile));
     out
 }
@@ -415,6 +467,14 @@ mod tests {
         let c = kf_fused_vs_unfused(99, Profile::Quick);
         assert_eq!(c.failures, 0, "{:?}", c.details);
         let c = fekf_vs_baselines_bs1(99, Profile::Quick);
+        assert_eq!(c.failures, 0, "{:?}", c.details);
+    }
+
+    #[test]
+    fn serve_families_pass() {
+        let c = serve_batched_vs_sequential(21, Profile::Quick);
+        assert_eq!(c.failures, 0, "{:?}", c.details);
+        let c = serve_degraded_energy(21, Profile::Quick);
         assert_eq!(c.failures, 0, "{:?}", c.details);
     }
 

@@ -58,7 +58,10 @@ fn main() {
 
     println!("\nonline retraining loop:");
     let reports = looper.run_published(&mut exp.model, &shards, &mut |model, report| {
-        let v = registry.publish(model.clone()).expect("retrained model must publish");
+        // A publish the registry refuses (corrupt bytes, validation
+        // failure) is recorded on the stage report and skipped — the
+        // loop keeps training and clients keep the last-good snapshot.
+        let v = registry.publish(model.clone()).map_err(|e| e.to_string())?;
         // Inference goes through the serving path, not the raw model:
         // this is what an MD client sees right after the swap.
         let probe = shards[report.stage].frames[0].clone();
@@ -69,8 +72,15 @@ fn main() {
              (label {:.4} eV, answered by v{})",
             resp.energy, probe.energy, resp.version
         );
+        Ok(())
     });
     for r in &reports {
+        let note = r
+            .failure
+            .as_deref()
+            .map(|f| format!(" [FAILED: {f}]"))
+            .or_else(|| r.publish_failure.as_deref().map(|f| format!(" [PUBLISH REFUSED: {f}]")))
+            .unwrap_or_default();
         println!(
             "  stage {} ({:>4.0} K): combined RMSE {:.4} → {:.4} after {:.1}s ({} iterations){}",
             r.stage,
@@ -79,7 +89,7 @@ fn main() {
             r.after.combined(),
             r.retrain_s,
             r.iterations,
-            r.failure.as_deref().map(|f| format!(" [FAILED: {f}]")).unwrap_or_default()
+            note
         );
     }
 

@@ -4,7 +4,9 @@
 # BENCH_forward.json — the last adds forward/backward kernel timings,
 # FEKF frames/s with the env cache off vs on, and cache hit rates —
 # plus BENCH_serve.json: serving requests/s and latency percentiles at
-# max_batch 1/8/32).
+# max_batch 1/8/32, and BENCH_serve_slo.json: shed / deadline-miss /
+# breaker-trip / degradation counters and tail latency under the
+# seeded chaos overload soak).
 #
 #   scripts/bench.sh                 # full sweep -> results/bench/
 #   scripts/bench.sh --smoke         # one shape per report (CI gate)
@@ -33,15 +35,19 @@ OUT="${BENCH_OUT:-results/bench}"
 
 cargo build --release --offline -p dp-bench --bin bench_kernels --bin bench_forward
 cargo build --release --offline -p dp-serve --bin bench_serve
+cargo build --release --offline --example overload_soak
 
 KERNEL_ARGS=()
 FORWARD_ARGS=()
+SOAK_PROFILE=full
 for arg in "$@"; do
     KERNEL_ARGS+=("$arg")
     # bench_forward/bench_serve have no --paper scale; pass the rest.
     [[ "$arg" == "--paper" ]] || FORWARD_ARGS+=("$arg")
+    [[ "$arg" == "--smoke" ]] && SOAK_PROFILE=quick
 done
 
 cargo run --release --offline -p dp-bench --bin bench_kernels -- "--out=${OUT}" "${KERNEL_ARGS[@]+"${KERNEL_ARGS[@]}"}"
 cargo run --release --offline -p dp-bench --bin bench_forward -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
-exec cargo run --release --offline -p dp-serve --bin bench_serve -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
+cargo run --release --offline -p dp-serve --bin bench_serve -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
+exec cargo run --release --offline --example overload_soak -- --profile "${SOAK_PROFILE}" --seed 1234 "--out=${OUT}"

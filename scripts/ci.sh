@@ -55,4 +55,12 @@ DP_POOL_THREADS=4 cargo run --release --offline -p dp-serve --bin serve_smoke
 step "fault soak (${SOAK_SECONDS}s, seed ${SOAK_SEED})"
 cargo run --release --offline --example fault_soak -- "$SOAK_SEED" "$SOAK_SECONDS"
 
+# Overload soak: open-loop heavy-tailed arrivals at ~2.5x the measured
+# service rate with mid-run chaos (stalls, poisoned requests, corrupted
+# and poisoned publishes). The binary asserts the SLO invariants — no
+# hang, bounded queue, every request resolved with a typed outcome,
+# shed fraction and p999 within policy — and exits nonzero otherwise.
+step "overload soak (quick profile, seed ${SOAK_SEED})"
+cargo run --release --offline --example overload_soak -- --profile quick --seed "$SOAK_SEED" --out="$(mktemp -d)"
+
 step "CI gate passed"

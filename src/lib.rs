@@ -33,7 +33,10 @@ pub mod prelude {
     pub use dp_optim::adam::{Adam, AdamConfig};
     pub use dp_optim::fekf::{Fekf, FekfConfig};
     pub use dp_optim::rlekf::Rlekf;
-    pub use dp_serve::{BatchPolicy, Engine, InferRequest, InferResponse, ModelRegistry};
+    pub use dp_serve::{
+        BatchPolicy, ChaosPlan, Engine, InferRequest, InferResponse, ModelRegistry, ServeError,
+        SloPolicy,
+    };
     pub use dp_train::recipes;
     pub use dp_train::trainer::{TrainConfig, TrainOutcome, Trainer};
     pub use dp_verify::{Profile, VerifyCheck, VerifyReport};
