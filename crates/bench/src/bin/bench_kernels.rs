@@ -4,9 +4,15 @@
 //! the hot-path kernels and writes three JSON reports (schema in
 //! `dp_bench::report`):
 //!
-//! * `BENCH_gemm.json`    — square GEMM and the tiled GEMV
+//! * `BENCH_gemm.json`    — square GEMM and the tiled GEMV under the
+//!   active backend, plus a per-backend `gemm/<backend>` /
+//!   `gemv/<backend>` sweep of every backend this CPU supports
 //! * `BENCH_p_update.json`— KF block `q = P·g` and the fused `P` update
 //! * `BENCH_train_iter.json` — end-to-end FEKF iteration phase times
+//!
+//! Every report is stamped with the resolved `DP_BACKEND` and detected
+//! CPU features (see `dp_bench::report`); an unsupported `DP_BACKEND`
+//! exits 2 before any measurement.
 //!
 //! Flags: `--smoke` (one small shape per report, for CI),
 //! `--paper` (adds the 10240 `P` block — ~800 MB resident),
@@ -90,6 +96,38 @@ fn bench_gemm(opts: &Opts) -> BenchReport {
             eprintln!("gemv {n}x{n} t={t}: {:.3} ms", ns / 1e6);
         }
     }
+
+    // Per-backend side-by-side sweep at t = 1: every backend this CPU
+    // supports over the same operands, so one committed file carries the
+    // scalar-vs-SIMD ratio (the plain "gemm"/"gemv" records above cover
+    // the thread sweep under the active backend).
+    let cmp_gemm: &[usize] = if opts.smoke { &[128] } else { &[128, 512] };
+    let cmp_gemv: &[usize] = if opts.smoke { &[1024] } else { &[1024, 4096] };
+    dp_pool::set_threads(1);
+    for kind in dp_tensor::backend::available() {
+        for &n in cmp_gemm {
+            let a = det_mat(n, n, 1);
+            let b = det_mat(n, n, 2);
+            let mut c = Mat::zeros(n, n);
+            let (ns, k) = dp_tensor::backend::with_backend(kind, || {
+                measure(samples, || a.matmul_into(&b, &mut c, 0.0))
+            })
+            .expect("backend came from available()");
+            rep.push(&format!("gemm/{}", kind.name()), &[n, n, n], 1, ns, k);
+            eprintln!("gemm/{} {n}x{n}x{n} t=1: {:.3} ms", kind.name(), ns / 1e6);
+        }
+        for &n in cmp_gemv {
+            let a = det_mat(n, n, 3);
+            let x = det_vec(n, 4);
+            let mut y = vec![0.0; n];
+            let (ns, k) = dp_tensor::backend::with_backend(kind, || {
+                measure(samples, || a.matvec_into(&x, &mut y))
+            })
+            .expect("backend came from available()");
+            rep.push(&format!("gemv/{}", kind.name()), &[n, n], 1, ns, k);
+            eprintln!("gemv/{} {n}x{n} t=1: {:.3} ms", kind.name(), ns / 1e6);
+        }
+    }
     rep
 }
 
@@ -170,6 +208,22 @@ fn bench_train_iter(opts: &Opts) -> BenchReport {
 
 fn main() {
     let opts = parse_opts();
+    // Fail loudly before measuring anything: a bench run under a
+    // misspelled or unsupported DP_BACKEND must not produce a file.
+    let backend = match dp_tensor::backend::try_global_kind() {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "bench_kernels: backend {backend} (available: {:?})",
+        dp_tensor::backend::available()
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+    );
     let reports = [
         ("BENCH_gemm.json", bench_gemm(&opts)),
         ("BENCH_p_update.json", bench_p_update(&opts)),

@@ -10,12 +10,21 @@
 //! ```json
 //! {
 //!   "bench": "gemm",
+//!   "backend": "avx512",
+//!   "backend_lanes": 8,
+//!   "arch": "x86_64",
+//!   "cpu_features": ["avx2", "fma", "avx512f"],
 //!   "records": [
 //!     {"name": "gemm", "shape": [512, 512, 512], "threads": 4,
 //!      "median_ns": 123456.0, "samples": 9}
 //!   ]
 //! }
 //! ```
+//!
+//! Since the backend split (DESIGN §13) every report is stamped with the
+//! compute backend and detected CPU features it was measured under —
+//! two machines (or two `DP_BACKEND` settings) produce baselines that
+//! are not comparable, and the stamp makes that visible in the file.
 
 use std::io;
 use std::path::Path;
@@ -147,14 +156,42 @@ pub struct BenchRecord {
 pub struct BenchReport {
     /// Report name (`"gemm"`, `"p_update"`, `"train_iter"`).
     pub bench: String,
+    /// Compute backend the process resolved from `DP_BACKEND` at
+    /// startup — the dispatch every record in this file ran under
+    /// (unless the record's name says otherwise, like the per-backend
+    /// `gemm/<backend>` sweeps).
+    pub backend: String,
+    /// `f64` lanes per SIMD vector on that backend.
+    pub backend_lanes: usize,
+    /// Compile-target architecture (`x86_64`, `aarch64`, …).
+    pub arch: String,
+    /// CPU features detected at startup (what `auto` dispatch saw).
+    pub cpu_features: Vec<String>,
     /// Measured configurations.
     pub records: Vec<BenchRecord>,
 }
 
 impl BenchReport {
-    /// Start an empty report.
+    /// Start an empty report, stamped with the process-global backend
+    /// and the CPU features behind it: a committed `BENCH_*.json` is
+    /// meaningless as a baseline without knowing what dispatch produced
+    /// it. Panics with the typed [`dp_tensor::backend::BackendError`]
+    /// message when `DP_BACKEND` names a backend this CPU lacks — a
+    /// bench run must never silently fall back.
     pub fn new(bench: &str) -> Self {
-        BenchReport { bench: bench.to_string(), records: Vec::new() }
+        let kind = dp_tensor::backend::try_global_kind()
+            .unwrap_or_else(|e| panic!("dp-bench: {e}"));
+        BenchReport {
+            bench: bench.to_string(),
+            backend: kind.name().to_string(),
+            backend_lanes: kind.lanes(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpu_features: dp_tensor::backend::detected_features()
+                .into_iter()
+                .map(|f| f.to_string())
+                .collect(),
+            records: Vec::new(),
+        }
     }
 
     /// Append one record.
@@ -173,6 +210,16 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"bench\": {},\n", json_str(&self.bench)));
+        out.push_str(&format!("  \"backend\": {},\n", json_str(&self.backend)));
+        out.push_str(&format!("  \"backend_lanes\": {},\n", self.backend_lanes));
+        out.push_str(&format!("  \"arch\": {},\n", json_str(&self.arch)));
+        let feats = self
+            .cpu_features
+            .iter()
+            .map(|f| json_str(f))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("  \"cpu_features\": [{}],\n", feats));
         out.push_str("  \"records\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let shape = r
@@ -394,6 +441,12 @@ mod tests {
         r.push("gemv", &[128], 1, 200.0, 5);
         let j = r.to_json();
         assert!(j.contains("\"bench\": \"gemm\""));
+        // Backend metadata is stamped from the live process dispatch.
+        let kind = dp_tensor::backend::try_global_kind().unwrap();
+        assert!(j.contains(&format!("\"backend\": \"{}\"", kind.name())));
+        assert!(j.contains(&format!("\"backend_lanes\": {}", kind.lanes())));
+        assert!(j.contains(&format!("\"arch\": \"{}\"", std::env::consts::ARCH)));
+        assert!(j.contains("\"cpu_features\": ["));
         assert!(j.contains("\"shape\": [4, 4, 4]"));
         assert!(j.contains("\"median_ns\": 1536.25"));
         assert!(j.contains("\"median_ns\": 200.0"), "integral medians keep a decimal point");

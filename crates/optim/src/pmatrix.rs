@@ -58,24 +58,24 @@ impl BlockP {
     }
 
     /// Fused update: `P ← (P − a·q·qᵀ)/λ` in one allocation-free pass.
+    ///
+    /// The per-row arithmetic is the active [`dp_tensor::backend`]'s
+    /// `p_update_rows` primitive. Every backend evaluates the grouped
+    /// `a·(qᵢ·qⱼ)` expression FMA-free with identical roundings, so the
+    /// update is bitwise identical across backends and symmetric entries
+    /// stay bitwise equal — the Algorithm 1 line-11 symmetrization
+    /// remains a no-op under SIMD too (asserted in the tests).
     pub fn update_fused(&mut self, b: usize, q: &[f64], a: f64, lambda: f64) {
         let p = &mut self.blocks[b];
         let n = p.cols();
         assert_eq!(q.len(), n, "update_fused: dimension mismatch");
         kernel::launch("p_update_fused");
         let inv_lambda = 1.0 / lambda;
+        let be = dp_tensor::backend::active();
         p.as_mut_slice()
             .par_chunks_mut(n)
             .enumerate()
-            .for_each(|(i, row)| {
-                let qi = q[i];
-                for (j, v) in row.iter_mut().enumerate() {
-                    // Grouped as a·(qᵢ·qⱼ): the inner product is bitwise
-                    // commutative, so symmetric entries stay bitwise
-                    // equal — the line-11 symmetrization becomes a no-op.
-                    *v = (*v - a * (qi * q[j])) * inv_lambda;
-                }
-            });
+            .for_each(|(i, row)| be.p_update_rows(row, n, i, q, a, inv_lambda));
     }
 
     /// Unfused (framework-style) update: the same arithmetic through

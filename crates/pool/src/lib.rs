@@ -33,26 +33,67 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// Per-task execution context propagated from the submitting thread to
 /// every worker that runs one of the region's tasks.
 ///
-/// The tensor layer stores its fused-kernel scope depth here so that
-/// primitives executed *on pool workers* inside a `kernel::fused` region
-/// are attributed to the enclosing fused kernel instead of being counted
-/// individually (they would otherwise see a fresh thread-local depth of
-/// zero on the worker thread).
+/// Two independent slots live here:
+///
+/// * the tensor layer's fused-kernel scope depth ([`get`]/[`set`]), so
+///   that primitives executed *on pool workers* inside a `kernel::fused`
+///   region are attributed to the enclosing fused kernel instead of being
+///   counted individually (they would otherwise see a fresh thread-local
+///   depth of zero on the worker thread);
+/// * the compute-backend token ([`backend`]/[`set_backend`]), so that
+///   kernels running on pool workers dispatch to the *same* SIMD backend
+///   as the submitting thread — a scoped `with_backend` override (e.g.
+///   the dp-verify scalar oracle) must cover the worker halves of a
+///   region too, not just the submitter's share. Token 0 means "no
+///   override, use the process-global backend"; nonzero values are
+///   interpreted by the tensor layer.
 pub mod taskctx {
     use std::cell::Cell;
 
     thread_local! {
         static CTX: Cell<u64> = const { Cell::new(0) };
+        static BACKEND: Cell<u8> = const { Cell::new(0) };
     }
 
-    /// Current context value on this thread.
+    /// Snapshot of both context slots, as captured into a region's job
+    /// descriptor and restored on each worker for the region's duration.
+    #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+    pub struct Ctx {
+        /// Fused-kernel scope depth.
+        pub fused: u64,
+        /// Compute-backend token (0 = process-global default).
+        pub backend: u8,
+    }
+
+    /// Current fused-scope depth on this thread.
     pub fn get() -> u64 {
         CTX.with(|c| c.get())
     }
 
-    /// Set the context value on this thread.
+    /// Set the fused-scope depth on this thread.
     pub fn set(v: u64) {
         CTX.with(|c| c.set(v));
+    }
+
+    /// Current backend token on this thread.
+    pub fn backend() -> u8 {
+        BACKEND.with(|c| c.get())
+    }
+
+    /// Set the backend token on this thread.
+    pub fn set_backend(b: u8) {
+        BACKEND.with(|c| c.set(b));
+    }
+
+    /// Capture both slots.
+    pub fn snapshot() -> Ctx {
+        Ctx { fused: get(), backend: backend() }
+    }
+
+    /// Restore both slots from a snapshot.
+    pub fn restore(ctx: Ctx) {
+        set(ctx.fused);
+        set_backend(ctx.backend);
     }
 }
 
@@ -78,7 +119,7 @@ struct Job {
     /// Executors (workers + submitter) currently inside the task loop.
     active: AtomicUsize,
     /// Task context captured from the submitting thread.
-    ctx: u64,
+    ctx: taskctx::Ctx,
     /// Set when any task panicked; the submitter re-panics.
     panicked: AtomicBool,
 }
@@ -209,9 +250,9 @@ fn worker_loop(p: &'static Pool, my_gen: u64) {
         last_seq = seq;
         // SAFETY: registered in `active`; the Job outlives this block.
         let job = unsafe { &*ptr.0 };
-        taskctx::set(job.ctx);
+        taskctx::restore(job.ctx);
         run_tasks(job);
-        taskctx::set(0);
+        taskctx::restore(taskctx::Ctx::default());
         // Deregister and wake the submitter. The lock round-trip orders
         // the decrement against the submitter's condvar wait.
         let _st = p.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -297,7 +338,7 @@ fn run_region(
         n,
         next: AtomicUsize::new(0),
         active: AtomicUsize::new(0),
-        ctx: taskctx::get(),
+        ctx: taskctx::snapshot(),
         panicked: AtomicBool::new(false),
     };
     st.seq = st.seq.wrapping_add(1);
@@ -398,6 +439,25 @@ mod tests {
         });
         taskctx::set(0);
         assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 7));
+    }
+
+    #[test]
+    fn backend_token_propagates_to_workers() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        taskctx::set_backend(3);
+        let seen: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(64, &|i| {
+            seen[i].store(taskctx::backend() as u64, Ordering::Relaxed);
+        });
+        taskctx::set_backend(0);
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 3));
+        // Workers reset to the default token between regions.
+        let reset_ok: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(9)).collect();
+        parallel_for(64, &|i| {
+            reset_ok[i].store(taskctx::backend() as u64, Ordering::Relaxed);
+        });
+        assert!(reset_ok.iter().all(|s| s.load(Ordering::Relaxed) == 0));
     }
 
     #[test]

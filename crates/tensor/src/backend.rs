@@ -1,0 +1,1645 @@
+//! Pluggable compute backends with runtime SIMD dispatch.
+//!
+//! Every hot kernel in the workspace — the tiled GEMM/GEMV family in
+//! [`crate::mat`], the flat-vector primitives in [`crate::vecops`], and
+//! the fused FEKF `P`-update consumed by `dp-optim` — bottoms out in the
+//! [`Backend`] trait defined here. Exactly one implementation of each
+//! primitive exists per backend:
+//!
+//! * [`BackendKind::Scalar`] — the pre-existing portable kernels, kept
+//!   verbatim. This is the differential oracle: golden fingerprints and
+//!   the bitwise tiled-vs-naive checks in dp-verify are pinned to it.
+//! * [`BackendKind::Avx2`] — x86-64 f64×4 with FMA.
+//! * [`BackendKind::Avx512`] — x86-64 f64×8 with FMA, compiled behind
+//!   `target_feature` and probed at startup.
+//! * [`BackendKind::Neon`] — aarch64 f64×2 with FMA.
+//!
+//! # Dispatch
+//!
+//! The process-global backend is resolved once, on first use, from the
+//! `DP_BACKEND` env var (`scalar|avx2|avx512|neon|auto`, default `auto`)
+//! plus `std::is_x86_feature_detected!`/`is_aarch64_feature_detected!`
+//! probing. Naming a backend the CPU lacks (or an unknown name) is a
+//! loud, typed [`BackendError`] — never a silent fallback.
+//!
+//! A thread-scoped override, [`with_backend`], stores a backend token in
+//! [`dp_pool::taskctx`]; the pool copies the submitting thread's context
+//! into every worker that executes one of a region's tasks, so a kernel
+//! that fans out over the pool runs *entirely* on the caller's backend.
+//! dp-verify uses this to run its scalar oracle while the process-global
+//! backend stays `auto`.
+//!
+//! # Numerical contract
+//!
+//! Within one backend, results are bitwise independent of the thread
+//! count: work decomposition (row groups, chunk boundaries) is a function
+//! of the shapes alone and lives *above* this trait, and each backend
+//! fixes its lane-reduction order and tail handling. Across backends,
+//! results agree only to tolerance (FMA contracts `a*b+c` into one
+//! rounding; wider registers mean more partial accumulators), which the
+//! dp-verify `backend` family bands per kernel. Two deliberate
+//! exceptions are bitwise across backends: the elementwise primitives
+//! (`axpy`/`scale`/`add_assign`, same per-element expression in every
+//! lane) and `p_update_rows`, which avoids FMA so the fused `P` update
+//! keeps *exact* symmetry and cross-backend bit-equality.
+
+use std::fmt;
+
+/// Identifier for one compiled-in backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Portable scalar kernels (the differential oracle).
+    Scalar,
+    /// x86-64 AVX2 + FMA, 4 × f64 lanes.
+    Avx2,
+    /// x86-64 AVX-512F, 8 × f64 lanes.
+    Avx512,
+    /// aarch64 NEON (Advanced SIMD), 2 × f64 lanes.
+    Neon,
+}
+
+impl BackendKind {
+    /// Canonical lowercase name (matches the `DP_BACKEND` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Avx2 => "avx2",
+            BackendKind::Avx512 => "avx512",
+            BackendKind::Neon => "neon",
+        }
+    }
+
+    /// f64 lanes per SIMD register (1 for scalar).
+    pub fn lanes(self) -> usize {
+        match self {
+            BackendKind::Scalar => 1,
+            BackendKind::Avx2 => 4,
+            BackendKind::Avx512 => 8,
+            BackendKind::Neon => 2,
+        }
+    }
+
+    /// Nonzero token stored in [`dp_pool::taskctx`] for scoped overrides.
+    fn token(self) -> u8 {
+        match self {
+            BackendKind::Scalar => 1,
+            BackendKind::Avx2 => 2,
+            BackendKind::Avx512 => 3,
+            BackendKind::Neon => 4,
+        }
+    }
+
+    fn from_token(t: u8) -> Option<BackendKind> {
+        match t {
+            1 => Some(BackendKind::Scalar),
+            2 => Some(BackendKind::Avx2),
+            3 => Some(BackendKind::Avx512),
+            4 => Some(BackendKind::Neon),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed backend-resolution failure. `DP_BACKEND` naming a backend this
+/// CPU (or this build) lacks must fail loudly, never fall back silently:
+/// a benchmark or CI run that *thinks* it measured AVX-512 but silently
+/// ran scalar produces corrupt baselines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// `DP_BACKEND` named something that is not a backend.
+    Unknown {
+        /// The unrecognized value.
+        name: String,
+    },
+    /// The backend exists but this CPU/build cannot run it.
+    Unavailable {
+        /// What was requested.
+        requested: BackendKind,
+        /// The architecture this binary was compiled for.
+        arch: &'static str,
+        /// CPU features that *were* detected at startup.
+        detected: Vec<&'static str>,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unknown { name } => write!(
+                f,
+                "DP_BACKEND={name:?} is not a backend (expected scalar|avx2|avx512|neon|auto)"
+            ),
+            BackendError::Unavailable { requested, arch, detected } => write!(
+                f,
+                "backend '{requested}' is not available on this CPU (arch {arch}, detected features: [{}])",
+                detected.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// One compute backend: exactly one implementation of each hot-kernel
+/// primitive. Work decomposition (parallel chunking, row-group
+/// boundaries) happens above this trait; implementations only fix the
+/// *within-group* instruction schedule, and must keep it a pure function
+/// of the operands so results stay bitwise thread-count invariant.
+pub trait Backend: Sync + Send {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Minimum flop count (`rows·cols·inner` for GEMM, `rows·cols` for
+    /// GEMV) before a kernel is worth splitting across the pool on this
+    /// backend. Faster kernels move the crossover up: region wake/join
+    /// overhead is backend-independent (~5–15 µs) while the per-flop
+    /// cost shrinks with lane width. See DESIGN §13 for the measurement
+    /// methodology behind each constant.
+    fn par_flops_threshold(&self) -> usize;
+
+    /// Dot product with fixed lane-reduction order (the GEMV/`A·Bᵀ`
+    /// per-element primitive).
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// `y += alpha · x` (elementwise; bitwise identical across backends).
+    fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]);
+
+    /// `y *= alpha` (elementwise; bitwise identical across backends).
+    fn scale(&self, alpha: f64, y: &mut [f64]);
+
+    /// `dst += src` (elementwise; bitwise identical across backends).
+    fn add_assign(&self, dst: &mut [f64], src: &[f64]);
+
+    /// GEMM micro-kernel: accumulate `C[i0.., :] += A[i0.., :] · B` for
+    /// the row group held in `crows` (up to `GEMM_MR` rows of width `n`;
+    /// `A` is `…×k`, `B` is `k×n`). `k` ascends for every output element.
+    fn gemm_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]);
+
+    /// `Aᵀ·B` micro-kernel: accumulate `C[i0.., :] += Aᵀ[i0.., :] · B`
+    /// for the output row group in `crows` (`A` is `rows×m`, `B` is
+    /// `rows×n`; output rows are columns of `A`).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_tn_row_group(
+        &self,
+        a: &[f64],
+        bd: &[f64],
+        rows: usize,
+        m: usize,
+        n: usize,
+        i0: usize,
+        crows: &mut [f64],
+    );
+
+    /// `A·Bᵀ` micro-kernel: `C[i0+r][j] = dot(A[i0+r], B[j])` for the
+    /// row group in `crows` (`A` is `…×k`, `B` is `n×k`). Every element
+    /// is one [`Backend::dot`].
+    fn gemm_nt_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]);
+
+    /// Fused FEKF `P`-update on a group of rows: for local row `r`
+    /// (global row `i0 + r`), `row[j] ← (row[j] − a·(q[i0+r]·q[j]))·inv_lambda`.
+    ///
+    /// Deliberately FMA-free in every backend: the grouped `a·(qᵢ·qⱼ)`
+    /// expression is then evaluated with identical roundings at `(i,j)`
+    /// and `(j,i)` — and identically in vector body and scalar tail — so
+    /// a symmetric `P` stays *bitwise* symmetric under the update.
+    fn p_update_rows(&self, rows: &mut [f64], n: usize, i0: usize, q: &[f64], a: f64, inv_lambda: f64);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend — the pre-backend kernels, kept verbatim as the oracle.
+// ---------------------------------------------------------------------------
+
+/// Portable scalar backend. Every routine is byte-for-byte the kernel
+/// that shipped before the backend split, so `DP_BACKEND=scalar` output
+/// (and the golden fingerprints) is bitwise identical to the pre-backend
+/// tree.
+struct ScalarBackend;
+
+/// Dot product with 4 independent accumulators (liftable to SIMD by the
+/// autovectorizer) and a *fixed* combine order, so the result is a pure
+/// function of the operands regardless of how callers are scheduled.
+#[inline]
+fn dot_scalar(row: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(row.len(), x.len());
+    let mut a0 = 0.0;
+    let mut a1 = 0.0;
+    let mut a2 = 0.0;
+    let mut a3 = 0.0;
+    let mut rc = row.chunks_exact(4);
+    let mut xc = x.chunks_exact(4);
+    for (r4, x4) in (&mut rc).zip(&mut xc) {
+        a0 += r4[0] * x4[0];
+        a1 += r4[1] * x4[1];
+        a2 += r4[2] * x4[2];
+        a3 += r4[3] * x4[3];
+    }
+    let mut tail = 0.0;
+    for (r, xv) in rc.remainder().iter().zip(xc.remainder()) {
+        tail += r * xv;
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+/// Register-tile height shared by every backend's GEMM micro-kernel:
+/// rows of `A` processed together so each streamed row of `B` feeds 4
+/// accumulator rows. Chunk boundaries (and therefore every per-element
+/// accumulation order) depend only on the shapes — never on the thread
+/// count or the backend.
+pub(crate) const GEMM_MR: usize = 4;
+
+impl Backend for ScalarBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Scalar
+    }
+
+    fn par_flops_threshold(&self) -> usize {
+        // Re-tuned against the real dp-pool fork-join (PR 2): one region
+        // costs ~5–15 µs of wake/join latency and the scalar kernels
+        // stream ~4–9 f64-FLOP/ns single-threaded, so region overhead is
+        // amortized once a kernel carries a few ×10⁴ flops. `1 << 17`
+        // (~131 k flops ≈ 15–35 µs of work) keeps every paper-scale
+        // Kalman block (n ≥ 1350 ⇒ ≥ 1.8 M flops per `P·g`) parallel
+        // while small descriptor/fitting GEMMs stay on the submitting
+        // thread.
+        1 << 17
+    }
+
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        dot_scalar(x, y)
+    }
+
+    fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    fn scale(&self, alpha: f64, y: &mut [f64]) {
+        for yi in y.iter_mut() {
+            *yi *= alpha;
+        }
+    }
+
+    fn add_assign(&self, dst: &mut [f64], src: &[f64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+
+    fn gemm_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+        let nr = crows.len() / n;
+        if nr == GEMM_MR {
+            let (c0, rest) = crows.split_at_mut(n);
+            let (c1, rest) = rest.split_at_mut(n);
+            let (c2, c3) = rest.split_at_mut(n);
+            let a0 = &a[i0 * k..(i0 + 1) * k];
+            let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+            let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+            let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+            for kk in 0..k {
+                let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    let b = brow[j];
+                    c0[j] += x0 * b;
+                    c1[j] += x1 * b;
+                    c2[j] += x2 * b;
+                    c3[j] += x3 * b;
+                }
+            }
+        } else {
+            for (r, crow) in crows.chunks_mut(n).enumerate() {
+                let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (cj, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                        *cj += aik * bkj;
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_tn_row_group(
+        &self,
+        a: &[f64],
+        bd: &[f64],
+        rows: usize,
+        m: usize,
+        n: usize,
+        i0: usize,
+        crows: &mut [f64],
+    ) {
+        let nr = crows.len() / n;
+        if nr == GEMM_MR {
+            let (c0, rest) = crows.split_at_mut(n);
+            let (c1, rest) = rest.split_at_mut(n);
+            let (c2, c3) = rest.split_at_mut(n);
+            for kk in 0..rows {
+                let arow = &a[kk * m..(kk + 1) * m];
+                let (x0, x1, x2, x3) = (arow[i0], arow[i0 + 1], arow[i0 + 2], arow[i0 + 3]);
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    let bkj = brow[j];
+                    c0[j] += x0 * bkj;
+                    c1[j] += x1 * bkj;
+                    c2[j] += x2 * bkj;
+                    c3[j] += x3 * bkj;
+                }
+            }
+        } else {
+            for kk in 0..rows {
+                let arow = &a[kk * m..(kk + 1) * m];
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (r, crow) in crows.chunks_mut(n).enumerate() {
+                    let x = arow[i0 + r];
+                    for (cij, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                        *cij += x * bkj;
+                    }
+                }
+            }
+        }
+    }
+
+    fn gemm_nt_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+        let nr = crows.len() / n;
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            for r in 0..nr {
+                let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                crows[r * n + j] = dot_scalar(arow, brow);
+            }
+        }
+    }
+
+    fn p_update_rows(&self, rows: &mut [f64], n: usize, i0: usize, q: &[f64], a: f64, inv_lambda: f64) {
+        for (r, row) in rows.chunks_mut(n).enumerate() {
+            let qi = q[i0 + r];
+            for (j, v) in row.iter_mut().enumerate() {
+                // Grouped as a·(qᵢ·qⱼ): the inner product is bitwise
+                // commutative, so symmetric entries stay bitwise equal —
+                // the Algorithm 1 line-11 symmetrization is a no-op.
+                *v = (*v - a * (qi * q[j])) * inv_lambda;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 backends: AVX2 (f64×4 FMA) and AVX-512F (f64×8 FMA).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{Backend, BackendKind, GEMM_MR};
+    use std::arch::x86_64::*;
+
+    /// AVX2 + FMA backend: 4 × f64 lanes.
+    ///
+    /// Reduction contract: `dot` keeps two vector accumulators (8
+    /// f64/iteration), combines them as `acc0 + acc1`, reduces lanes as
+    /// `((l0+l1)+(l2+l3))`, then folds the scalar tail in ascending
+    /// order. All of that is a pure function of the operand length, so
+    /// results are bitwise reproducible within this backend.
+    pub struct Avx2Backend;
+
+    /// AVX-512F backend: 8 × f64 lanes, same schedule shape as AVX2
+    /// (two vector accumulators, fixed pairwise lane reduction, ascending
+    /// scalar tail).
+    pub struct Avx512Backend;
+
+    // SAFETY (applies to every `unsafe` block in the impls below): the
+    // dispatch layer only ever hands out `Avx2Backend`/`Avx512Backend`
+    // after `is_x86_feature_detected!` confirmed the features at
+    // startup, so the `target_feature` functions are callable.
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot_avx2(x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(xp.add(i + 4)),
+                _mm256_loadu_pd(yp.add(i + 4)),
+                acc1,
+            );
+            i += 8;
+        }
+        if i + 4 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+            i += 4;
+        }
+        let acc = _mm256_add_pd(acc0, acc1);
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        let mut sum = (l[0] + l[1]) + (l[2] + l[3]);
+        while i < n {
+            sum += x[i] * y[i];
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = y.len();
+        let av = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            let prod = _mm256_mul_pd(av, _mm256_loadu_pd(x.as_ptr().add(i)));
+            let sum = _mm256_add_pd(_mm256_loadu_pd(y.as_ptr().add(i)), prod);
+            _mm256_storeu_pd(y.as_mut_ptr().add(i), sum);
+            i += 4;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn scale_avx2(alpha: f64, y: &mut [f64]) {
+        let n = y.len();
+        let av = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            _mm256_storeu_pd(y.as_mut_ptr().add(i), _mm256_mul_pd(_mm256_loadu_pd(y.as_ptr().add(i)), av));
+            i += 4;
+        }
+        while i < n {
+            y[i] *= alpha;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn add_assign_avx2(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let sum = _mm256_add_pd(_mm256_loadu_pd(dst.as_ptr().add(i)), _mm256_loadu_pd(src.as_ptr().add(i)));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), sum);
+            i += 4;
+        }
+        while i < n {
+            dst[i] += src[i];
+            i += 1;
+        }
+    }
+
+    /// One accumulator row of the i-k-j GEMM fan-out:
+    /// `crow[j] += x · brow[j]` vectorized over `j`.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn fan_row_avx2(x: f64, brow: *const f64, crow: &mut [f64]) {
+        let n = crow.len();
+        let xv = _mm256_set1_pd(x);
+        let mut j = 0;
+        while j + 4 <= n {
+            let c = _mm256_fmadd_pd(xv, _mm256_loadu_pd(brow.add(j)), _mm256_loadu_pd(crow.as_ptr().add(j)));
+            _mm256_storeu_pd(crow.as_mut_ptr().add(j), c);
+            j += 4;
+        }
+        while j < n {
+            crow[j] += x * *brow.add(j);
+            j += 1;
+        }
+    }
+
+    /// Register-blocked 4-row fan-out: the j-loop is tiled so the C
+    /// accumulators live in registers across the whole k-loop, streaming
+    /// each B row once per tile instead of re-loading and re-storing C
+    /// on every k step (the unblocked `fan_row` schedule is ~3 memory
+    /// ops per FMA; this is <1). Per C element the arithmetic is the
+    /// identical ascending-k FMA chain seeded from the incoming C value,
+    /// so results are bitwise equal to the unblocked schedule — the
+    /// blocking only changes where partial sums live, not the rounding.
+    ///
+    /// `x_r(kk) = *xr.add(kk * xstride)` serves both operand layouts:
+    /// stride 1 walks a row of A (NN GEMM), stride `m` walks a column
+    /// (TN GEMM).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn fan4_avx2(
+        x0: *const f64,
+        x1: *const f64,
+        x2: *const f64,
+        x3: *const f64,
+        xstride: usize,
+        bd: *const f64,
+        k: usize,
+        n: usize,
+        c0: &mut [f64],
+        c1: &mut [f64],
+        c2: &mut [f64],
+        c3: &mut [f64],
+    ) {
+        let mut j = 0;
+        // 8-column tiles: 4 rows × 2 ymm accumulators + 2 B vectors + 1
+        // broadcast = 11 of 16 ymm registers.
+        while j + 8 <= n {
+            let c0p = c0.as_mut_ptr().add(j);
+            let c1p = c1.as_mut_ptr().add(j);
+            let c2p = c2.as_mut_ptr().add(j);
+            let c3p = c3.as_mut_ptr().add(j);
+            let mut a00 = _mm256_loadu_pd(c0p);
+            let mut a01 = _mm256_loadu_pd(c0p.add(4));
+            let mut a10 = _mm256_loadu_pd(c1p);
+            let mut a11 = _mm256_loadu_pd(c1p.add(4));
+            let mut a20 = _mm256_loadu_pd(c2p);
+            let mut a21 = _mm256_loadu_pd(c2p.add(4));
+            let mut a30 = _mm256_loadu_pd(c3p);
+            let mut a31 = _mm256_loadu_pd(c3p.add(4));
+            for kk in 0..k {
+                let bp = bd.add(kk * n + j);
+                let b0 = _mm256_loadu_pd(bp);
+                let b1 = _mm256_loadu_pd(bp.add(4));
+                let xv = _mm256_set1_pd(*x0.add(kk * xstride));
+                a00 = _mm256_fmadd_pd(xv, b0, a00);
+                a01 = _mm256_fmadd_pd(xv, b1, a01);
+                let xv = _mm256_set1_pd(*x1.add(kk * xstride));
+                a10 = _mm256_fmadd_pd(xv, b0, a10);
+                a11 = _mm256_fmadd_pd(xv, b1, a11);
+                let xv = _mm256_set1_pd(*x2.add(kk * xstride));
+                a20 = _mm256_fmadd_pd(xv, b0, a20);
+                a21 = _mm256_fmadd_pd(xv, b1, a21);
+                let xv = _mm256_set1_pd(*x3.add(kk * xstride));
+                a30 = _mm256_fmadd_pd(xv, b0, a30);
+                a31 = _mm256_fmadd_pd(xv, b1, a31);
+            }
+            _mm256_storeu_pd(c0p, a00);
+            _mm256_storeu_pd(c0p.add(4), a01);
+            _mm256_storeu_pd(c1p, a10);
+            _mm256_storeu_pd(c1p.add(4), a11);
+            _mm256_storeu_pd(c2p, a20);
+            _mm256_storeu_pd(c2p.add(4), a21);
+            _mm256_storeu_pd(c3p, a30);
+            _mm256_storeu_pd(c3p.add(4), a31);
+            j += 8;
+        }
+        // Single-vector tile for a 4..7-column remainder.
+        while j + 4 <= n {
+            let c0p = c0.as_mut_ptr().add(j);
+            let c1p = c1.as_mut_ptr().add(j);
+            let c2p = c2.as_mut_ptr().add(j);
+            let c3p = c3.as_mut_ptr().add(j);
+            let mut a0 = _mm256_loadu_pd(c0p);
+            let mut a1 = _mm256_loadu_pd(c1p);
+            let mut a2 = _mm256_loadu_pd(c2p);
+            let mut a3 = _mm256_loadu_pd(c3p);
+            for kk in 0..k {
+                let b0 = _mm256_loadu_pd(bd.add(kk * n + j));
+                a0 = _mm256_fmadd_pd(_mm256_set1_pd(*x0.add(kk * xstride)), b0, a0);
+                a1 = _mm256_fmadd_pd(_mm256_set1_pd(*x1.add(kk * xstride)), b0, a1);
+                a2 = _mm256_fmadd_pd(_mm256_set1_pd(*x2.add(kk * xstride)), b0, a2);
+                a3 = _mm256_fmadd_pd(_mm256_set1_pd(*x3.add(kk * xstride)), b0, a3);
+            }
+            _mm256_storeu_pd(c0p, a0);
+            _mm256_storeu_pd(c1p, a1);
+            _mm256_storeu_pd(c2p, a2);
+            _mm256_storeu_pd(c3p, a3);
+            j += 4;
+        }
+        // Scalar tail columns: same ascending-k mul+add chain as the
+        // unblocked tail.
+        while j < n {
+            let mut s0 = c0[j];
+            let mut s1 = c1[j];
+            let mut s2 = c2[j];
+            let mut s3 = c3[j];
+            for kk in 0..k {
+                let b = *bd.add(kk * n + j);
+                s0 += *x0.add(kk * xstride) * b;
+                s1 += *x1.add(kk * xstride) * b;
+                s2 += *x2.add(kk * xstride) * b;
+                s3 += *x3.add(kk * xstride) * b;
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+            c2[j] = s2;
+            c3[j] = s3;
+            j += 1;
+        }
+    }
+
+    /// FMA-free `P`-update row (see `Backend::p_update_rows`): vector
+    /// body and scalar tail evaluate the identical mul/sub/mul tree, so
+    /// the result is bitwise equal to the scalar backend.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn p_update_row_avx2(row: &mut [f64], qi: f64, q: &[f64], a: f64, inv_lambda: f64) {
+        let n = row.len();
+        let qiv = _mm256_set1_pd(qi);
+        let av = _mm256_set1_pd(a);
+        let lv = _mm256_set1_pd(inv_lambda);
+        let mut j = 0;
+        while j + 4 <= n {
+            let t = _mm256_mul_pd(av, _mm256_mul_pd(qiv, _mm256_loadu_pd(q.as_ptr().add(j))));
+            let p = _mm256_sub_pd(_mm256_loadu_pd(row.as_ptr().add(j)), t);
+            _mm256_storeu_pd(row.as_mut_ptr().add(j), _mm256_mul_pd(p, lv));
+            j += 4;
+        }
+        while j < n {
+            row[j] = (row[j] - a * (qi * q[j])) * inv_lambda;
+            j += 1;
+        }
+    }
+
+    impl Backend for Avx2Backend {
+        fn kind(&self) -> BackendKind {
+            BackendKind::Avx2
+        }
+
+        fn par_flops_threshold(&self) -> usize {
+            // ~3–4× the scalar per-flop throughput against the same
+            // ~5–15 µs region overhead moves the crossover up one
+            // power of two (measured via BENCH_gemm/BENCH_p_update
+            // sweeps, DESIGN §13).
+            1 << 18
+        }
+
+        fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+            unsafe { dot_avx2(x, y) }
+        }
+
+        fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+            debug_assert_eq!(x.len(), y.len());
+            unsafe { axpy_avx2(alpha, x, y) }
+        }
+
+        fn scale(&self, alpha: f64, y: &mut [f64]) {
+            unsafe { scale_avx2(alpha, y) }
+        }
+
+        fn add_assign(&self, dst: &mut [f64], src: &[f64]) {
+            debug_assert_eq!(dst.len(), src.len());
+            unsafe { add_assign_avx2(dst, src) }
+        }
+
+        fn gemm_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+            let nr = crows.len() / n.max(1);
+            if nr == GEMM_MR && n > 0 && k > 0 {
+                let (c0, rest) = crows.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let ap = a.as_ptr();
+                unsafe {
+                    fan4_avx2(
+                        ap.add(i0 * k),
+                        ap.add((i0 + 1) * k),
+                        ap.add((i0 + 2) * k),
+                        ap.add((i0 + 3) * k),
+                        1,
+                        bd.as_ptr(),
+                        k,
+                        n,
+                        c0,
+                        c1,
+                        c2,
+                        c3,
+                    )
+                };
+            } else {
+                for (r, crow) in crows.chunks_mut(n).enumerate() {
+                    let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                    for (kk, &aik) in arow.iter().enumerate() {
+                        unsafe { fan_row_avx2(aik, bd.as_ptr().add(kk * n), crow) };
+                    }
+                }
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+    fn gemm_tn_row_group(
+            &self,
+            a: &[f64],
+            bd: &[f64],
+            rows: usize,
+            m: usize,
+            n: usize,
+            i0: usize,
+            crows: &mut [f64],
+        ) {
+            let nr = crows.len() / n.max(1);
+            if nr == GEMM_MR && n > 0 && rows > 0 {
+                let (c0, rest) = crows.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let ap = a.as_ptr();
+                unsafe {
+                    fan4_avx2(
+                        ap.add(i0),
+                        ap.add(i0 + 1),
+                        ap.add(i0 + 2),
+                        ap.add(i0 + 3),
+                        m,
+                        bd.as_ptr(),
+                        rows,
+                        n,
+                        c0,
+                        c1,
+                        c2,
+                        c3,
+                    )
+                };
+            } else {
+                for kk in 0..rows {
+                    let arow = &a[kk * m..(kk + 1) * m];
+                    let brow = bd[kk * n..(kk + 1) * n].as_ptr();
+                    for (r, crow) in crows.chunks_mut(n).enumerate() {
+                        unsafe { fan_row_avx2(arow[i0 + r], brow, crow) };
+                    }
+                }
+            }
+        }
+
+        fn gemm_nt_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+            let nr = crows.len() / n;
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                for r in 0..nr {
+                    let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                    crows[r * n + j] = unsafe { dot_avx2(arow, brow) };
+                }
+            }
+        }
+
+        fn p_update_rows(&self, rows: &mut [f64], n: usize, i0: usize, q: &[f64], a: f64, inv_lambda: f64) {
+            for (r, row) in rows.chunks_mut(n).enumerate() {
+                unsafe { p_update_row_avx2(row, q[i0 + r], q, a, inv_lambda) };
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot_avx512(x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(xp.add(i)), _mm512_loadu_pd(yp.add(i)), acc0);
+            acc1 = _mm512_fmadd_pd(
+                _mm512_loadu_pd(xp.add(i + 8)),
+                _mm512_loadu_pd(yp.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(xp.add(i)), _mm512_loadu_pd(yp.add(i)), acc0);
+            i += 8;
+        }
+        let acc = _mm512_add_pd(acc0, acc1);
+        let mut l = [0.0f64; 8];
+        _mm512_storeu_pd(l.as_mut_ptr(), acc);
+        let mut sum = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+        while i < n {
+            sum += x[i] * y[i];
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_avx512(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = y.len();
+        let av = _mm512_set1_pd(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let prod = _mm512_mul_pd(av, _mm512_loadu_pd(x.as_ptr().add(i)));
+            let sum = _mm512_add_pd(_mm512_loadu_pd(y.as_ptr().add(i)), prod);
+            _mm512_storeu_pd(y.as_mut_ptr().add(i), sum);
+            i += 8;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn scale_avx512(alpha: f64, y: &mut [f64]) {
+        let n = y.len();
+        let av = _mm512_set1_pd(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm512_storeu_pd(y.as_mut_ptr().add(i), _mm512_mul_pd(_mm512_loadu_pd(y.as_ptr().add(i)), av));
+            i += 8;
+        }
+        while i < n {
+            y[i] *= alpha;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn add_assign_avx512(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let sum = _mm512_add_pd(_mm512_loadu_pd(dst.as_ptr().add(i)), _mm512_loadu_pd(src.as_ptr().add(i)));
+            _mm512_storeu_pd(dst.as_mut_ptr().add(i), sum);
+            i += 8;
+        }
+        while i < n {
+            dst[i] += src[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn fan_row_avx512(x: f64, brow: *const f64, crow: &mut [f64]) {
+        let n = crow.len();
+        let xv = _mm512_set1_pd(x);
+        let mut j = 0;
+        while j + 8 <= n {
+            let c = _mm512_fmadd_pd(xv, _mm512_loadu_pd(brow.add(j)), _mm512_loadu_pd(crow.as_ptr().add(j)));
+            _mm512_storeu_pd(crow.as_mut_ptr().add(j), c);
+            j += 8;
+        }
+        while j < n {
+            crow[j] += x * *brow.add(j);
+            j += 1;
+        }
+    }
+
+    /// Register-blocked 4-row fan-out, AVX-512 edition of `fan4_avx2`
+    /// (same bitwise-preserving argument: per-element ascending-k FMA
+    /// chain seeded from the incoming C value, identical to the
+    /// unblocked `fan_row` schedule). Primary tile is 32 columns: 4 rows
+    /// × 4 zmm accumulators + 4 B vectors + 1 broadcast = 21 of 32 zmm
+    /// registers, 4 broadcast loads amortized over 16 FMAs.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn fan4_avx512(
+        x0: *const f64,
+        x1: *const f64,
+        x2: *const f64,
+        x3: *const f64,
+        xstride: usize,
+        bd: *const f64,
+        k: usize,
+        n: usize,
+        c0: &mut [f64],
+        c1: &mut [f64],
+        c2: &mut [f64],
+        c3: &mut [f64],
+    ) {
+        let mut j = 0;
+        while j + 32 <= n {
+            let c0p = c0.as_mut_ptr().add(j);
+            let c1p = c1.as_mut_ptr().add(j);
+            let c2p = c2.as_mut_ptr().add(j);
+            let c3p = c3.as_mut_ptr().add(j);
+            let mut a00 = _mm512_loadu_pd(c0p);
+            let mut a01 = _mm512_loadu_pd(c0p.add(8));
+            let mut a02 = _mm512_loadu_pd(c0p.add(16));
+            let mut a03 = _mm512_loadu_pd(c0p.add(24));
+            let mut a10 = _mm512_loadu_pd(c1p);
+            let mut a11 = _mm512_loadu_pd(c1p.add(8));
+            let mut a12 = _mm512_loadu_pd(c1p.add(16));
+            let mut a13 = _mm512_loadu_pd(c1p.add(24));
+            let mut a20 = _mm512_loadu_pd(c2p);
+            let mut a21 = _mm512_loadu_pd(c2p.add(8));
+            let mut a22 = _mm512_loadu_pd(c2p.add(16));
+            let mut a23 = _mm512_loadu_pd(c2p.add(24));
+            let mut a30 = _mm512_loadu_pd(c3p);
+            let mut a31 = _mm512_loadu_pd(c3p.add(8));
+            let mut a32 = _mm512_loadu_pd(c3p.add(16));
+            let mut a33 = _mm512_loadu_pd(c3p.add(24));
+            for kk in 0..k {
+                let bp = bd.add(kk * n + j);
+                let b0 = _mm512_loadu_pd(bp);
+                let b1 = _mm512_loadu_pd(bp.add(8));
+                let b2 = _mm512_loadu_pd(bp.add(16));
+                let b3 = _mm512_loadu_pd(bp.add(24));
+                let xv = _mm512_set1_pd(*x0.add(kk * xstride));
+                a00 = _mm512_fmadd_pd(xv, b0, a00);
+                a01 = _mm512_fmadd_pd(xv, b1, a01);
+                a02 = _mm512_fmadd_pd(xv, b2, a02);
+                a03 = _mm512_fmadd_pd(xv, b3, a03);
+                let xv = _mm512_set1_pd(*x1.add(kk * xstride));
+                a10 = _mm512_fmadd_pd(xv, b0, a10);
+                a11 = _mm512_fmadd_pd(xv, b1, a11);
+                a12 = _mm512_fmadd_pd(xv, b2, a12);
+                a13 = _mm512_fmadd_pd(xv, b3, a13);
+                let xv = _mm512_set1_pd(*x2.add(kk * xstride));
+                a20 = _mm512_fmadd_pd(xv, b0, a20);
+                a21 = _mm512_fmadd_pd(xv, b1, a21);
+                a22 = _mm512_fmadd_pd(xv, b2, a22);
+                a23 = _mm512_fmadd_pd(xv, b3, a23);
+                let xv = _mm512_set1_pd(*x3.add(kk * xstride));
+                a30 = _mm512_fmadd_pd(xv, b0, a30);
+                a31 = _mm512_fmadd_pd(xv, b1, a31);
+                a32 = _mm512_fmadd_pd(xv, b2, a32);
+                a33 = _mm512_fmadd_pd(xv, b3, a33);
+            }
+            _mm512_storeu_pd(c0p, a00);
+            _mm512_storeu_pd(c0p.add(8), a01);
+            _mm512_storeu_pd(c0p.add(16), a02);
+            _mm512_storeu_pd(c0p.add(24), a03);
+            _mm512_storeu_pd(c1p, a10);
+            _mm512_storeu_pd(c1p.add(8), a11);
+            _mm512_storeu_pd(c1p.add(16), a12);
+            _mm512_storeu_pd(c1p.add(24), a13);
+            _mm512_storeu_pd(c2p, a20);
+            _mm512_storeu_pd(c2p.add(8), a21);
+            _mm512_storeu_pd(c2p.add(16), a22);
+            _mm512_storeu_pd(c2p.add(24), a23);
+            _mm512_storeu_pd(c3p, a30);
+            _mm512_storeu_pd(c3p.add(8), a31);
+            _mm512_storeu_pd(c3p.add(16), a32);
+            _mm512_storeu_pd(c3p.add(24), a33);
+            j += 32;
+        }
+        // Single-vector tiles for an 8..31-column remainder.
+        while j + 8 <= n {
+            let c0p = c0.as_mut_ptr().add(j);
+            let c1p = c1.as_mut_ptr().add(j);
+            let c2p = c2.as_mut_ptr().add(j);
+            let c3p = c3.as_mut_ptr().add(j);
+            let mut a0 = _mm512_loadu_pd(c0p);
+            let mut a1 = _mm512_loadu_pd(c1p);
+            let mut a2 = _mm512_loadu_pd(c2p);
+            let mut a3 = _mm512_loadu_pd(c3p);
+            for kk in 0..k {
+                let b0 = _mm512_loadu_pd(bd.add(kk * n + j));
+                a0 = _mm512_fmadd_pd(_mm512_set1_pd(*x0.add(kk * xstride)), b0, a0);
+                a1 = _mm512_fmadd_pd(_mm512_set1_pd(*x1.add(kk * xstride)), b0, a1);
+                a2 = _mm512_fmadd_pd(_mm512_set1_pd(*x2.add(kk * xstride)), b0, a2);
+                a3 = _mm512_fmadd_pd(_mm512_set1_pd(*x3.add(kk * xstride)), b0, a3);
+            }
+            _mm512_storeu_pd(c0p, a0);
+            _mm512_storeu_pd(c1p, a1);
+            _mm512_storeu_pd(c2p, a2);
+            _mm512_storeu_pd(c3p, a3);
+            j += 8;
+        }
+        // Scalar tail columns: same ascending-k mul+add chain as the
+        // unblocked tail.
+        while j < n {
+            let mut s0 = c0[j];
+            let mut s1 = c1[j];
+            let mut s2 = c2[j];
+            let mut s3 = c3[j];
+            for kk in 0..k {
+                let b = *bd.add(kk * n + j);
+                s0 += *x0.add(kk * xstride) * b;
+                s1 += *x1.add(kk * xstride) * b;
+                s2 += *x2.add(kk * xstride) * b;
+                s3 += *x3.add(kk * xstride) * b;
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+            c2[j] = s2;
+            c3[j] = s3;
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn p_update_row_avx512(row: &mut [f64], qi: f64, q: &[f64], a: f64, inv_lambda: f64) {
+        let n = row.len();
+        let qiv = _mm512_set1_pd(qi);
+        let av = _mm512_set1_pd(a);
+        let lv = _mm512_set1_pd(inv_lambda);
+        let mut j = 0;
+        while j + 8 <= n {
+            let t = _mm512_mul_pd(av, _mm512_mul_pd(qiv, _mm512_loadu_pd(q.as_ptr().add(j))));
+            let p = _mm512_sub_pd(_mm512_loadu_pd(row.as_ptr().add(j)), t);
+            _mm512_storeu_pd(row.as_mut_ptr().add(j), _mm512_mul_pd(p, lv));
+            j += 8;
+        }
+        while j < n {
+            row[j] = (row[j] - a * (qi * q[j])) * inv_lambda;
+            j += 1;
+        }
+    }
+
+    impl Backend for Avx512Backend {
+        fn kind(&self) -> BackendKind {
+            BackendKind::Avx512
+        }
+
+        fn par_flops_threshold(&self) -> usize {
+            // Widest lanes, fastest per-flop: the crossover against the
+            // fixed region overhead moves up another factor of two over
+            // AVX2 (measured, DESIGN §13).
+            1 << 19
+        }
+
+        fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+            unsafe { dot_avx512(x, y) }
+        }
+
+        fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+            debug_assert_eq!(x.len(), y.len());
+            unsafe { axpy_avx512(alpha, x, y) }
+        }
+
+        fn scale(&self, alpha: f64, y: &mut [f64]) {
+            unsafe { scale_avx512(alpha, y) }
+        }
+
+        fn add_assign(&self, dst: &mut [f64], src: &[f64]) {
+            debug_assert_eq!(dst.len(), src.len());
+            unsafe { add_assign_avx512(dst, src) }
+        }
+
+        fn gemm_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+            let nr = crows.len() / n.max(1);
+            if nr == GEMM_MR && n > 0 && k > 0 {
+                let (c0, rest) = crows.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let ap = a.as_ptr();
+                unsafe {
+                    fan4_avx512(
+                        ap.add(i0 * k),
+                        ap.add((i0 + 1) * k),
+                        ap.add((i0 + 2) * k),
+                        ap.add((i0 + 3) * k),
+                        1,
+                        bd.as_ptr(),
+                        k,
+                        n,
+                        c0,
+                        c1,
+                        c2,
+                        c3,
+                    )
+                };
+            } else {
+                for (r, crow) in crows.chunks_mut(n).enumerate() {
+                    let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                    for (kk, &aik) in arow.iter().enumerate() {
+                        unsafe { fan_row_avx512(aik, bd.as_ptr().add(kk * n), crow) };
+                    }
+                }
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+    fn gemm_tn_row_group(
+            &self,
+            a: &[f64],
+            bd: &[f64],
+            rows: usize,
+            m: usize,
+            n: usize,
+            i0: usize,
+            crows: &mut [f64],
+        ) {
+            let nr = crows.len() / n.max(1);
+            if nr == GEMM_MR && n > 0 && rows > 0 {
+                let (c0, rest) = crows.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let ap = a.as_ptr();
+                unsafe {
+                    fan4_avx512(
+                        ap.add(i0),
+                        ap.add(i0 + 1),
+                        ap.add(i0 + 2),
+                        ap.add(i0 + 3),
+                        m,
+                        bd.as_ptr(),
+                        rows,
+                        n,
+                        c0,
+                        c1,
+                        c2,
+                        c3,
+                    )
+                };
+            } else {
+                for kk in 0..rows {
+                    let arow = &a[kk * m..(kk + 1) * m];
+                    let brow = bd[kk * n..(kk + 1) * n].as_ptr();
+                    for (r, crow) in crows.chunks_mut(n).enumerate() {
+                        unsafe { fan_row_avx512(arow[i0 + r], brow, crow) };
+                    }
+                }
+            }
+        }
+
+        fn gemm_nt_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+            let nr = crows.len() / n;
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                for r in 0..nr {
+                    let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                    crows[r * n + j] = unsafe { dot_avx512(arow, brow) };
+                }
+            }
+        }
+
+        fn p_update_rows(&self, rows: &mut [f64], n: usize, i0: usize, q: &[f64], a: f64, inv_lambda: f64) {
+            for (r, row) in rows.chunks_mut(n).enumerate() {
+                unsafe { p_update_row_avx512(row, q[i0 + r], q, a, inv_lambda) };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 backend: NEON (f64×2 FMA).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{Backend, BackendKind};
+    use std::arch::aarch64::*;
+
+    /// NEON (Advanced SIMD) backend: 2 × f64 lanes with FMA.
+    ///
+    /// Same schedule shape as the x86 backends: two vector accumulators
+    /// in `dot` (4 f64/iteration), fixed pairwise lane reduction,
+    /// ascending scalar tail.
+    pub struct NeonBackend;
+
+    // SAFETY (all unsafe blocks below): `NeonBackend` is only handed out
+    // after `is_aarch64_feature_detected!("neon")` succeeded.
+
+    #[target_feature(enable = "neon")]
+    unsafe fn dot_neon(x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            acc0 = vfmaq_f64(acc0, vld1q_f64(xp.add(i)), vld1q_f64(yp.add(i)));
+            acc1 = vfmaq_f64(acc1, vld1q_f64(xp.add(i + 2)), vld1q_f64(yp.add(i + 2)));
+            i += 4;
+        }
+        if i + 2 <= n {
+            acc0 = vfmaq_f64(acc0, vld1q_f64(xp.add(i)), vld1q_f64(yp.add(i)));
+            i += 2;
+        }
+        let acc = vaddq_f64(acc0, acc1);
+        let mut sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+        while i < n {
+            sum += x[i] * y[i];
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn axpy_neon(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = y.len();
+        let av = vdupq_n_f64(alpha);
+        let mut i = 0;
+        while i + 2 <= n {
+            let prod = vmulq_f64(av, vld1q_f64(x.as_ptr().add(i)));
+            vst1q_f64(y.as_mut_ptr().add(i), vaddq_f64(vld1q_f64(y.as_ptr().add(i)), prod));
+            i += 2;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn scale_neon(alpha: f64, y: &mut [f64]) {
+        let n = y.len();
+        let av = vdupq_n_f64(alpha);
+        let mut i = 0;
+        while i + 2 <= n {
+            vst1q_f64(y.as_mut_ptr().add(i), vmulq_f64(vld1q_f64(y.as_ptr().add(i)), av));
+            i += 2;
+        }
+        while i < n {
+            y[i] *= alpha;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn add_assign_neon(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let sum = vaddq_f64(vld1q_f64(dst.as_ptr().add(i)), vld1q_f64(src.as_ptr().add(i)));
+            vst1q_f64(dst.as_mut_ptr().add(i), sum);
+            i += 2;
+        }
+        while i < n {
+            dst[i] += src[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn fan_row_neon(x: f64, brow: *const f64, crow: &mut [f64]) {
+        let n = crow.len();
+        let xv = vdupq_n_f64(x);
+        let mut j = 0;
+        while j + 2 <= n {
+            let c = vfmaq_f64(vld1q_f64(crow.as_ptr().add(j)), xv, vld1q_f64(brow.add(j)));
+            vst1q_f64(crow.as_mut_ptr().add(j), c);
+            j += 2;
+        }
+        while j < n {
+            crow[j] += x * *brow.add(j);
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn p_update_row_neon(row: &mut [f64], qi: f64, q: &[f64], a: f64, inv_lambda: f64) {
+        let n = row.len();
+        let qiv = vdupq_n_f64(qi);
+        let av = vdupq_n_f64(a);
+        let lv = vdupq_n_f64(inv_lambda);
+        let mut j = 0;
+        while j + 2 <= n {
+            let t = vmulq_f64(av, vmulq_f64(qiv, vld1q_f64(q.as_ptr().add(j))));
+            let p = vsubq_f64(vld1q_f64(row.as_ptr().add(j)), t);
+            vst1q_f64(row.as_mut_ptr().add(j), vmulq_f64(p, lv));
+            j += 2;
+        }
+        while j < n {
+            row[j] = (row[j] - a * (qi * q[j])) * inv_lambda;
+            j += 1;
+        }
+    }
+
+    impl Backend for NeonBackend {
+        fn kind(&self) -> BackendKind {
+            BackendKind::Neon
+        }
+
+        fn par_flops_threshold(&self) -> usize {
+            // 2-lane FMA ≈ 2× scalar throughput: one power of two above
+            // the scalar crossover (DESIGN §13).
+            1 << 18
+        }
+
+        fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+            unsafe { dot_neon(x, y) }
+        }
+
+        fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+            debug_assert_eq!(x.len(), y.len());
+            unsafe { axpy_neon(alpha, x, y) }
+        }
+
+        fn scale(&self, alpha: f64, y: &mut [f64]) {
+            unsafe { scale_neon(alpha, y) }
+        }
+
+        fn add_assign(&self, dst: &mut [f64], src: &[f64]) {
+            debug_assert_eq!(dst.len(), src.len());
+            unsafe { add_assign_neon(dst, src) }
+        }
+
+        fn gemm_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+            for (r, crow) in crows.chunks_mut(n).enumerate() {
+                let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    unsafe { fan_row_neon(aik, bd.as_ptr().add(kk * n), crow) };
+                }
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+    fn gemm_tn_row_group(
+            &self,
+            a: &[f64],
+            bd: &[f64],
+            rows: usize,
+            m: usize,
+            n: usize,
+            i0: usize,
+            crows: &mut [f64],
+        ) {
+            for kk in 0..rows {
+                let arow = &a[kk * m..(kk + 1) * m];
+                let brow = bd[kk * n..(kk + 1) * n].as_ptr();
+                for (r, crow) in crows.chunks_mut(n).enumerate() {
+                    unsafe { fan_row_neon(arow[i0 + r], brow, crow) };
+                }
+            }
+        }
+
+        fn gemm_nt_row_group(&self, a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
+            let nr = crows.len() / n;
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                for r in 0..nr {
+                    let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                    crows[r * n + j] = unsafe { dot_neon(arow, brow) };
+                }
+            }
+        }
+
+        fn p_update_rows(&self, rows: &mut [f64], n: usize, i0: usize, q: &[f64], a: f64, inv_lambda: f64) {
+            for (r, row) in rows.chunks_mut(n).enumerate() {
+                unsafe { p_update_row_neon(row, q[i0 + r], q, a, inv_lambda) };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: detection, env override, scoped override, metadata.
+// ---------------------------------------------------------------------------
+
+static SCALAR: ScalarBackend = ScalarBackend;
+#[cfg(target_arch = "x86_64")]
+static AVX2: x86::Avx2Backend = x86::Avx2Backend;
+#[cfg(target_arch = "x86_64")]
+static AVX512: x86::Avx512Backend = x86::Avx512Backend;
+#[cfg(target_arch = "aarch64")]
+static NEON: neon::NeonBackend = neon::NeonBackend;
+
+/// The static instance for a kind, if it is compiled into this binary.
+fn instance(kind: BackendKind) -> Option<&'static dyn Backend> {
+    match kind {
+        BackendKind::Scalar => Some(&SCALAR),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => Some(&AVX2),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx512 => Some(&AVX512),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => Some(&NEON),
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+/// CPU features relevant to backend selection that this machine actually
+/// has (probed once per call; cheap — the std macros cache internally).
+pub fn detected_features() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            out.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            out.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            out.push("avx512f");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            out.push("neon");
+        }
+    }
+    out
+}
+
+/// Whether this CPU (and this build) can run `kind`.
+pub fn supported(kind: BackendKind) -> bool {
+    if instance(kind).is_none() {
+        return false;
+    }
+    match kind {
+        BackendKind::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => {
+            std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// Every backend this process can actually dispatch to, widest first
+/// ordering not guaranteed — scalar is always present.
+pub fn available() -> Vec<BackendKind> {
+    [BackendKind::Scalar, BackendKind::Avx2, BackendKind::Avx512, BackendKind::Neon]
+        .into_iter()
+        .filter(|&k| supported(k))
+        .collect()
+}
+
+/// The widest supported backend — what `DP_BACKEND=auto` picks.
+pub fn auto_kind() -> BackendKind {
+    for k in [BackendKind::Avx512, BackendKind::Avx2, BackendKind::Neon] {
+        if supported(k) {
+            return k;
+        }
+    }
+    BackendKind::Scalar
+}
+
+/// Parse and validate a `DP_BACKEND` value against this CPU.
+pub fn resolve(name: &str) -> Result<BackendKind, BackendError> {
+    let kind = match name.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => return Ok(auto_kind()),
+        "scalar" => BackendKind::Scalar,
+        "avx2" => BackendKind::Avx2,
+        "avx512" => BackendKind::Avx512,
+        "neon" => BackendKind::Neon,
+        other => return Err(BackendError::Unknown { name: other.to_string() }),
+    };
+    if supported(kind) {
+        Ok(kind)
+    } else {
+        Err(BackendError::Unavailable {
+            requested: kind,
+            arch: std::env::consts::ARCH,
+            detected: detected_features(),
+        })
+    }
+}
+
+static GLOBAL: std::sync::OnceLock<Result<BackendKind, BackendError>> = std::sync::OnceLock::new();
+
+/// The process-global backend kind from `DP_BACKEND` (read once).
+pub fn try_global_kind() -> Result<BackendKind, BackendError> {
+    GLOBAL
+        .get_or_init(|| resolve(&std::env::var("DP_BACKEND").unwrap_or_default()))
+        .clone()
+}
+
+/// The process-global backend, panicking with the typed error's message
+/// if `DP_BACKEND` named a backend this CPU lacks. Binaries that want a
+/// clean exit call [`try_global_kind`] first.
+pub fn global() -> &'static dyn Backend {
+    let kind = try_global_kind().unwrap_or_else(|e| panic!("dp-tensor: {e}"));
+    instance(kind).expect("resolved backend must be compiled in")
+}
+
+/// The backend every kernel on this thread dispatches to: the scoped
+/// [`with_backend`] override when one is active (including on pool
+/// workers executing an overridden caller's region), else the
+/// process-global default.
+#[inline]
+pub fn active() -> &'static dyn Backend {
+    match BackendKind::from_token(dp_pool::taskctx::backend()) {
+        Some(kind) => instance(kind).expect("taskctx backend token must map to a compiled backend"),
+        None => global(),
+    }
+}
+
+/// Run `f` with every kernel on this thread (and on pool workers
+/// executing regions it submits) dispatched to `kind`. Returns
+/// [`BackendError::Unavailable`] without running `f` if this CPU lacks
+/// the backend. Overrides nest; the previous backend is restored on exit
+/// (including on panic).
+pub fn with_backend<T>(kind: BackendKind, f: impl FnOnce() -> T) -> Result<T, BackendError> {
+    if !supported(kind) {
+        return Err(BackendError::Unavailable {
+            requested: kind,
+            arch: std::env::consts::ARCH,
+            detected: detected_features(),
+        });
+    }
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            dp_pool::taskctx::set_backend(self.0);
+        }
+    }
+    let _guard = Restore(dp_pool::taskctx::backend());
+    dp_pool::taskctx::set_backend(kind.token());
+    Ok(f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_supported_and_auto_resolves() {
+        assert!(supported(BackendKind::Scalar));
+        assert!(available().contains(&BackendKind::Scalar));
+        assert_eq!(resolve("auto").unwrap(), auto_kind());
+        assert_eq!(resolve("").unwrap(), auto_kind());
+        assert_eq!(resolve("scalar").unwrap(), BackendKind::Scalar);
+        assert_eq!(resolve(" SCALAR ").unwrap(), BackendKind::Scalar);
+    }
+
+    #[test]
+    fn unknown_backend_is_a_typed_error() {
+        match resolve("sse9") {
+            Err(BackendError::Unknown { name }) => assert_eq!(name, "sse9"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_arch_backend_is_unavailable_not_silent() {
+        // Whichever architecture this runs on, at least one of these is
+        // foreign to it and must produce the typed Unavailable error.
+        let foreign = if cfg!(target_arch = "x86_64") {
+            "neon"
+        } else {
+            "avx2"
+        };
+        match resolve(foreign) {
+            Err(BackendError::Unavailable { requested, arch, .. }) => {
+                assert_eq!(requested.name(), foreign);
+                assert_eq!(arch, std::env::consts::ARCH);
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_backend_overrides_and_restores() {
+        let before = active().kind();
+        let inside = with_backend(BackendKind::Scalar, || active().kind()).unwrap();
+        assert_eq!(inside, BackendKind::Scalar);
+        assert_eq!(active().kind(), before);
+    }
+
+    #[test]
+    fn with_backend_rejects_unsupported() {
+        let foreign = if cfg!(target_arch = "x86_64") {
+            BackendKind::Neon
+        } else {
+            BackendKind::Avx2
+        };
+        assert!(matches!(
+            with_backend(foreign, || ()),
+            Err(BackendError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        for k in [BackendKind::Scalar, BackendKind::Avx2, BackendKind::Avx512, BackendKind::Neon] {
+            assert_eq!(BackendKind::from_token(k.token()), Some(k));
+            assert!(k.token() != 0);
+            assert_eq!(k.lanes().count_ones(), 1);
+        }
+        assert_eq!(BackendKind::from_token(0), None);
+    }
+
+    /// Every available SIMD backend must agree with scalar to fine
+    /// tolerance on the dot primitive, including lane-tail lengths.
+    #[test]
+    fn simd_dot_matches_scalar_within_tolerance() {
+        for kind in available() {
+            if kind == BackendKind::Scalar {
+                continue;
+            }
+            for n in [0usize, 1, 2, 3, 5, 8, 15, 16, 17, 63, 64, 65, 1000] {
+                let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 101) as f64 * 0.013 - 0.6).collect();
+                let y: Vec<f64> = (0..n).map(|i| ((i * 53 + 7) % 97) as f64 * 0.017 - 0.8).collect();
+                let want = SCALAR.dot(&x, &y);
+                let got = with_backend(kind, || active().dot(&x, &y)).unwrap();
+                let err = (got - want).abs() / (1.0 + want.abs());
+                assert!(err < 1e-13, "{kind} dot n={n}: {got} vs {want}");
+            }
+        }
+    }
+
+    /// The elementwise primitives and the FMA-free P-update must be
+    /// *bitwise* identical across every backend.
+    #[test]
+    fn elementwise_primitives_bitwise_match_scalar() {
+        for kind in available() {
+            for n in [0usize, 1, 3, 7, 8, 9, 31, 64, 65] {
+                let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+                let mut y_s: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+                let mut y_b = y_s.clone();
+                SCALAR.axpy(0.37, &x, &mut y_s);
+                with_backend(kind, || active().axpy(0.37, &x, &mut y_b)).unwrap();
+                assert_eq!(bits(&y_s), bits(&y_b), "{kind} axpy n={n}");
+                SCALAR.scale(1.1, &mut y_s);
+                with_backend(kind, || active().scale(1.1, &mut y_b)).unwrap();
+                assert_eq!(bits(&y_s), bits(&y_b), "{kind} scale n={n}");
+                let mut p_s: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.11).sin()).collect();
+                let mut p_b = p_s.clone();
+                let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5).cos()).collect();
+                SCALAR.p_update_rows(&mut p_s, n.max(1), 0, &q, 0.2, 1.01);
+                with_backend(kind, || active().p_update_rows(&mut p_b, n.max(1), 0, &q, 0.2, 1.01))
+                    .unwrap();
+                assert_eq!(bits(&p_s), bits(&p_b), "{kind} p_update n={n}");
+            }
+        }
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|f| f.to_bits()).collect()
+    }
+}

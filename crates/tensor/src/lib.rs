@@ -6,6 +6,9 @@
 //!
 //! * [`Mat`] — a row-major `f64` matrix with the GEMM/GEMV kernels the
 //!   DeePMD model and the Kalman-filter optimizers are built from,
+//! * [`backend`] — the pluggable compute backends those kernels dispatch
+//!   to: portable scalar (the differential oracle) plus runtime-probed
+//!   AVX2/AVX-512/NEON SIMD, selectable via `DP_BACKEND`,
 //! * [`kernel`] — a kernel-*launch* accounting layer. Every primitive
 //!   operation is a "kernel"; fused routines count as a single launch.
 //!   This is the instrumentation behind the paper's Figure 7(b), which
@@ -19,6 +22,7 @@
 //! covariance matrices reported in §5.3 of the paper (the 10240² block of
 //! `P` is quoted at 800 MB, i.e. 8 bytes per entry).
 
+pub mod backend;
 pub mod kernel;
 pub mod mat;
 pub mod tape;

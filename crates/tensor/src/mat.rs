@@ -7,7 +7,16 @@
 //! larger products (notably the Kalman-filter `P·g` GEMVs over blocks of
 //! up to 10240×10240). Every public kernel reports one launch to
 //! [`crate::kernel`].
+//!
+//! This layer owns the *decomposition* — row-group boundaries, the
+//! serial/parallel crossover, beta handling — all of it a pure function
+//! of the shapes, so results stay bitwise identical at any thread count.
+//! The per-group arithmetic itself lives behind [`crate::backend`]: the
+//! active SIMD backend is resolved once per kernel launch and carried
+//! into the pool closures, so every row group of one launch runs on the
+//! same backend even when a scoped `with_backend` override is active.
 
+use crate::backend::{self, GEMM_MR};
 use crate::kernel;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -18,147 +27,6 @@ pub struct Mat {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
-}
-
-/// Minimum flop count (`rows * cols * inner` for GEMM, `rows * cols` for
-/// GEMV) before a kernel is split across the pool; below this the
-/// sequential micro-kernel wins.
-///
-/// Re-tuned against the real `dp-pool` fork-join (PR 2): one region costs
-/// ~5–15 µs of wake/join latency, and the tiled kernels stream ~4–9
-/// f64-FLOP/ns single-threaded (measured: 128³ GEMM = 4.2 M flops in
-/// ~0.48 ms, 512-wide `P·g` = 0.52 M flops in ~0.13 ms — see
-/// `scripts/bench.sh`, `BENCH_gemm.json`/`BENCH_p_update.json`), so
-/// region overhead is amortized once a kernel carries a few ×10⁴ flops.
-/// `1 << 17` (~131 k flops ≈ 15–35 µs of work) sits safely above that:
-/// it keeps every paper-scale Kalman block (n ≥ 1350 ⇒ ≥ 1.8 M flops per
-/// `P·g`) parallel while the small descriptor/fitting GEMMs (≤ 400² · k)
-/// and n = 32 GEMMs (65 k flops) stay on the submitting thread, where
-/// dispatch would cost more than it buys.
-const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
-
-/// Register-tile height of the GEMM micro-kernel: rows of `A` processed
-/// together so each streamed row of `B` feeds 4 accumulator rows. Chunk
-/// boundaries (and therefore every per-element accumulation order) depend
-/// only on the shapes — never on the thread count.
-const GEMM_MR: usize = 4;
-
-/// Dot product with 4 independent accumulators (liftable to SIMD by the
-/// autovectorizer) and a *fixed* combine order, so the result is a pure
-/// function of the operands regardless of how callers are scheduled.
-#[inline]
-pub(crate) fn rowdot(row: &[f64], x: &[f64]) -> f64 {
-    debug_assert_eq!(row.len(), x.len());
-    let mut a0 = 0.0;
-    let mut a1 = 0.0;
-    let mut a2 = 0.0;
-    let mut a3 = 0.0;
-    let mut rc = row.chunks_exact(4);
-    let mut xc = x.chunks_exact(4);
-    for (r4, x4) in (&mut rc).zip(&mut xc) {
-        a0 += r4[0] * x4[0];
-        a1 += r4[1] * x4[1];
-        a2 += r4[2] * x4[2];
-        a3 += r4[3] * x4[3];
-    }
-    let mut tail = 0.0;
-    for (r, xv) in rc.remainder().iter().zip(xc.remainder()) {
-        tail += r * xv;
-    }
-    ((a0 + a1) + (a2 + a3)) + tail
-}
-
-/// GEMM micro-kernel: accumulate `C[i0.., :] += A[i0.., :] · B` for the
-/// row group held in `crows` (up to [`GEMM_MR`] rows). `i-k-j` order: each
-/// streamed row of `B` is fanned into all accumulator rows, and `k`
-/// ascends for every output element, so per-element results are bitwise
-/// independent of how rows are grouped or scheduled.
-#[inline]
-fn gemm_row_group(a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
-    let nr = crows.len() / n;
-    if nr == GEMM_MR {
-        let (c0, rest) = crows.split_at_mut(n);
-        let (c1, rest) = rest.split_at_mut(n);
-        let (c2, c3) = rest.split_at_mut(n);
-        let a0 = &a[i0 * k..(i0 + 1) * k];
-        let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
-        let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
-        let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
-        for kk in 0..k {
-            let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for j in 0..n {
-                let b = brow[j];
-                c0[j] += x0 * b;
-                c1[j] += x1 * b;
-                c2[j] += x2 * b;
-                c3[j] += x3 * b;
-            }
-        }
-    } else {
-        for (r, crow) in crows.chunks_mut(n).enumerate() {
-            let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
-            for (kk, &aik) in arow.iter().enumerate() {
-                let brow = &bd[kk * n..(kk + 1) * n];
-                for (cj, &bkj) in crow.iter_mut().zip(brow.iter()) {
-                    *cj += aik * bkj;
-                }
-            }
-        }
-    }
-}
-
-/// `Aᵀ·B` micro-kernel: accumulate `C[i0.., :] += Aᵀ[i0.., :] · B` for
-/// the output row group in `crows` (up to [`GEMM_MR`] rows of `C`,
-/// i.e. columns of `A`). Same `i-k-j` fan-out as [`gemm_row_group`],
-/// with the `A` operand read column-strided in place of a transpose.
-#[inline]
-fn gemm_tn_row_group(a: &[f64], bd: &[f64], rows: usize, m: usize, n: usize, i0: usize, crows: &mut [f64]) {
-    let nr = crows.len() / n;
-    if nr == GEMM_MR {
-        let (c0, rest) = crows.split_at_mut(n);
-        let (c1, rest) = rest.split_at_mut(n);
-        let (c2, c3) = rest.split_at_mut(n);
-        for kk in 0..rows {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let (x0, x1, x2, x3) = (arow[i0], arow[i0 + 1], arow[i0 + 2], arow[i0 + 3]);
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for j in 0..n {
-                let bkj = brow[j];
-                c0[j] += x0 * bkj;
-                c1[j] += x1 * bkj;
-                c2[j] += x2 * bkj;
-                c3[j] += x3 * bkj;
-            }
-        }
-    } else {
-        for kk in 0..rows {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (r, crow) in crows.chunks_mut(n).enumerate() {
-                let x = arow[i0 + r];
-                for (cij, &bkj) in crow.iter_mut().zip(brow.iter()) {
-                    *cij += x * bkj;
-                }
-            }
-        }
-    }
-}
-
-/// `A·Bᵀ` micro-kernel: each streamed row of `B` (a column of `Bᵀ`) is
-/// dotted against all rows of the group before moving on, so it is
-/// loaded once per [`GEMM_MR`] outputs. Every element is one
-/// [`rowdot`] — bitwise identical to the untiled loop.
-#[inline]
-fn gemm_nt_row_group(a: &[f64], bd: &[f64], k: usize, n: usize, i0: usize, crows: &mut [f64]) {
-    let nr = crows.len() / n;
-    for j in 0..n {
-        let brow = &bd[j * k..(j + 1) * k];
-        for r in 0..nr {
-            let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
-            crows[r * n + j] = rowdot(arow, brow);
-        }
-    }
 }
 
 impl Mat {
@@ -306,17 +174,18 @@ impl Mat {
         let a = &self.data;
         let bd = &b.data;
         let k = self.cols;
+        let be = backend::active();
         // Row groups of GEMM_MR are the unit of work; the group
         // boundaries are a function of the shapes alone, so scheduling
         // cannot change any accumulation order.
-        if work >= PAR_FLOPS_THRESHOLD {
+        if work >= be.par_flops_threshold() {
             out.data
                 .par_chunks_mut(GEMM_MR * n)
                 .enumerate()
-                .for_each(|(g, crows)| gemm_row_group(a, bd, k, n, g * GEMM_MR, crows));
+                .for_each(|(g, crows)| be.gemm_row_group(a, bd, k, n, g * GEMM_MR, crows));
         } else {
             for (g, crows) in out.data.chunks_mut(GEMM_MR * n).enumerate() {
-                gemm_row_group(a, bd, k, n, g * GEMM_MR, crows);
+                be.gemm_row_group(a, bd, k, n, g * GEMM_MR, crows);
             }
         }
     }
@@ -339,14 +208,15 @@ impl Mat {
         let a = &self.data;
         let bd = &b.data;
         let rows = self.rows;
-        if rows * m * n >= PAR_FLOPS_THRESHOLD {
+        let be = backend::active();
+        if rows * m * n >= be.par_flops_threshold() {
             out.data
                 .par_chunks_mut(GEMM_MR * n)
                 .enumerate()
-                .for_each(|(g, crows)| gemm_tn_row_group(a, bd, rows, m, n, g * GEMM_MR, crows));
+                .for_each(|(g, crows)| be.gemm_tn_row_group(a, bd, rows, m, n, g * GEMM_MR, crows));
         } else {
             for (g, crows) in out.data.chunks_mut(GEMM_MR * n).enumerate() {
-                gemm_tn_row_group(a, bd, rows, m, n, g * GEMM_MR, crows);
+                be.gemm_tn_row_group(a, bd, rows, m, n, g * GEMM_MR, crows);
             }
         }
         out
@@ -356,9 +226,9 @@ impl Mat {
     ///
     /// Output rows are processed in [`GEMM_MR`] groups sharing each
     /// streamed row of `B` (one `B`-row load per 4 outputs); every
-    /// element stays an independent [`rowdot`], so the tiling is
-    /// bitwise identical to the naive row-by-row loop at any thread
-    /// count.
+    /// element stays an independent [`backend::Backend::dot`], so the
+    /// tiling is bitwise identical to the naive row-by-row loop at any
+    /// thread count within one backend.
     pub fn matmul_t(&self, b: &Mat) -> Mat {
         assert_eq!(self.cols, b.cols, "matmul_t: inner dims {} vs {}", self.cols, b.cols);
         kernel::launch("gemm_nt");
@@ -369,14 +239,15 @@ impl Mat {
         }
         let a = &self.data;
         let bd = &b.data;
-        if m * n * k >= PAR_FLOPS_THRESHOLD {
+        let be = backend::active();
+        if m * n * k >= be.par_flops_threshold() {
             out.data
                 .par_chunks_mut(GEMM_MR * n)
                 .enumerate()
-                .for_each(|(g, crows)| gemm_nt_row_group(a, bd, k, n, g * GEMM_MR, crows));
+                .for_each(|(g, crows)| be.gemm_nt_row_group(a, bd, k, n, g * GEMM_MR, crows));
         } else {
             for (g, crows) in out.data.chunks_mut(GEMM_MR * n).enumerate() {
-                gemm_nt_row_group(a, bd, k, n, g * GEMM_MR, crows);
+                be.gemm_nt_row_group(a, bd, k, n, g * GEMM_MR, crows);
             }
         }
         out
@@ -394,9 +265,10 @@ impl Mat {
     /// `out = A · x`, writing into a preallocated buffer — the
     /// allocation-free GEMV backing the FEKF `P·g` hot path.
     ///
-    /// Each output element is one [`rowdot`] (fixed accumulator combine
-    /// order), so results are bitwise identical for every thread count.
-    /// Neither the sequential nor the pool path heap-allocates.
+    /// Each output element is one [`backend::Backend::dot`] (fixed
+    /// lane-reduction order within the active backend), so results are
+    /// bitwise identical for every thread count. Neither the sequential
+    /// nor the pool path heap-allocates.
     ///
     /// # Panics
     /// Panics if `x.len() != cols` or `out.len() != rows`.
@@ -410,13 +282,14 @@ impl Mat {
             return;
         }
         let data = &self.data;
-        if self.rows * n >= PAR_FLOPS_THRESHOLD {
+        let be = backend::active();
+        if self.rows * n >= be.par_flops_threshold() {
             out.par_chunks_mut(1).enumerate().for_each(|(i, o)| {
-                o[0] = rowdot(&data[i * n..(i + 1) * n], x);
+                o[0] = be.dot(&data[i * n..(i + 1) * n], x);
             });
         } else {
             for (i, o) in out.iter_mut().enumerate() {
-                *o = rowdot(&data[i * n..(i + 1) * n], x);
+                *o = be.dot(&data[i * n..(i + 1) * n], x);
             }
         }
     }
@@ -477,20 +350,16 @@ impl Mat {
     /// Scalar multiple.
     pub fn scale(&self, s: f64) -> Mat {
         kernel::launch("scale");
-        Mat {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| v * s).collect(),
-        }
+        let mut data = self.data.clone();
+        backend::active().scale(s, &mut data);
+        Mat { rows: self.rows, cols: self.cols, data }
     }
 
     /// In-place `self += alpha * b`.
     pub fn axpy(&mut self, alpha: f64, b: &Mat) {
         assert_eq!(self.shape(), b.shape(), "axpy: shape mismatch");
         kernel::launch("axpy");
-        for (a, b) in self.data.iter_mut().zip(&b.data) {
-            *a += alpha * b;
-        }
+        backend::active().axpy(alpha, &b.data, &mut self.data);
     }
 
     /// Broadcast-add a `1 × cols` row vector onto every row.

@@ -1,13 +1,28 @@
 //! Flat-vector kernels shared by the optimizers and the communication
 //! layer: dot products, AXPY, reductions. Each is one "kernel launch".
+//!
+//! The elementwise primitives (`axpy`/`scale`/`add_assign`) dispatch to
+//! the active [`crate::backend`] — the single implementation per backend
+//! shared with [`crate::Mat`]'s methods of the same name. [`dot`] is the
+//! one deliberate exception: see its docs.
 
+use crate::backend;
 use crate::kernel;
 use rayon::prelude::*;
 
 /// Work threshold before a reduction is split across rayon workers.
 const PAR_LEN_THRESHOLD: usize = 1 << 16;
 
-/// Dot product `x · y`.
+/// Dot product `x · y` with a *strict left-to-right fold* (parallelized
+/// over fixed blocks above [`PAR_LEN_THRESHOLD`]).
+///
+/// Deliberately **not** a [`crate::backend`] primitive: the EKF gain
+/// `a = 1/(λ + gᵀq)` consumes this exact fold order, and the golden
+/// training fingerprints (and every committed checkpoint) pin it
+/// bitwise. It is O(n) next to the O(n²) GEMV feeding it, so
+/// vectorizing it buys nothing measurable; the backend trait's tiled
+/// `dot` (4-accumulator combine, SIMD-overridden) serves the O(n²)
+/// paths instead.
 ///
 /// # Panics
 /// Panics if lengths differ.
@@ -25,17 +40,13 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     kernel::launch("axpy_v");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    backend::active().axpy(alpha, x, y);
 }
 
 /// `y = alpha * y`.
 pub fn scale(alpha: f64, y: &mut [f64]) {
     kernel::launch("scale_v");
-    for yi in y.iter_mut() {
-        *yi *= alpha;
-    }
+    backend::active().scale(alpha, y);
 }
 
 /// Euclidean norm.
@@ -47,9 +58,7 @@ pub fn norm2(x: &[f64]) -> f64 {
 pub fn add_assign(dst: &mut [f64], src: &[f64]) {
     assert_eq!(dst.len(), src.len(), "add_assign: length mismatch");
     kernel::launch("add_v");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d += s;
-    }
+    backend::active().add_assign(dst, src);
 }
 
 /// Mean of the elements (0 for an empty slice).

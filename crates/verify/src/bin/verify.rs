@@ -1,4 +1,4 @@
-//! `verify` — drive all four oracle families and emit a machine-
+//! `verify` — drive all five oracle families and emit a machine-
 //! readable report.
 //!
 //! ```text
@@ -11,18 +11,23 @@
 //! * `--profile` picks the case counts: `quick` is the CI gate
 //!   (`scripts/ci.sh`), `full` the nightly sweep (`scripts/bench.sh`).
 //! * `--family` restricts to a subset (repeatable): `gradcheck`,
-//!   `invariants`, `differential`, `golden`.
+//!   `invariants`, `differential`, `golden`, `backend`.
 //! * `--bless` regenerates the committed golden fingerprints instead
 //!   of comparing against them (commit the result).
+//!
+//! The harness resolves `DP_BACKEND` before running anything and exits
+//! with status 2 on the typed [`dp_tensor::backend::BackendError`] —
+//! naming a backend this CPU lacks must fail loudly, never silently
+//! fall back to scalar.
 //!
 //! Writes `<out>/VERIFY_report.json` and exits non-zero when any check
 //! fails — wire-breakage in any gated crate turns CI red.
 
-use dp_verify::{differential, golden, gradcheck, invariants, Profile, VerifyReport};
+use dp_verify::{backends, differential, golden, gradcheck, invariants, Profile, VerifyReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const FAMILIES: [&str; 4] = ["gradcheck", "invariants", "differential", "golden"];
+const FAMILIES: [&str; 5] = ["gradcheck", "invariants", "differential", "golden", "backend"];
 
 struct Args {
     seed: u64,
@@ -98,11 +103,22 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // Resolve DP_BACKEND up front: an unknown or CPU-unsupported value
+    // is a configuration error, not something to paper over by running
+    // the suite on a backend the user did not ask for.
+    let backend_kind = match dp_tensor::backend::try_global_kind() {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let mut report = VerifyReport::new(args.seed, args.profile.name());
     println!(
-        "dp-verify: seed {} profile {} families {:?}",
+        "dp-verify: seed {} profile {} backend {} families {:?}",
         args.seed,
         args.profile.name(),
+        backend_kind,
         args.families
     );
 
@@ -113,6 +129,7 @@ fn main() -> ExitCode {
             "invariants" => invariants::run(args.seed, args.profile),
             "differential" => differential::run(args.seed, args.profile),
             "golden" => golden::run(&args.golden_dir, args.profile, args.bless),
+            "backend" => backends::run(args.seed, args.profile),
             _ => unreachable!("families validated at parse time"),
         };
         let dt = t0.elapsed().as_secs_f64();

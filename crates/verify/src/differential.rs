@@ -90,8 +90,19 @@ fn gemm_shapes(rng: &mut XorShift64, count: usize) -> Vec<(usize, usize, usize)>
     shapes
 }
 
-/// Tiled vs naive GEMM family.
+/// Tiled vs naive GEMM family, pinned to the scalar backend: the
+/// bitwise claim is "tiling does not change the arithmetic", and the
+/// naive references here are plain scalar Rust — under a SIMD backend
+/// the comparison would be measuring FMA, not tiling. SIMD backends are
+/// held to the scalar kernels by the `backend` family's tolerance bands.
 pub fn gemm(seed: u64, profile: Profile) -> Vec<VerifyCheck> {
+    dp_tensor::backend::with_backend(dp_tensor::backend::BackendKind::Scalar, || {
+        gemm_scalar(seed, profile)
+    })
+    .expect("the scalar backend is always available")
+}
+
+fn gemm_scalar(seed: u64, profile: Profile) -> Vec<VerifyCheck> {
     let mut rng = XorShift64::new(seed ^ 0x6E55_13FA_2B80_C4D7);
     let shapes = gemm_shapes(&mut rng, profile.gemm_shapes());
 
@@ -448,11 +459,16 @@ mod tests {
     #[test]
     fn a_corrupted_tile_is_caught() {
         // Acceptance criterion in miniature: perturb one element of the
-        // tiled product and the bitwise oracle must flag it.
+        // tiled product and the bitwise oracle must flag it. Pinned to
+        // scalar like the real check — the bitwise claim is scalar-only.
         let mut rng = XorShift64::new(5);
         let a = gen::random_mat(&mut rng, 8, 8);
         let b = gen::random_mat(&mut rng, 8, 8);
-        let mut fast = a.matmul(&b);
+        let mut fast = dp_tensor::backend::with_backend(
+            dp_tensor::backend::BackendKind::Scalar,
+            || a.matmul(&b),
+        )
+        .unwrap();
         let slow = naive_matmul(&a, &b);
         fast.as_mut_slice()[10] += 1e-13;
         let mut c = Check::new("differential", "t", &[], 0.0);

@@ -20,6 +20,14 @@
 //! the same trajectory (the PR-2 deterministic pool and PR-3
 //! bitwise-neutral env cache are what make this a usable oracle rather
 //! than a flaky one).
+//!
+//! Since the backend split (DESIGN §13) the fingerprints are explicitly
+//! a *scalar-backend* artifact: [`fingerprint`] pins its training run to
+//! `BackendKind::Scalar` whatever `DP_BACKEND` says, so the committed
+//! bytes stay valid under any global backend. SIMD backends re-associate
+//! reductions and cannot be bitwise against these files — they are held
+//! to the scalar oracle by the tolerance-banded `backend` family
+//! instead.
 
 use crate::gen;
 use crate::{Check, Profile, VerifyCheck};
@@ -117,8 +125,17 @@ fn golden_dataset(n_frames: usize) -> Dataset {
     ds
 }
 
-/// Train one pinned run and reduce it to its fingerprint.
+/// Train one pinned run and reduce it to its fingerprint. The run is
+/// forced onto the scalar backend (see the module docs): bitwise
+/// fingerprints and SIMD re-association don't mix.
 pub fn fingerprint(optimizer: &str, profile: Profile) -> Fingerprint {
+    dp_tensor::backend::with_backend(dp_tensor::backend::BackendKind::Scalar, || {
+        fingerprint_scalar(optimizer, profile)
+    })
+    .expect("the scalar backend is always available")
+}
+
+fn fingerprint_scalar(optimizer: &str, profile: Profile) -> Fingerprint {
     let (n_frames, epochs) = profile.golden_scale();
     let ds = golden_dataset(n_frames);
     let (model, _) = gen::system_model(PaperSystem::NaCl, GOLDEN_SEED, 2);

@@ -7,7 +7,7 @@
 //! floor: a single harness that proves, on every CI run, that the fast
 //! paths still compute the same physics as the slow ones.
 //!
-//! Four oracle families (one module each):
+//! Five oracle families (one module each):
 //!
 //! 1. [`gradcheck`] — central finite-difference validation of the
 //!    analytic forces against `E(pos±h)` and of `∇θE` / `∇θ(cᵀF)`
@@ -23,7 +23,12 @@
 //!    (bitwise where the fast path promises it, tight-ULP otherwise).
 //! 4. [`golden`] — committed end-to-end fingerprints (weights CRC +
 //!    bit-exact loss trace after N iterations per optimizer) with a
-//!    `--bless` regeneration path.
+//!    `--bless` regeneration path, pinned to the scalar backend.
+//! 5. [`backends`] — every runtime-detected SIMD backend (AVX2/
+//!    AVX-512/NEON) vs the scalar oracle across the whole kernel
+//!    surface, including lane-tail / empty / single-row shapes and
+//!    unaligned views: tolerance-banded for the reduction kernels,
+//!    bitwise for the FMA-free elementwise and `P`-update primitives.
 //!
 //! Everything is generated from a seed by the vendored-dep-free
 //! [`gen`] library and reported through [`dp_bench::report`]'s
@@ -33,13 +38,15 @@
 //!
 //! Tolerance policy (see `DESIGN.md` §11): **bitwise** (`tol = 0`)
 //! wherever a fast path documents bit-identical results (env cache,
-//! batched serving, k-ascending GEMM tiling, shared `KfCore` paths);
-//! **tight-ULP** (`1e-12`–`1e-14` relative) where accumulation order
-//! legitimately differs (fused `P` update, 4-accumulator GEMV); and
+//! batched serving, k-ascending GEMM tiling, shared `KfCore` paths,
+//! FMA-free elementwise/`P`-update SIMD); **tight-ULP** (`1e-12`–`1e-14`
+//! relative) where accumulation order legitimately differs (fused `P`
+//! update, 4-accumulator GEMV, SIMD lane reductions vs scalar); and
 //! **O(h²) finite-difference** tolerances (`1e-5`–`2e-5` relative at
 //! `h = 1e-6`) for derivative-vs-FD checks, where the error floor is
 //! the FD truncation itself.
 
+pub mod backends;
 pub mod differential;
 pub mod gen;
 pub mod golden;

@@ -17,6 +17,13 @@
 # so one run produces the whole scaling picture. Results are medians;
 # run on an idle machine before committing a new baseline.
 #
+# Every report is stamped with the compute backend resolved from
+# DP_BACKEND (default: auto = widest SIMD tier this CPU supports) and
+# the detected CPU features; BENCH_gemm.json additionally carries a
+# per-backend gemm/<backend> + gemv/<backend> sweep of every backend
+# the CPU has, so one file documents the scalar-vs-SIMD ratio (DESIGN
+# §13). An unsupported DP_BACKEND value exits 2 before measuring.
+#
 # The nightly correctness sweep pairs with this perf sweep: run the
 # dp-verify harness at the *full* profile (more systems, more parameter
 # probes, larger random shapes than the quick CI gate in ci.sh):

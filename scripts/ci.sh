@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: build, test (single- and multi-threaded pool), lint, a
-# benchmark smoke run, a serving-engine smoke, then a fault-injection
-# soak.
+# CI gate: build, test (scalar and auto compute backends crossed with
+# single- and multi-threaded pool), lint, a benchmark smoke run, a
+# serving-engine smoke, then a fault-injection soak.
 #
 # Everything runs --offline against the vendored dependency tree; no
 # network access is required (or attempted).
@@ -19,11 +19,29 @@ step() { printf '\n==> %s\n' "$*"; }
 step "cargo build --release"
 cargo build --release --offline
 
-step "cargo test (DP_POOL_THREADS=1)"
-DP_POOL_THREADS=1 cargo test --offline --workspace -q
+# Backend matrix: the whole workspace under the forced-scalar oracle
+# backend and under auto dispatch (the widest SIMD tier this CPU has —
+# scalar again on machines with none). DP_BACKEND=scalar is the
+# configuration the golden fingerprints pin bitwise.
+step "cargo test (DP_BACKEND=scalar, DP_POOL_THREADS=1)"
+DP_BACKEND=scalar DP_POOL_THREADS=1 cargo test --offline --workspace -q
 
-step "cargo test (DP_POOL_THREADS=4)"
-DP_POOL_THREADS=4 cargo test --offline --workspace -q
+step "cargo test (DP_BACKEND=auto, DP_POOL_THREADS=4)"
+DP_BACKEND=auto DP_POOL_THREADS=4 cargo test --offline --workspace -q
+
+# Requesting a backend the CPU lacks must be a loud typed error, never a
+# silent fallback. No machine has both NEON (aarch64) and AVX2 (x86),
+# so exactly one of these two values is rejectable everywhere; pick it
+# by compile target.
+case "$(uname -m)" in
+  aarch64|arm64) MISSING_BACKEND=avx2 ;;
+  *)             MISSING_BACKEND=neon ;;
+esac
+step "verify rejects DP_BACKEND=${MISSING_BACKEND} (unsupported here)"
+if DP_BACKEND="$MISSING_BACKEND" cargo run --release --offline -p dp-verify --bin verify -- --family backend 2>/dev/null; then
+  echo "error: DP_BACKEND=${MISSING_BACKEND} should have been rejected" >&2
+  exit 1
+fi
 
 # The environment cache must be trajectory-invisible: the training
 # suite has to pass with it force-disabled too, at 1 and 4 threads.
@@ -36,12 +54,13 @@ DP_ENV_CACHE=0 DP_POOL_THREADS=4 cargo test --offline -p dp-train -q
 step "cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Correctness harness, quick profile: all four oracle families
+# Correctness harness, quick profile: all five oracle families
 # (gradient checks, physics invariants, differential equivalences,
-# golden fingerprints) at a fixed seed. The full sweep is documented in
-# scripts/bench.sh.
-step "verify (quick profile, seed 42)"
-cargo run --release --offline -p dp-verify --bin verify -- --seed 42 --profile quick
+# golden fingerprints, SIMD-backend-vs-scalar) at a fixed seed, under
+# auto dispatch so the backend family sweeps every SIMD tier this CPU
+# has. The full sweep is documented in scripts/bench.sh.
+step "verify (quick profile, seed 42, DP_BACKEND=auto)"
+DP_BACKEND=auto cargo run --release --offline -p dp-verify --bin verify -- --seed 42 --profile quick
 
 step "bench smoke"
 BENCH_OUT="$(mktemp -d)" scripts/bench.sh --smoke
