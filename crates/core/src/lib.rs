@@ -27,7 +27,13 @@
 //! * [`tape_path`] provides the *baseline* implementation built on the
 //!   [`dp_tensor::tape`] autograd engine, used by the Figure 7 kernel
 //!   accounting experiments and as an oracle in the tests.
+//!
+//! For serving, [`compress`] tabulates each embedding net onto cubic
+//! Hermite spline tables (DeePMD-kit v3's "model compression", forces
+//! kept analytic) and [`quant`] adds an NNUE-style `i16`-quantized
+//! fitting net for energy-only traffic — see DESIGN §14.
 
+pub mod compress;
 pub mod config;
 pub mod env;
 pub mod env_cache;
@@ -36,8 +42,11 @@ pub mod mlp;
 pub mod model;
 pub mod model_io;
 pub mod nnmd;
+pub mod quant;
 pub mod tape_path;
 
+pub use compress::{CompressSpec, CompressedModel};
 pub use config::ModelConfig;
 pub use env_cache::{CacheStats, EnvCache, FrameEnv};
 pub use model::{DeepPotModel, ForwardPass, Prediction};
+pub use quant::QuantizedModel;

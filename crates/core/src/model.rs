@@ -309,7 +309,7 @@ impl DeepPotModel {
     /// skips the rebuild when a valid cached entry exists.
     pub fn forward<'f>(&self, frame: &'f Snapshot) -> ForwardPass<'f> {
         let env = Arc::new(FrameEnv::build(&self.cfg, &self.stats, frame));
-        self.forward_cached(frame, env)
+        self.forward_impl(frame, env)
     }
 
     /// Forward pass against a cache: one geometry build per frame per
@@ -321,7 +321,7 @@ impl DeepPotModel {
         frame: &'f Snapshot,
     ) -> ForwardPass<'f> {
         let env = cache.get_or_build(&self.cfg, &self.stats, idx, frame);
-        self.forward_cached(frame, env)
+        self.forward_impl(frame, env)
     }
 
     /// Forward pass for a streamed frame with no stable dataset index
@@ -333,17 +333,27 @@ impl DeepPotModel {
     /// serves a hash-verified entry built by the same `build_envs`).
     pub fn forward_keyed<'f>(&self, cache: &EnvCache, frame: &'f Snapshot) -> ForwardPass<'f> {
         let env = cache.get_or_build_keyed(&self.cfg, &self.stats, frame);
-        self.forward_cached(frame, env)
+        self.forward_impl(frame, env)
     }
 
     /// Forward pass over a precomputed [`FrameEnv`]. The env must have
     /// been built from this `frame` with this model's config/stats —
     /// [`EnvCache::get_or_build`] guarantees that via the geometry hash.
     pub fn forward_cached<'f>(&self, frame: &'f Snapshot, frame_env: Arc<FrameEnv>) -> ForwardPass<'f> {
+        self.forward_impl(frame, frame_env)
+    }
+
+    /// The single forward worker every public entry point funnels into.
+    /// The entry points differ **only** in where the [`FrameEnv`] comes
+    /// from (fresh build / index-mapped cache / geometry-hash-keyed
+    /// cache / caller-supplied); the math from here on is identical, so
+    /// all four are bitwise-equal for the same geometry. Keep it that
+    /// way: any numeric change belongs here, never in a wrapper.
+    fn forward_impl<'f>(&self, frame: &'f Snapshot, frame_env: Arc<FrameEnv>) -> ForwardPass<'f> {
         debug_assert_eq!(
             frame_env.geom_hash,
             crate::env_cache::geometry_hash(frame),
-            "forward_cached: env does not match the frame geometry"
+            "forward_impl: env does not match the frame geometry"
         );
         let nt = self.cfg.n_types;
         let m = self.cfg.m;

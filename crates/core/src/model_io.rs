@@ -24,11 +24,25 @@
 //! crash-safe: it writes a temporary sibling and renames it over the
 //! destination, so readers see either the old or the new model, never
 //! a torn file.
+//!
+//! Two serving-side artifact records share the header layout, the CRC
+//! trailer, and the atomic-save discipline:
+//!
+//! * `"DPCM"` — a [`CompressedModel`] (spline-tabulated embeddings,
+//!   [`compressed_to_bytes`]/[`compressed_from_bytes`]); the per-table
+//!   fitted-error report is persisted with the tables.
+//! * `"DPQT"` — a [`QuantizedModel`] (`i16` fitting nets,
+//!   [`quantized_to_bytes`]/[`quantized_from_bytes`]); loading
+//!   re-checks the integer payload against the quantization grid so
+//!   the i32-accumulator overflow-freedom argument holds for loaded
+//!   artifacts too.
 
+use crate::compress::{CompressReport, CompressSpec, CompressedModel, SplineTable, TableFit};
 use crate::config::ModelConfig;
 use crate::env::EnvStats;
 use crate::mlp::{Layer, LayerKind, Mlp};
 use crate::model::DeepPotModel;
+use crate::quant::{QuantLayer, QuantMlp, QuantizedModel, MAX_QUANT_IN, W_MAX};
 use dp_data::stats::EnergyBias;
 use dp_tensor::wire::crc32;
 use dp_tensor::Mat;
@@ -38,6 +52,14 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"DPMD";
 const VERSION: u32 = 2;
+
+/// Compressed (spline-tabulated) serving artifact.
+const MAGIC_COMPRESSED: &[u8; 4] = b"DPCM";
+const VERSION_COMPRESSED: u32 = 1;
+
+/// Quantized (i16 fitting net) serving artifact.
+const MAGIC_QUANTIZED: &[u8; 4] = b"DPQT";
+const VERSION_QUANTIZED: u32 = 1;
 
 fn err(m: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, m.to_string())
@@ -64,6 +86,18 @@ impl Writer {
         self.u64(v.len() as u64);
         for &x in v {
             self.f64(x);
+        }
+    }
+    fn i16_vec(&mut self, v: &[i16]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    fn i32_vec(&mut self, v: &[i32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
         }
     }
 }
@@ -102,6 +136,28 @@ impl<'a> Reader<'a> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+    fn i16_vec(&mut self) -> io::Result<Vec<i16>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() / 2 + 1 {
+            return Err(err("implausible vector length"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(i16::from_le_bytes(self.take(2)?.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+    fn i32_vec(&mut self) -> io::Result<Vec<i32>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() / 4 + 1 {
+            return Err(err("implausible vector length"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(i32::from_le_bytes(self.take(4)?.try_into().unwrap()));
         }
         Ok(out)
     }
@@ -171,68 +227,29 @@ fn ensure_finite(name: &str, vals: &[f64]) -> io::Result<()> {
     Ok(())
 }
 
-/// Serialize a model to bytes.
-pub fn to_bytes(model: &DeepPotModel) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::new() };
-    w.buf.extend_from_slice(MAGIC);
-    w.u32(VERSION);
-    let c = &model.cfg;
-    w.u64(c.n_types as u64);
-    w.f64(c.rcut);
-    w.f64(c.rcut_smooth);
-    w.u64(c.m as u64);
-    w.u64(c.m_sub as u64);
-    for &x in &c.embedding_widths {
+/// Write the config/stats/bias header every record shares.
+fn write_header(w: &mut Writer, cfg: &ModelConfig, stats: &EnvStats, bias: &EnergyBias) {
+    w.u64(cfg.n_types as u64);
+    w.f64(cfg.rcut);
+    w.f64(cfg.rcut_smooth);
+    w.u64(cfg.m as u64);
+    w.u64(cfg.m_sub as u64);
+    for &x in &cfg.embedding_widths {
         w.u64(x as u64);
     }
-    for &x in &c.fitting_widths {
+    for &x in &cfg.fitting_widths {
         w.u64(x as u64);
     }
-    w.u64(c.seed);
-    w.f64_vec(&model.stats.mean_radial);
-    w.f64_vec(&model.stats.std_radial);
-    w.f64_vec(&model.stats.std_angular);
-    w.f64(model.stats.n_scale);
-    w.f64_vec(&model.bias.per_type);
-    w.u64(model.embeddings.len() as u64);
-    for m in &model.embeddings {
-        write_mlp(&mut w, m);
-    }
-    w.u64(model.fittings.len() as u64);
-    for m in &model.fittings {
-        write_mlp(&mut w, m);
-    }
-    let crc = crc32(&w.buf);
-    w.u32(crc);
-    w.buf
+    w.u64(cfg.seed);
+    w.f64_vec(&stats.mean_radial);
+    w.f64_vec(&stats.std_radial);
+    w.f64_vec(&stats.std_angular);
+    w.f64(stats.n_scale);
+    w.f64_vec(&bias.per_type);
 }
 
-/// Deserialize a model from bytes. Accepts the current version 2
-/// (CRC-32 trailer, verified before decoding) and legacy version 1.
-pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
-    let mut r = Reader { buf, pos: 0 };
-    if r.take(4)? != MAGIC {
-        return Err(err("bad magic"));
-    }
-    let version = r.u32()?;
-    let payload_end = match version {
-        1 => buf.len(),
-        2 => {
-            if buf.len() < 12 {
-                return Err(err("truncated model file"));
-            }
-            let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
-            let computed = crc32(&buf[..buf.len() - 4]);
-            if stored != computed {
-                return Err(err(&format!(
-                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
-                )));
-            }
-            buf.len() - 4
-        }
-        v => return Err(err(&format!("unsupported version {v}"))),
-    };
-    let mut r = Reader { buf: &buf[..payload_end], pos: r.pos };
+/// Read + validate the shared config/stats/bias header.
+fn read_header(r: &mut Reader) -> io::Result<(ModelConfig, EnvStats, EnergyBias)> {
     let cfg = ModelConfig {
         n_types: r.u64()? as usize,
         rcut: r.f64()?,
@@ -256,6 +273,58 @@ pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
     ensure_finite("n_scale", &[stats.n_scale])?;
     let bias = EnergyBias { per_type: r.f64_vec()? };
     ensure_finite("energy bias", &bias.per_type)?;
+    Ok((cfg, stats, bias))
+}
+
+/// Verify a mandatory CRC-32 trailer; returns the payload end offset.
+fn verify_crc_trailer(buf: &[u8]) -> io::Result<usize> {
+    if buf.len() < 12 {
+        return Err(err("truncated model file"));
+    }
+    let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+    let computed = crc32(&buf[..buf.len() - 4]);
+    if stored != computed {
+        return Err(err(&format!(
+            "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    Ok(buf.len() - 4)
+}
+
+/// Serialize a model to bytes.
+pub fn to_bytes(model: &DeepPotModel) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    write_header(&mut w, &model.cfg, &model.stats, &model.bias);
+    w.u64(model.embeddings.len() as u64);
+    for m in &model.embeddings {
+        write_mlp(&mut w, m);
+    }
+    w.u64(model.fittings.len() as u64);
+    for m in &model.fittings {
+        write_mlp(&mut w, m);
+    }
+    let crc = crc32(&w.buf);
+    w.u32(crc);
+    w.buf
+}
+
+/// Deserialize a model from bytes. Accepts the current version 2
+/// (CRC-32 trailer, verified before decoding) and legacy version 1.
+pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = r.u32()?;
+    let payload_end = match version {
+        1 => buf.len(),
+        2 => verify_crc_trailer(buf)?,
+        v => return Err(err(&format!("unsupported version {v}"))),
+    };
+    let mut r = Reader { buf: &buf[..payload_end], pos: r.pos };
+    let (cfg, stats, bias) = read_header(&mut r)?;
     let n_emb = r.u64()? as usize;
     if n_emb != cfg.n_types * cfg.n_types {
         return Err(err("embedding count mismatch"));
@@ -275,16 +344,319 @@ pub fn from_bytes(buf: &[u8]) -> io::Result<DeepPotModel> {
     Ok(DeepPotModel { cfg, stats, bias, embeddings, fittings })
 }
 
+// ---- compressed artifact (DPCM) ------------------------------------
+
+fn write_table(w: &mut Writer, t: &SplineTable) {
+    w.f64(t.x_lo);
+    w.f64(t.x_hi);
+    w.u64(t.n_bins as u64);
+    w.u64(t.m as u64);
+    w.f64_vec(t.values.as_slice());
+    w.f64_vec(t.derivs.as_slice());
+}
+
+fn read_table(r: &mut Reader) -> io::Result<SplineTable> {
+    let x_lo = r.f64()?;
+    let x_hi = r.f64()?;
+    let n_bins = r.u64()? as usize;
+    let m = r.u64()? as usize;
+    if !(x_lo.is_finite() && x_hi.is_finite() && x_hi > x_lo) {
+        return Err(err("degenerate spline-table domain"));
+    }
+    if !(2..=(1 << 22)).contains(&n_bins) || m == 0 || m > 65536 {
+        return Err(err("implausible spline-table shape"));
+    }
+    let values = r.f64_vec()?;
+    let derivs = r.f64_vec()?;
+    if values.len() != (n_bins + 1) * m || derivs.len() != (n_bins + 1) * m {
+        return Err(err("spline-table payload does not match its shape"));
+    }
+    ensure_finite("spline-table values", &values)?;
+    ensure_finite("spline-table derivatives", &derivs)?;
+    // Same expression the builder uses, so a loaded table interpolates
+    // bitwise-identically to the freshly built one.
+    let h = (x_hi - x_lo) / n_bins as f64;
+    Ok(SplineTable {
+        x_lo,
+        x_hi,
+        h,
+        n_bins,
+        m,
+        values: Mat::from_vec(n_bins + 1, m, values),
+        derivs: Mat::from_vec(n_bins + 1, m, derivs),
+    })
+}
+
+/// Serialize a compressed model to bytes:
+///
+/// ```text
+/// "DPCM" | version u32 | header | spec (n_bins u64, r_min f64) |
+/// n_tables u64 | table… | fit report (per table: verr, derr f64) |
+/// n_emb u64 | mlp… | n_fit u64 | mlp… | crc32
+/// table := x_lo f64 | x_hi f64 | n_bins u64 | m u64 |
+///          values vec | derivs vec
+/// ```
+///
+/// The per-table fitted-error report rides along so a loaded artifact
+/// still knows its measured accuracy budget.
+pub fn compressed_to_bytes(model: &CompressedModel) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC_COMPRESSED);
+    w.u32(VERSION_COMPRESSED);
+    write_header(&mut w, &model.cfg, &model.stats, &model.bias);
+    w.u64(model.spec.n_bins as u64);
+    w.f64(model.spec.r_min);
+    w.u64(model.tables.len() as u64);
+    for t in &model.tables {
+        write_table(&mut w, t);
+    }
+    for fit in &model.report.tables {
+        w.f64(fit.max_value_err);
+        w.f64(fit.max_deriv_err);
+    }
+    w.u64(model.embeddings.len() as u64);
+    for m in &model.embeddings {
+        write_mlp(&mut w, m);
+    }
+    w.u64(model.fittings.len() as u64);
+    for m in &model.fittings {
+        write_mlp(&mut w, m);
+    }
+    let crc = crc32(&w.buf);
+    w.u32(crc);
+    w.buf
+}
+
+/// Deserialize a compressed model (CRC verified before decoding).
+pub fn compressed_from_bytes(buf: &[u8]) -> io::Result<CompressedModel> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC_COMPRESSED {
+        return Err(err("bad magic (expected DPCM)"));
+    }
+    let version = r.u32()?;
+    if version != VERSION_COMPRESSED {
+        return Err(err(&format!("unsupported compressed-model version {version}")));
+    }
+    let payload_end = verify_crc_trailer(buf)?;
+    let mut r = Reader { buf: &buf[..payload_end], pos: r.pos };
+    let (cfg, stats, bias) = read_header(&mut r)?;
+    let spec = CompressSpec { n_bins: r.u64()? as usize, r_min: r.f64()? };
+    if !(spec.r_min.is_finite() && spec.r_min > 0.0 && spec.r_min < cfg.rcut) {
+        return Err(err("implausible compress r_min"));
+    }
+    let nt = cfg.n_types;
+    let n_tables = r.u64()? as usize;
+    if n_tables != nt * nt {
+        return Err(err("spline-table count mismatch"));
+    }
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        tables.push(read_table(&mut r)?);
+    }
+    let mut fits = Vec::with_capacity(n_tables);
+    for idx in 0..n_tables {
+        let max_value_err = r.f64()?;
+        let max_deriv_err = r.f64()?;
+        ensure_finite("table fit report", &[max_value_err, max_deriv_err])?;
+        fits.push(TableFit { ti: idx / nt, tj: idx % nt, max_value_err, max_deriv_err });
+    }
+    let n_emb = r.u64()? as usize;
+    if n_emb != nt * nt {
+        return Err(err("embedding count mismatch"));
+    }
+    let mut embeddings = Vec::with_capacity(n_emb);
+    for _ in 0..n_emb {
+        embeddings.push(read_mlp(&mut r)?);
+    }
+    let n_fit = r.u64()? as usize;
+    if n_fit != nt {
+        return Err(err("fitting count mismatch"));
+    }
+    let mut fittings = Vec::with_capacity(n_fit);
+    for _ in 0..n_fit {
+        fittings.push(read_mlp(&mut r)?);
+    }
+    Ok(CompressedModel {
+        cfg,
+        stats,
+        bias,
+        spec,
+        tables,
+        embeddings,
+        fittings,
+        report: CompressReport { tables: fits },
+    })
+}
+
+// ---- quantized artifact (DPQT) -------------------------------------
+
+fn write_quant_mlp(w: &mut Writer, mlp: &QuantMlp) {
+    w.u64(mlp.layers.len() as u64);
+    for l in &mlp.layers {
+        w.u8(match l.kind {
+            LayerKind::Tanh => 0,
+            LayerKind::TanhResidual => 1,
+            LayerKind::Linear => 2,
+        });
+        w.u64(l.n_in as u64);
+        w.u64(l.n_out as u64);
+        w.f64(l.s_in);
+        w.f64(l.s_w);
+        w.i16_vec(&l.w);
+        w.i32_vec(&l.b);
+    }
+}
+
+fn read_quant_mlp(r: &mut Reader) -> io::Result<QuantMlp> {
+    let n_layers = r.u64()? as usize;
+    if n_layers > 64 {
+        return Err(err("implausible layer count"));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for li in 0..n_layers {
+        let kind = match r.u8()? {
+            0 => LayerKind::Tanh,
+            1 => LayerKind::TanhResidual,
+            2 => LayerKind::Linear,
+            _ => return Err(err("unknown layer kind")),
+        };
+        let n_in = r.u64()? as usize;
+        let n_out = r.u64()? as usize;
+        if n_in == 0 || n_in > MAX_QUANT_IN || n_out == 0 || n_out > 65536 {
+            return Err(err("implausible quantized layer shape"));
+        }
+        let s_in = r.f64()?;
+        let s_w = r.f64()?;
+        if !(s_in.is_finite() && s_in > 0.0 && s_w.is_finite() && s_w > 0.0) {
+            return Err(err(&format!("bad quantization scales in layer {li}")));
+        }
+        let w = r.i16_vec()?;
+        let b = r.i32_vec()?;
+        if w.len() != n_in * n_out || b.len() != n_out {
+            return Err(err("quantized layer payload does not match its shape"));
+        }
+        if w.iter().any(|&v| (v as i32).abs() > W_MAX as i32) {
+            return Err(err(&format!(
+                "quantized weight off the ±{} grid in layer {li}",
+                W_MAX as i32
+            )));
+        }
+        layers.push(QuantLayer { kind, n_in, n_out, w, b, s_in, s_w });
+    }
+    Ok(QuantMlp { layers })
+}
+
+/// Serialize a quantized energy-only model to bytes:
+///
+/// ```text
+/// "DPQT" | version u32 | header | input_bound f64 | n_tables u64 |
+/// table… | n_emb u64 | mlp… | n_qfit u64 | qmlp… | crc32
+/// qmlp layer := kind u8 | n_in u64 | n_out u64 | s_in f64 | s_w f64 |
+///               w i16 vec | b i32 vec
+/// ```
+pub fn quantized_to_bytes(model: &QuantizedModel) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC_QUANTIZED);
+    w.u32(VERSION_QUANTIZED);
+    write_header(&mut w, &model.cfg, &model.stats, &model.bias);
+    w.f64(model.input_bound);
+    w.u64(model.tables.len() as u64);
+    for t in &model.tables {
+        write_table(&mut w, t);
+    }
+    w.u64(model.embeddings.len() as u64);
+    for m in &model.embeddings {
+        write_mlp(&mut w, m);
+    }
+    w.u64(model.qfittings.len() as u64);
+    for m in &model.qfittings {
+        write_quant_mlp(&mut w, m);
+    }
+    let crc = crc32(&w.buf);
+    w.u32(crc);
+    w.buf
+}
+
+/// Deserialize a quantized model (CRC verified before decoding; the
+/// integer payload is bounds-checked back onto the quantization grid,
+/// so the overflow-freedom argument holds for loaded artifacts too).
+pub fn quantized_from_bytes(buf: &[u8]) -> io::Result<QuantizedModel> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC_QUANTIZED {
+        return Err(err("bad magic (expected DPQT)"));
+    }
+    let version = r.u32()?;
+    if version != VERSION_QUANTIZED {
+        return Err(err(&format!("unsupported quantized-model version {version}")));
+    }
+    let payload_end = verify_crc_trailer(buf)?;
+    let mut r = Reader { buf: &buf[..payload_end], pos: r.pos };
+    let (cfg, stats, bias) = read_header(&mut r)?;
+    let input_bound = r.f64()?;
+    if !(input_bound.is_finite() && input_bound > 0.0) {
+        return Err(err("implausible quantization input bound"));
+    }
+    let nt = cfg.n_types;
+    let n_tables = r.u64()? as usize;
+    if n_tables != nt * nt {
+        return Err(err("spline-table count mismatch"));
+    }
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        tables.push(read_table(&mut r)?);
+    }
+    let n_emb = r.u64()? as usize;
+    if n_emb != nt * nt {
+        return Err(err("embedding count mismatch"));
+    }
+    let mut embeddings = Vec::with_capacity(n_emb);
+    for _ in 0..n_emb {
+        embeddings.push(read_mlp(&mut r)?);
+    }
+    let n_qfit = r.u64()? as usize;
+    if n_qfit != nt {
+        return Err(err("fitting count mismatch"));
+    }
+    let mut qfittings = Vec::with_capacity(n_qfit);
+    for _ in 0..n_qfit {
+        qfittings.push(read_quant_mlp(&mut r)?);
+    }
+    Ok(QuantizedModel { cfg, stats, bias, tables, embeddings, qfittings, input_bound })
+}
+
+/// Atomic save/load for the compressed artifact.
+pub fn save_compressed(model: &CompressedModel, path: impl AsRef<Path>) -> io::Result<()> {
+    write_atomic(path.as_ref(), &compressed_to_bytes(model))
+}
+
+/// See [`save_compressed`].
+pub fn load_compressed(path: impl AsRef<Path>) -> io::Result<CompressedModel> {
+    compressed_from_bytes(&fs::read(path)?)
+}
+
+/// Atomic save/load for the quantized artifact.
+pub fn save_quantized(model: &QuantizedModel, path: impl AsRef<Path>) -> io::Result<()> {
+    write_atomic(path.as_ref(), &quantized_to_bytes(model))
+}
+
+/// See [`save_quantized`].
+pub fn load_quantized(path: impl AsRef<Path>) -> io::Result<QuantizedModel> {
+    quantized_from_bytes(&fs::read(path)?)
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    fs::write(tmp, bytes)?;
+    fs::rename(tmp, path)
+}
+
 /// Write a model to `path` crash-safely: the bytes go to a temporary
 /// sibling first and are renamed over the destination, so a crash
 /// mid-write can never leave a torn model file behind.
 pub fn save(model: &DeepPotModel, path: impl AsRef<Path>) -> io::Result<()> {
-    let path = path.as_ref();
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = Path::new(&tmp);
-    fs::write(tmp, to_bytes(model))?;
-    fs::rename(tmp, path)
+    write_atomic(path.as_ref(), &to_bytes(model))
 }
 
 /// Read a model from `path`.
@@ -414,6 +786,85 @@ mod tests {
         bytes[end..].copy_from_slice(&crc.to_le_bytes());
         let e = from_bytes(&bytes).unwrap_err();
         assert!(e.to_string().contains("invalid model config"), "got: {e}");
+    }
+
+    #[test]
+    fn compressed_roundtrip_is_bitwise() {
+        let m = toy_model();
+        let comp = CompressedModel::compress(&m, &CompressSpec::default()).unwrap();
+        let bytes = compressed_to_bytes(&comp);
+        let back = compressed_from_bytes(&bytes).unwrap();
+        let f = toy_frame(3);
+        let p1 = comp.predict(&f);
+        let p2 = back.predict(&f);
+        assert_eq!(p1.energy, p2.energy);
+        for (a, b) in p1.forces.iter().zip(&p2.forces) {
+            assert_eq!(a.0, b.0);
+        }
+        assert_eq!(back.report.max_value_err(), comp.report.max_value_err());
+        assert_eq!(back.report.max_deriv_err(), comp.report.max_deriv_err());
+        assert_eq!(back.spec, comp.spec);
+    }
+
+    #[test]
+    fn quantized_roundtrip_is_bitwise() {
+        let m = toy_model();
+        let comp = CompressedModel::compress(&m, &CompressSpec::default()).unwrap();
+        let quant = QuantizedModel::quantize(&comp, &[toy_frame(1), toy_frame(2)]).unwrap();
+        let bytes = quantized_to_bytes(&quant);
+        let back = quantized_from_bytes(&bytes).unwrap();
+        let f = toy_frame(3);
+        assert_eq!(quant.energy(&f), back.energy(&f));
+        assert_eq!(quant.input_bound, back.input_bound);
+    }
+
+    #[test]
+    fn artifact_corruption_is_rejected() {
+        let m = toy_model();
+        let comp = CompressedModel::compress(&m, &CompressSpec::default()).unwrap();
+        let quant = QuantizedModel::quantize(&comp, &[toy_frame(1)]).unwrap();
+        for bytes in [compressed_to_bytes(&comp), quantized_to_bytes(&quant)] {
+            // Truncation, a flipped payload bit, and the wrong magic
+            // must all fail before any value is trusted.
+            let mid = bytes.len() / 2;
+            let mut flipped = bytes.clone();
+            flipped[mid] ^= 0x10;
+            let mut wrong_magic = bytes.clone();
+            wrong_magic[0] = b'Z';
+            if bytes[..4] == *b"DPCM" {
+                assert!(compressed_from_bytes(&bytes[..mid]).is_err());
+                assert!(compressed_from_bytes(&flipped).is_err());
+                assert!(compressed_from_bytes(&wrong_magic).is_err());
+                // Cross-loading a DPCM record as DPQT must fail on magic.
+                assert!(quantized_from_bytes(&bytes).is_err());
+            } else {
+                assert!(quantized_from_bytes(&bytes[..mid]).is_err());
+                assert!(quantized_from_bytes(&flipped).is_err());
+                assert!(quantized_from_bytes(&wrong_magic).is_err());
+                assert!(compressed_from_bytes(&bytes).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_files_save_atomically() {
+        let m = toy_model();
+        let comp = CompressedModel::compress(&m, &CompressSpec::default()).unwrap();
+        let quant = QuantizedModel::quantize(&comp, &[toy_frame(1)]).unwrap();
+        let dir = std::env::temp_dir();
+        let cpath = dir.join("dp_model_io_test.dpcm");
+        let qpath = dir.join("dp_model_io_test.dpqt");
+        save_compressed(&comp, &cpath).unwrap();
+        save_quantized(&quant, &qpath).unwrap();
+        assert!(!dir.join("dp_model_io_test.dpcm.tmp").exists());
+        assert!(!dir.join("dp_model_io_test.dpqt.tmp").exists());
+        let cback = load_compressed(&cpath).unwrap();
+        let qback = load_quantized(&qpath).unwrap();
+        let _ = std::fs::remove_file(&cpath);
+        let _ = std::fs::remove_file(&qpath);
+        let f = toy_frame(4);
+        assert_eq!(cback.forward(&f).energy, comp.forward(&f).energy);
+        assert_eq!(qback.energy(&f), quant.energy(&f));
     }
 
     #[test]

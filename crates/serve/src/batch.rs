@@ -46,12 +46,20 @@ pub struct InferRequest {
     /// exceeds it is shed with [`ServeError::DeadlineExceeded`] instead
     /// of being computed late. `None` = no deadline.
     pub deadline: Option<Duration>,
+    /// Which model tier may serve this request (see [`Fidelity`]).
+    pub fidelity: Fidelity,
 }
 
 impl InferRequest {
     /// An interactive request with no deadline (the pre-SLO default).
     pub fn new(frame: Snapshot, want_forces: bool) -> Self {
-        InferRequest { frame, want_forces, priority: Priority::Interactive, deadline: None }
+        InferRequest {
+            frame,
+            want_forces,
+            priority: Priority::Interactive,
+            deadline: None,
+            fidelity: Fidelity::Auto,
+        }
     }
 
     /// Move this request to the bulk lane.
@@ -64,6 +72,68 @@ impl InferRequest {
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
         self
+    }
+
+    /// Pin the request to a model tier (e.g. [`Fidelity::Master`] for
+    /// verification traffic that must be bitwise against the f64 path).
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+}
+
+/// Which tier of the published snapshot serves a request.
+///
+/// A snapshot can carry up to three artifacts (DESIGN §14): the f64
+/// **master**, a spline-**compressed** model (tabulated embeddings,
+/// analytic forces, ~1e-6 eV/atom), and an `i16`-**quantized**
+/// energy-only model (~1e-4 eV/atom). Routing degrades gracefully: a
+/// requested tier that was not published falls back toward the master
+/// (quantized → compressed → master), and the response's
+/// [`InferResponse::fidelity`] tag always names the tier that actually
+/// computed the numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Let the engine choose: energy-only and degraded traffic takes
+    /// the quantized tier, force requests the compressed tier, with the
+    /// master as the universal fallback. An engine-wide default can be
+    /// pinned via the `DP_FIDELITY` environment variable.
+    #[default]
+    Auto,
+    /// The f64 master — bitwise identical to `DeepPotModel::predict`.
+    Master,
+    /// The spline-compressed model (tabulated embeddings).
+    Compressed,
+    /// The quantized energy-only model. Never serves forces: a forces
+    /// request pinned here is answered energy-only from the quantized
+    /// net (forces dropped), exactly like degraded service.
+    Quantized,
+}
+
+impl Fidelity {
+    /// Read the engine-wide default from `DP_FIDELITY`
+    /// (`auto`/`master`/`compressed`/`quantized`, case-insensitive).
+    /// Unset or unrecognized values mean [`Fidelity::Auto`] — serving
+    /// must not refuse to start over a typo; the resolved tier is
+    /// visible per-response.
+    pub fn from_env() -> Fidelity {
+        match std::env::var("DP_FIDELITY").unwrap_or_default().to_lowercase().as_str() {
+            "master" => Fidelity::Master,
+            "compressed" => Fidelity::Compressed,
+            "quantized" => Fidelity::Quantized,
+            _ => Fidelity::Auto,
+        }
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Fidelity::Auto => "auto",
+            Fidelity::Master => "master",
+            Fidelity::Compressed => "compressed",
+            Fidelity::Quantized => "quantized",
+        })
     }
 }
 
@@ -79,8 +149,13 @@ pub struct InferResponse {
     pub version: u64,
     /// `true` when the engine served energy-only under sustained queue
     /// pressure although forces were requested. The energy is bitwise
-    /// identical to what the full response would have carried.
+    /// identical to what the full response would have carried — unless
+    /// `fidelity` says a reduced tier computed it.
     pub degraded: bool,
+    /// The tier that actually computed this response (never
+    /// [`Fidelity::Auto`]). [`Fidelity::Master`] responses are bitwise
+    /// identical to the direct f64 path.
+    pub fidelity: Fidelity,
 }
 
 /// Why a request could not be served.
@@ -578,6 +653,7 @@ mod tests {
             forces: None,
             version: 7,
             degraded: false,
+            fidelity: Fidelity::Master,
         }));
         let resp = waiter.join().unwrap().unwrap();
         assert_eq!(resp.energy, -1.5);

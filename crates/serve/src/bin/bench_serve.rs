@@ -14,10 +14,24 @@
 //!
 //! The `shape` column carries `[max_batch]`. Flags: `--smoke` (fewer
 //! requests, for CI), `--out=DIR` (default `results/bench`).
+//!
+//! A second sweep measures the *fidelity tiers* on a paper-sized model
+//! (`demo_model_paper`, where the embedding net dominates and the
+//! compressed/quantized tiers earn their keep): the same client rig
+//! pins every request to one tier — master with forces, compressed
+//! with forces, quantized energy-only — and the report records, per
+//! tier, `serve_fidelity_requests_per_s` (shape `[tier]` with
+//! 0=master, 1=compressed, 2=quantized) plus the accuracy budget the
+//! speedup buys: `serve_fidelity_energy_err_ev_atom` (max per-atom
+//! energy error vs the master over the working set) and, for the
+//! compressed tier, `serve_fidelity_force_err_ev_a` (max force
+//! component error).
 
 use dp_bench::report::BenchReport;
-use dp_serve::demo::{demo_frame, demo_model};
-use dp_serve::{BatchPolicy, Engine, ModelRegistry};
+use dp_serve::demo::{demo_frame, demo_frame_paper, demo_model, demo_model_paper};
+use dp_serve::{BatchPolicy, Engine, Fidelity, InferRequest, ModelRegistry};
+use deepmd_core::compress::{CompressSpec, CompressedModel};
+use deepmd_core::quant::QuantizedModel;
 use std::path::PathBuf;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -104,6 +118,99 @@ fn main() {
             CLIENTS * per_client
         );
     }
+
+    // ── Fidelity sweep ───────────────────────────────────────────────
+    // Paper-sized model: the embedding net dominates serving cost here,
+    // so this measures the speedup the cheap tiers buy in production
+    // shapes, alongside the accuracy budget they spend for it.
+    let master = demo_model_paper(1);
+    let frames: Vec<_> = (0..16).map(demo_frame_paper).collect();
+    let compressed = CompressedModel::compress(&master, &CompressSpec::default())
+        .expect("paper-sized demo model must compress");
+    let quantized =
+        QuantizedModel::quantize(&compressed, &frames).expect("compressed model must quantize");
+
+    // Accuracy budget over the whole working set, measured directly
+    // (not through the engine, so queueing never perturbs the numbers).
+    let mut comp_e_err = 0.0f64;
+    let mut comp_f_err = 0.0f64;
+    let mut quant_e_err = 0.0f64;
+    for f in &frames {
+        let n = f.types.len() as f64;
+        let pass = master.forward(f);
+        let fm = master.forces(&pass);
+        let cpass = compressed.forward(f);
+        comp_e_err = comp_e_err.max((cpass.energy - pass.energy).abs() / n);
+        for (a, b) in compressed.forces(&cpass).iter().zip(&fm) {
+            for c in 0..3 {
+                comp_f_err = comp_f_err.max((a.0[c] - b.0[c]).abs());
+            }
+        }
+        quant_e_err = quant_e_err.max((quantized.energy(f) - pass.energy).abs() / n);
+    }
+
+    let registry = Arc::new(ModelRegistry::new(master.clone()));
+    registry
+        .publish_with_artifacts(master, Some(compressed), Some(quantized))
+        .expect("tiered publish must succeed");
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        BatchPolicy { max_batch: 8, max_wait: Duration::from_micros(500) },
+    );
+
+    let tiers: [(usize, Fidelity, bool, &str); 3] = [
+        (0, Fidelity::Master, true, "master"),
+        (1, Fidelity::Compressed, true, "compressed"),
+        (2, Fidelity::Quantized, false, "quantized"),
+    ];
+    let mut master_rps = 0.0f64;
+    for (tier, fidelity, want_forces, name) in tiers {
+        let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                let frames = frames.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..per_client {
+                        let f = frames[(c * per_client + i) % frames.len()].clone();
+                        let req = InferRequest::new(f, want_forces).with_fidelity(fidelity);
+                        let resp = engine
+                            .submit(req)
+                            .expect("live engine must accept")
+                            .wait()
+                            .expect("live engine must serve");
+                        assert!(resp.energy.is_finite());
+                        assert_eq!(resp.fidelity, fidelity, "pinned tier must serve");
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for c in clients {
+            c.join().expect("client thread must not panic");
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let rps = (CLIENTS * per_client) as f64 / secs;
+        if tier == 0 {
+            master_rps = rps;
+        }
+        rep.push("serve_fidelity_requests_per_s", &[tier], threads, rps, CLIENTS * per_client);
+        eprintln!(
+            "fidelity {name}: {rps:.0} req/s ({:.2}x master)",
+            rps / master_rps.max(1e-9)
+        );
+    }
+    engine.shutdown();
+    rep.push("serve_fidelity_energy_err_ev_atom", &[1], threads, comp_e_err, frames.len());
+    rep.push("serve_fidelity_force_err_ev_a", &[1], threads, comp_f_err, frames.len());
+    rep.push("serve_fidelity_energy_err_ev_atom", &[2], threads, quant_e_err, frames.len());
+    eprintln!(
+        "accuracy budget: compressed {comp_e_err:.2e} eV/atom, {comp_f_err:.2e} eV/A force; \
+         quantized {quant_e_err:.2e} eV/atom"
+    );
 
     let path = opts.out.join("BENCH_serve.json");
     rep.write(&path).unwrap_or_else(|e| {

@@ -1,10 +1,15 @@
 //! CI smoke test for the serving engine: 64 requests from 4 client
 //! threads against a live engine, one mid-run hot-swap, and a stats
-//! sanity pass. Any violated invariant panics (nonzero exit), so
+//! sanity pass — then a tiered publish (master + compressed +
+//! quantized) with fidelity-routing assertions: pins serve their tier,
+//! the quantized tier never serves forces, and auto-routing picks the
+//! cheap tiers. Any violated invariant panics (nonzero exit), so
 //! `scripts/ci.sh` can gate on it directly.
 
+use deepmd_core::compress::{CompressSpec, CompressedModel};
+use deepmd_core::quant::QuantizedModel;
 use dp_serve::demo::{demo_frame, demo_model};
-use dp_serve::{BatchPolicy, Engine, ModelRegistry};
+use dp_serve::{BatchPolicy, Engine, Fidelity, InferRequest, ModelRegistry};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -78,9 +83,47 @@ fn main() {
     );
     engine.shutdown();
 
+    // ── Fidelity routing over a tiered publish ───────────────────────
+    let master = demo_model(3);
+    let compressed = CompressedModel::compress(&master, &CompressSpec::default())
+        .expect("demo model must compress");
+    let calib: Vec<_> = (0..4).map(demo_frame).collect();
+    let quantized =
+        QuantizedModel::quantize(&compressed, &calib).expect("compressed model must quantize");
+    registry
+        .publish_with_artifacts(master, Some(compressed), Some(quantized))
+        .expect("tiered publish must succeed");
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        BatchPolicy { max_batch: 8, max_wait: Duration::from_millis(1) },
+    );
+    let submit = |fidelity, want_forces| {
+        let req = InferRequest::new(demo_frame(0), want_forces).with_fidelity(fidelity);
+        engine.submit(req).expect("must accept").wait().expect("must serve")
+    };
+    // Pins serve exactly their tier.
+    for fidelity in [Fidelity::Master, Fidelity::Compressed, Fidelity::Quantized] {
+        let resp = submit(fidelity, false);
+        assert_eq!(resp.fidelity, fidelity, "pinned tier must serve the request");
+        assert!(resp.energy.is_finite());
+    }
+    // Auto policy: force requests ride the compressed tier, energy-only
+    // the quantized one.
+    let auto_forces = submit(Fidelity::Auto, true);
+    assert_eq!(auto_forces.fidelity, Fidelity::Compressed);
+    assert!(auto_forces.forces.is_some(), "compressed tier serves forces");
+    let auto_energy = submit(Fidelity::Auto, false);
+    assert_eq!(auto_energy.fidelity, Fidelity::Quantized);
+    // The quantized tier never serves forces: a pinned force request is
+    // answered energy-only and flagged degraded.
+    let q_forces = submit(Fidelity::Quantized, true);
+    assert!(q_forces.forces.is_none(), "quantized tier must refuse forces");
+    assert!(q_forces.degraded, "dropped forces must be flagged");
+    engine.shutdown();
+
     println!(
         "serve smoke OK: {} requests in {} batches (mean {:.2}), p50 {:.0} ns, p99 {:.0} ns, \
-         1 hot-swap, cache hit rate {:.2}",
+         1 hot-swap, cache hit rate {:.2}, fidelity routing over a tiered publish OK",
         stats.requests, stats.batches, stats.mean_batch, p50, p99, stats.cache_hit_rate
     );
 }

@@ -25,7 +25,9 @@
 //! [`ChaosPlan`] can inject dispatcher stalls and poisoned requests
 //! for soak testing; production passes [`ChaosPlan::none`].
 
-use crate::batch::{BatchPolicy, BatchQueue, InferRequest, InferResponse, Pending, ServeError, Ticket};
+use crate::batch::{
+    BatchPolicy, BatchQueue, Fidelity, InferRequest, InferResponse, Pending, ServeError, Ticket,
+};
 use crate::chaos::ChaosPlan;
 use crate::registry::{ModelRegistry, PublishedModel};
 use crate::slo::{CircuitBreaker, DegradeController, SloPolicy};
@@ -42,6 +44,9 @@ struct Shared {
     stats: Arc<ServeStats>,
     slo: SloPolicy,
     chaos: ChaosPlan,
+    /// Engine-wide default tier for `Fidelity::Auto` requests, read
+    /// once from `DP_FIDELITY` at startup.
+    default_fidelity: Fidelity,
 }
 
 /// A running inference engine. Submissions are accepted from any
@@ -80,6 +85,7 @@ impl Engine {
             stats,
             slo,
             chaos,
+            default_fidelity: Fidelity::from_env(),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -198,6 +204,39 @@ const OUTCOME_CLIENT_ERR: u8 = 0;
 const OUTCOME_OK: u8 = 1;
 const OUTCOME_EVAL_FAILED: u8 = 2;
 
+/// Resolve which tier serves a request: an explicit request pin wins,
+/// then the engine-wide `DP_FIDELITY` default, then the `Auto` policy
+/// (degraded or energy-only traffic → quantized, force requests →
+/// compressed). A resolved tier the snapshot doesn't carry falls back
+/// toward the master (quantized → compressed → master), so routing
+/// never fails a request — the response's fidelity tag names what
+/// actually served it. Master-only publishes therefore serve
+/// everything from the master, bitwise identical to the pre-routing
+/// engine.
+fn resolve_fidelity(
+    requested: Fidelity,
+    engine_default: Fidelity,
+    want_forces: bool,
+    degraded: bool,
+    snapshot: &PublishedModel,
+) -> Fidelity {
+    let mut choice = if requested != Fidelity::Auto { requested } else { engine_default };
+    if choice == Fidelity::Auto {
+        choice = if degraded || !want_forces {
+            Fidelity::Quantized
+        } else {
+            Fidelity::Compressed
+        };
+    }
+    if choice == Fidelity::Quantized && snapshot.quantized.is_none() {
+        choice = Fidelity::Compressed;
+    }
+    if choice == Fidelity::Compressed && snapshot.compressed.is_none() {
+        choice = Fidelity::Master;
+    }
+    choice
+}
+
 fn dispatch_loop(shared: &Shared) {
     // The dispatcher remembers the snapshot it last served from so a
     // swap can fold the retired snapshot's cache counters into the
@@ -273,6 +312,7 @@ fn dispatch_loop(shared: &Shared) {
         let snapshot_ref = &snapshot;
         let stats_ref = &shared.stats;
         let chaos_ref = &shared.chaos;
+        let default_fidelity = shared.default_fidelity;
         dp_pool::parallel_for(eval.len(), &|i| {
             let pending = &eval_ref[i];
             let result = match validate(&pending.req, snapshot_ref) {
@@ -283,25 +323,50 @@ fn dispatch_loop(shared: &Shared) {
                     Err(ServeError::EvalFailed("chaos-poisoned request".into()))
                 }
                 Ok(()) => {
-                    let model = &snapshot_ref.model;
-                    let pass = model.forward_keyed(&snapshot_ref.cache, &pending.req.frame);
-                    let serve_forces = pending.req.want_forces && !degraded;
-                    let forces = serve_forces.then(|| model.forces(&pass));
-                    let finite = pass.energy.is_finite()
+                    let fidelity = resolve_fidelity(
+                        pending.req.fidelity,
+                        default_fidelity,
+                        pending.req.want_forces,
+                        degraded,
+                        snapshot_ref,
+                    );
+                    // The quantized tier never serves forces; routing a
+                    // forces request there (explicit pin or degraded
+                    // service) drops them, flagged via `degraded`.
+                    let serve_forces =
+                        pending.req.want_forces && !degraded && fidelity != Fidelity::Quantized;
+                    let (energy, forces) = match fidelity {
+                        Fidelity::Quantized => {
+                            let q = snapshot_ref.quantized.as_ref().expect("resolved tier exists");
+                            (q.energy_keyed(&snapshot_ref.cache, &pending.req.frame), None)
+                        }
+                        Fidelity::Compressed => {
+                            let c = snapshot_ref.compressed.as_ref().expect("resolved tier exists");
+                            let pass = c.forward_keyed(&snapshot_ref.cache, &pending.req.frame);
+                            (pass.energy, serve_forces.then(|| c.forces(&pass)))
+                        }
+                        _ => {
+                            let model = &snapshot_ref.model;
+                            let pass = model.forward_keyed(&snapshot_ref.cache, &pending.req.frame);
+                            (pass.energy, serve_forces.then(|| model.forces(&pass)))
+                        }
+                    };
+                    let finite = energy.is_finite()
                         && forces
                             .as_ref()
                             .is_none_or(|fs| fs.iter().all(|f| f.0.iter().all(|v| v.is_finite())));
                     if finite {
                         outcomes_ref[i].store(OUTCOME_OK, Ordering::Relaxed);
-                        let was_degraded = degraded && pending.req.want_forces;
+                        let was_degraded = pending.req.want_forces && !serve_forces;
                         if was_degraded {
                             stats_ref.record_degraded();
                         }
                         Ok(InferResponse {
-                            energy: pass.energy,
+                            energy,
                             forces,
                             version: snapshot_ref.version,
                             degraded: was_degraded,
+                            fidelity,
                         })
                     } else {
                         outcomes_ref[i].store(OUTCOME_EVAL_FAILED, Ordering::Relaxed);
@@ -374,6 +439,94 @@ mod tests {
         }
         assert_eq!(resp.version, 1);
         assert!(!resp.degraded);
+        e.shutdown();
+    }
+
+    /// An engine over a snapshot that carries all three tiers.
+    fn tiered_engine(seed: u64) -> Arc<Engine> {
+        use deepmd_core::compress::{CompressSpec, CompressedModel};
+        use deepmd_core::quant::QuantizedModel;
+        let m = model(seed);
+        let comp = CompressedModel::compress(&m, &CompressSpec::default()).unwrap();
+        let quant = QuantizedModel::quantize(&comp, &[frame(1), frame(2)]).unwrap();
+        let registry = Arc::new(ModelRegistry::new(model(seed)));
+        registry.publish_with_artifacts(m, Some(comp), Some(quant)).unwrap();
+        Engine::start(registry, BatchPolicy::default())
+    }
+
+    #[test]
+    fn auto_routes_forces_to_compressed_and_energy_to_quantized() {
+        let e = tiered_engine(5);
+        let f = frame(9);
+        let direct = e.registry().current().model.predict(&f);
+        let with_forces = e.infer(f.clone(), true).unwrap();
+        assert_eq!(with_forces.fidelity, Fidelity::Compressed);
+        assert!(!with_forces.degraded);
+        let n_atoms = f.types.len() as f64;
+        assert!((with_forces.energy - direct.energy).abs() / n_atoms < 1e-3);
+        for (a, b) in with_forces.forces.unwrap().iter().zip(&direct.forces) {
+            for c in 0..3 {
+                assert!((a.0[c] - b.0[c]).abs() < 1e-2);
+            }
+        }
+        let energy_only = e.infer(f, false).unwrap();
+        assert_eq!(energy_only.fidelity, Fidelity::Quantized);
+        assert!(energy_only.forces.is_none());
+        assert!(!energy_only.degraded);
+        assert!((energy_only.energy - direct.energy).abs() / n_atoms < 1e-3);
+        e.shutdown();
+    }
+
+    #[test]
+    fn pinned_master_stays_bitwise_on_a_tiered_snapshot() {
+        let e = tiered_engine(6);
+        let f = frame(10);
+        let direct = e.registry().current().model.predict(&f);
+        let resp = e
+            .submit(InferRequest::new(f, true).with_fidelity(Fidelity::Master))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.fidelity, Fidelity::Master);
+        assert_eq!(resp.energy.to_bits(), direct.energy.to_bits());
+        for (a, b) in resp.forces.unwrap().iter().zip(&direct.forces) {
+            assert_eq!(a.0.map(f64::to_bits), b.0.map(f64::to_bits));
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn quantized_pin_drops_forces_and_flags_degraded() {
+        let e = tiered_engine(7);
+        let resp = e
+            .submit(InferRequest::new(frame(11), true).with_fidelity(Fidelity::Quantized))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.fidelity, Fidelity::Quantized);
+        assert!(resp.forces.is_none());
+        assert!(resp.degraded, "requested forces were dropped — must be flagged");
+        e.shutdown();
+    }
+
+    #[test]
+    fn absent_tiers_fall_back_to_the_master_bitwise() {
+        // Master-only snapshot: every pin resolves to the master, so
+        // pre-routing behavior (and its bitwise contract) is preserved.
+        let e = engine(8);
+        let f = frame(12);
+        let direct = e.registry().current().model.predict(&f);
+        for pin in [Fidelity::Auto, Fidelity::Compressed, Fidelity::Quantized] {
+            let resp = e
+                .submit(InferRequest::new(f.clone(), true).with_fidelity(pin))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(resp.fidelity, Fidelity::Master, "pin {pin} on master-only snapshot");
+            assert_eq!(resp.energy.to_bits(), direct.energy.to_bits());
+            assert!(!resp.degraded);
+            assert!(resp.forces.is_some());
+        }
         e.shutdown();
     }
 

@@ -43,7 +43,8 @@ pub mod slo;
 pub mod stats;
 
 pub use batch::{
-    BatchPolicy, BatchQueue, Drained, InferRequest, InferResponse, Pending, ServeError, Ticket,
+    BatchPolicy, BatchQueue, Drained, Fidelity, InferRequest, InferResponse, Pending, ServeError,
+    Ticket,
 };
 pub use chaos::ChaosPlan;
 pub use engine::Engine;

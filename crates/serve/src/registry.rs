@@ -23,9 +23,11 @@
 //! history stays small. [`ModelRegistry::prune`] reclaims old
 //! snapshots when the caller can prove exclusivity (`&mut self`).
 
+use deepmd_core::compress::CompressedModel;
 use deepmd_core::env_cache::EnvCache;
 use deepmd_core::model::DeepPotModel;
 use deepmd_core::model_io;
+use deepmd_core::quant::QuantizedModel;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
@@ -35,6 +37,13 @@ use std::sync::{Arc, Mutex};
 /// increasing version tag, and the snapshot's own environment cache
 /// (geometries are keyed by hash, so the cache is valid exactly as
 /// long as the model's normalization statistics — i.e. per snapshot).
+///
+/// Besides the f64 master, a snapshot can carry two reduced-fidelity
+/// serving artifacts built from the *same* weights (so all tiers agree
+/// on chemistry and statistics, and may share the geometry cache):
+/// a spline-compressed model and a quantized energy-only model. The
+/// engine routes per-request between them (`Fidelity`); publishes
+/// without artifacts serve everything from the master.
 #[derive(Debug)]
 pub struct PublishedModel {
     /// 1-based publish sequence number ("which snapshot computed this
@@ -45,6 +54,10 @@ pub struct PublishedModel {
     /// Direct-mapped geometry cache shared by all requests served from
     /// this snapshot.
     pub cache: EnvCache,
+    /// Spline-compressed serving tier, if published.
+    pub compressed: Option<CompressedModel>,
+    /// Quantized energy-only serving tier, if published.
+    pub quantized: Option<QuantizedModel>,
 }
 
 /// Registry of published snapshots with atomic hot-swap.
@@ -91,6 +104,8 @@ impl ModelRegistry {
             version: 1,
             model: initial,
             cache: Self::make_cache(cache_slots),
+            compressed: None,
+            quantized: None,
         });
         let ptr = Arc::as_ptr(&snapshot) as *mut PublishedModel;
         ModelRegistry {
@@ -158,10 +173,40 @@ impl ModelRegistry {
     /// In-flight requests finish on the snapshot they started with.
     /// Returns the new version tag.
     pub fn publish(&self, model: DeepPotModel) -> io::Result<u64> {
+        self.publish_with_artifacts(model, None, None)
+    }
+
+    /// Publish a model together with its reduced-fidelity serving
+    /// artifacts. Beyond the master's validation, each artifact must
+    /// agree with the master on the species count — they are built
+    /// from the same weights, and a mismatched artifact would route
+    /// requests to a different chemistry.
+    pub fn publish_with_artifacts(
+        &self,
+        model: DeepPotModel,
+        compressed: Option<CompressedModel>,
+        quantized: Option<QuantizedModel>,
+    ) -> io::Result<u64> {
         model
             .cfg
             .try_validate()
             .map_err(|e| err(format!("refusing to publish invalid model: {e}")))?;
+        if let Some(c) = &compressed {
+            if c.cfg.n_types != model.cfg.n_types {
+                return Err(err(format!(
+                    "refusing to publish: compressed artifact has n_types {}, master {}",
+                    c.cfg.n_types, model.cfg.n_types
+                )));
+            }
+        }
+        if let Some(q) = &quantized {
+            if q.cfg.n_types != model.cfg.n_types {
+                return Err(err(format!(
+                    "refusing to publish: quantized artifact has n_types {}, master {}",
+                    q.cfg.n_types, model.cfg.n_types
+                )));
+            }
+        }
         let mut history = self.history.lock().unwrap_or_else(|e| e.into_inner());
         let cur_types = history
             .last()
@@ -178,6 +223,8 @@ impl ModelRegistry {
             version,
             model,
             cache: Self::make_cache(self.cache_slots),
+            compressed,
+            quantized,
         });
         let ptr = Arc::as_ptr(&snapshot) as *mut PublishedModel;
         history.push(snapshot);
@@ -294,6 +341,26 @@ mod tests {
         let two_species = DeepPotModel::new(cfg, &ds);
         let e = reg.publish(two_species).unwrap_err();
         assert!(e.to_string().contains("n_types"), "got: {e}");
+    }
+
+    #[test]
+    fn publish_with_artifacts_carries_both_tiers() {
+        use deepmd_core::compress::CompressSpec;
+        let reg = ModelRegistry::new(model(1));
+        let m = model(2);
+        let comp = CompressedModel::compress(&m, &CompressSpec::default()).unwrap();
+        let quant = QuantizedModel::quantize(&comp, &[frame(1), frame(2)]).unwrap();
+        let v = reg.publish_with_artifacts(m, Some(comp), Some(quant)).unwrap();
+        assert_eq!(v, 2);
+        let cur = reg.current();
+        assert!(cur.compressed.is_some());
+        assert!(cur.quantized.is_some());
+        // A later master-only publish serves everything from the master
+        // again — artifacts are per-snapshot, never inherited.
+        reg.publish(model(3)).unwrap();
+        let cur = reg.current();
+        assert!(cur.compressed.is_none());
+        assert!(cur.quantized.is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use dp_serve::demo::demo_frame;
 use dp_serve::{
-    BatchPolicy, BatchQueue, InferRequest, InferResponse, ServeError, ServeStats,
+    BatchPolicy, BatchQueue, Fidelity, InferRequest, InferResponse, ServeError, ServeStats,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -69,6 +69,7 @@ fn accepted_tickets_resolve_exactly_once_and_depth_is_bounded() {
                             forces: None,
                             version: 1,
                             degraded: false,
+                            fidelity: Fidelity::Master,
                         }));
                     }
                 }

@@ -10,7 +10,7 @@ use dp_data::generate::GenScale;
 use dp_mdsim::systems::PaperSystem;
 use dp_serve::chaos::ChaosPlan;
 use dp_serve::{BatchPolicy, Engine, ModelRegistry};
-use dp_train::online::{shards_by_temperature, OnlineLoop};
+use dp_train::online::{shards_by_temperature, FidelitySet, OnlineLoop};
 use dp_train::recipes::{setup, ModelScale};
 use dp_optim::fekf::FekfConfig;
 use dp_train::{RobustConfig, TrainConfig};
@@ -53,7 +53,10 @@ fn corrupt_publish_is_rejected_recorded_and_serving_stays_on_last_good() {
                 assert_eq!(a.0.map(f64::to_bits), b.0.map(f64::to_bits));
             }
         }
-        registry.publish_bytes(&bytes).map(|_| ()).map_err(|e| e.to_string())
+        registry
+            .publish_bytes(&bytes)
+            .map(|_| FidelitySet::default())
+            .map_err(|e| e.to_string())
     });
 
     // The corrupt publish was rejected by model_io validation and

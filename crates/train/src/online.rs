@@ -20,6 +20,33 @@ use deepmd_core::model::DeepPotModel;
 use dp_data::dataset::Dataset;
 use dp_optim::fekf::{Fekf, FekfConfig};
 
+/// Which serving tiers a stage's publication actually carried, beyond
+/// the always-present f64 master. The publish hook returns one of
+/// these so the stage report records what the serving side can route
+/// to — an online-learning operator reading the report log can tell
+/// whether a stage shipped the cheap tiers or fell back to
+/// master-only (e.g. compression failed its fit budget).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FidelitySet {
+    /// A spline-tabulated [`deepmd_core::compress`]-style model was
+    /// published alongside the master.
+    pub compressed: bool,
+    /// An int-quantized energy-only model was published alongside the
+    /// master.
+    pub quantized: bool,
+}
+
+impl std::fmt::Display for FidelitySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.compressed, self.quantized) {
+            (false, false) => write!(f, "master"),
+            (true, false) => write!(f, "master+compressed"),
+            (false, true) => write!(f, "master+quantized"),
+            (true, true) => write!(f, "master+compressed+quantized"),
+        }
+    }
+}
+
 /// Report for one retraining stage.
 #[derive(Clone, Debug)]
 pub struct StageReport {
@@ -46,6 +73,10 @@ pub struct StageReport {
     /// the loop keeps training, and serving clients keep the last-good
     /// snapshot.
     pub publish_failure: Option<String>,
+    /// Which fidelity tiers the publish hook actually shipped for this
+    /// stage (`None` for unpublished stages — failed retrain, rejected
+    /// publish, or a [`OnlineLoop::run`] call with no hook).
+    pub published_fidelities: Option<FidelitySet>,
 }
 
 impl StageReport {
@@ -82,7 +113,7 @@ impl OnlineLoop {
     /// moves on to the next shard — an online-learning service must
     /// outlive a single bad retrain.
     pub fn run(&self, model: &mut DeepPotModel, shards: &[Dataset]) -> Vec<StageReport> {
-        self.run_published(model, shards, &mut |_, _| Ok(()))
+        self.run_published(model, shards, &mut |_, _| Ok(FidelitySet::default()))
     }
 
     /// [`OnlineLoop::run`] with a publication hook: after every stage
@@ -100,11 +131,16 @@ impl OnlineLoop {
     /// retraining on the same weights, and the serving side stays on
     /// its last-good snapshot. An online-learning service must outlive
     /// a bad publish exactly as it outlives a bad retrain.
+    ///
+    /// On success the hook returns the [`FidelitySet`] it actually
+    /// shipped (master-only vs +compressed/+quantized artifacts); the
+    /// loop stamps it into [`StageReport::published_fidelities`] so
+    /// the report log records what the serving side can route to.
     pub fn run_published(
         &self,
         model: &mut DeepPotModel,
         shards: &[Dataset],
-        publish: &mut dyn FnMut(&DeepPotModel, &StageReport) -> Result<(), String>,
+        publish: &mut dyn FnMut(&DeepPotModel, &StageReport) -> Result<FidelitySet, String>,
     ) -> Vec<StageReport> {
         assert!(!shards.is_empty(), "need at least one shard");
         let mut seen = Dataset::new(&shards[0].name, shards[0].type_names.clone());
@@ -166,6 +202,7 @@ impl OnlineLoop {
                         iterations: 0,
                         failure: Some(e.to_string()),
                         publish_failure: None,
+                        published_fidelities: None,
                     });
                     continue;
                 }
@@ -180,11 +217,17 @@ impl OnlineLoop {
                 iterations: out.iterations,
                 failure,
                 publish_failure: None,
+                published_fidelities: None,
             });
             let report = reports.last().expect("just pushed");
             if report.succeeded() {
-                if let Err(why) = publish(model, report) {
-                    reports.last_mut().expect("just pushed").publish_failure = Some(why);
+                match publish(model, report) {
+                    Ok(set) => {
+                        reports.last_mut().expect("just pushed").published_fidelities = Some(set);
+                    }
+                    Err(why) => {
+                        reports.last_mut().expect("just pushed").publish_failure = Some(why);
+                    }
                 }
             }
         }
@@ -289,10 +332,16 @@ mod tests {
         let mut published: Vec<(usize, Vec<f64>)> = Vec::new();
         let reports = looper.run_published(&mut s.model, &shards[..2], &mut |m, r| {
             published.push((r.stage, m.get_params()));
-            Ok(())
+            Ok(FidelitySet { compressed: true, quantized: false })
         });
         let ok = reports.iter().filter(|r| r.succeeded()).count();
         assert!(reports.iter().all(|r| r.published() == r.succeeded()));
+        // The hook's fidelity set is stamped on every published stage.
+        for r in reports.iter().filter(|r| r.published()) {
+            let set = r.published_fidelities.expect("published stage carries a set");
+            assert!(set.compressed && !set.quantized);
+            assert_eq!(set.to_string(), "master+compressed");
+        }
         assert_eq!(published.len(), ok, "one publication per successful stage");
         assert_eq!(published.last().unwrap().0, reports.last().unwrap().stage);
         // The last publication carries the weights the loop ends with.
@@ -318,12 +367,13 @@ mod tests {
             if r.stage == 0 {
                 Err("registry refused: checksum mismatch".into())
             } else {
-                Ok(())
+                Ok(FidelitySet::default())
             }
         });
         assert_eq!(reports.len(), 2, "a failed publish must not abort the loop");
         assert!(reports[0].succeeded(), "the retrain itself was fine");
         assert!(!reports[0].published());
+        assert!(reports[0].published_fidelities.is_none(), "rejected publish ships no tiers");
         assert_eq!(
             reports[0].publish_failure.as_deref(),
             Some("registry refused: checksum mismatch")

@@ -1,0 +1,313 @@
+//! Oracle family 6 — compressed & quantized serving fidelity.
+//!
+//! The compressed inference path (`deepmd_core::compress`) replaces
+//! every per-pair embedding MLP with a cubic-Hermite spline table, and
+//! the quantized path (`deepmd_core::quant`) replaces the f64 fitting
+//! net with an i16/i32 integer net. Both are *approximations* by
+//! construction, so the oracle here is not bitwise equality but an
+//! accuracy *budget* against the f64 master — the same budget the
+//! serving tiers advertise:
+//!
+//! * **energy** — `|E_tier − E_master| / n_atoms ≤ 1e-3 eV` for both
+//!   the compressed and the quantized tier, on every paper system;
+//! * **forces** — compressed force components within `1e-2 eV/Å` of
+//!   the master (the quantized tier never serves forces);
+//! * **consistency** — compressed forces are the analytic gradient of
+//!   the *compressed* energy (central FD, O(h²) tolerance), so MD
+//!   driven at the compressed tier conserves its own Hamiltonian;
+//! * **cutoff smoothness** — a dimer crossing `r_c` sees a continuous
+//!   compressed energy and a vanishing force, exactly like the master
+//!   (the table inherits the switch envelope at its knots);
+//! * **roundtrip** — `DPCM`/`DPQT` artifact bytes reload to a model
+//!   whose energies are bitwise identical to the in-memory one.
+//!
+//! All eight `dp-mdsim` paper systems run in both profiles (a table
+//! build is a few thousand small-MLP forwards — cheap); the profile
+//! only scales the frames-per-system count.
+
+use crate::gen;
+use crate::{rel_err, Check, Profile, VerifyCheck};
+use deepmd_core::compress::{CompressSpec, CompressedModel};
+use deepmd_core::model::DeepPotModel;
+use deepmd_core::model_io;
+use deepmd_core::quant::QuantizedModel;
+use dp_data::dataset::Snapshot;
+use dp_mdsim::systems::PaperSystem;
+use dp_mdsim::Vec3;
+
+/// Per-atom energy budget (eV) for both cheap tiers vs the master.
+const TOL_ENERGY: f64 = 1e-3;
+/// Per-component force budget (eV/Å) for the compressed tier.
+const TOL_FORCE: f64 = 1e-2;
+/// Compressed-force vs FD-of-compressed-energy (O(h²) at h = 1e-6).
+const TOL_SELF_FD: f64 = 2e-5;
+/// Cutoff-smoothness tolerance (same probe as the invariants family).
+const TOL_CUT: f64 = 1e-6;
+
+/// Compressed-vs-master energy budget, per atom, absolute.
+pub fn compressed_energy(
+    master: &DeepPotModel,
+    comp: &CompressedModel,
+    frame: &Snapshot,
+    check: &mut Check,
+) {
+    let e_master = master.forward(frame).energy;
+    let e_comp = comp.forward(frame).energy;
+    let per_atom = (e_comp - e_master).abs() / frame.types.len() as f64;
+    check.case(per_atom, || {
+        format!(
+            "compressed E {:.9e} vs master {:.9e} ({:.2e} eV/atom)",
+            e_comp, e_master, per_atom
+        )
+    });
+}
+
+/// Compressed-vs-master force budget, per component, absolute.
+pub fn compressed_forces(
+    master: &DeepPotModel,
+    comp: &CompressedModel,
+    frame: &Snapshot,
+    check: &mut Check,
+) {
+    let f_master = master.forces(&master.forward(frame));
+    let f_comp = comp.forces(&comp.forward(frame));
+    for (i, (a, b)) in f_comp.iter().zip(&f_master).enumerate() {
+        for c in 0..3 {
+            check.case((a.0[c] - b.0[c]).abs(), || {
+                format!(
+                    "atom {i} comp {c}: compressed {:+.6e} vs master {:+.6e}",
+                    a.0[c], b.0[c]
+                )
+            });
+        }
+    }
+}
+
+/// Quantized-vs-master energy budget, per atom, absolute.
+pub fn quantized_energy(
+    master: &DeepPotModel,
+    quant: &QuantizedModel,
+    frame: &Snapshot,
+    check: &mut Check,
+) {
+    let e_master = master.forward(frame).energy;
+    let e_quant = quant.energy(frame);
+    let per_atom = (e_quant - e_master).abs() / frame.types.len() as f64;
+    check.case(per_atom, || {
+        format!(
+            "quantized E {:.9e} vs master {:.9e} ({:.2e} eV/atom)",
+            e_quant, e_master, per_atom
+        )
+    });
+}
+
+/// Compressed forces against a central finite difference of the
+/// *compressed* energy: the spline's stored derivative really is the
+/// derivative of its stored value, end to end through the descriptor.
+pub fn compressed_self_consistency(
+    comp: &CompressedModel,
+    frame: &Snapshot,
+    seed: u64,
+    check: &mut Check,
+) {
+    let forces = comp.forces(&comp.forward(frame));
+    let h = 1e-6;
+    let mut rng = gen::XorShift64::new(seed ^ 0xA1B2_59E3_7D04_C8F6);
+    for _ in 0..6 {
+        let i = rng.index(frame.types.len());
+        let a = rng.index(3);
+        let mut plus = frame.clone();
+        plus.pos[i].0[a] += h;
+        let mut minus = frame.clone();
+        minus.pos[i].0[a] -= h;
+        let fd = -(comp.forward(&plus).energy - comp.forward(&minus).energy) / (2.0 * h);
+        check.case(rel_err(forces[i].0[a], fd), || {
+            format!(
+                "atom {i} comp {a}: analytic {:+.9e} vs FD {:+.9e}",
+                forces[i].0[a], fd
+            )
+        });
+    }
+}
+
+/// Two atoms `r` apart along x in a large cubic cell (no images).
+fn dimer(r: f64) -> Snapshot {
+    let box_len = 20.0;
+    Snapshot {
+        cell: [box_len; 3],
+        types: vec![0, 1],
+        type_names: vec!["A".into(), "B".into()],
+        pos: vec![Vec3([5.0, 5.0, 5.0]), Vec3([5.0 + r, 5.0, 5.0])],
+        energy: 0.0,
+        forces: vec![Vec3::ZERO; 2],
+        temperature: 300.0,
+    }
+}
+
+/// The compressed tier must stay smooth where the master is smooth: a
+/// dimer crossing the cutoff sees a continuous energy and a vanishing
+/// force (the switch envelope is baked into every table knot).
+pub fn cutoff_smoothness(seed: u64, check: &mut Check) {
+    let master = gen::toy_model(seed);
+    let comp = CompressedModel::compress(&master, &CompressSpec::default())
+        .expect("toy model compresses");
+    let rc = 2.1; // toy_model cutoff
+
+    let eps = 1e-5;
+    let e_in = comp.forward(&dimer(rc - eps)).energy;
+    let e_out = comp.forward(&dimer(rc + eps)).energy;
+    check.case(rel_err(e_in, e_out), || {
+        format!("compressed E across cutoff: inside {e_in:.12e} vs outside {e_out:.12e}")
+    });
+
+    let near = dimer(rc - 1e-5);
+    let f = comp.forces(&comp.forward(&near));
+    let fmax = f.iter().map(|v| v.norm()).fold(0.0f64, f64::max);
+    check.case(fmax, || {
+        format!("compressed force at rc-1e-5 should be ~0, got {fmax:.3e}")
+    });
+
+    // Past the cutoff the compressed model degenerates to the same
+    // isolated-atom biases as the master: finite E, exactly zero F.
+    let apart = dimer(rc + 1.0);
+    let pass = comp.forward(&apart);
+    check.exact(pass.energy.is_finite(), || {
+        format!("compressed isolated-atoms energy not finite: {}", pass.energy)
+    });
+    let f = comp.forces(&pass);
+    check.exact(f.iter().all(|v| v.norm() == 0.0), || {
+        "compressed isolated atoms should feel exactly zero force".to_string()
+    });
+}
+
+/// DPCM/DPQT bytes reload to bitwise-identical evaluators.
+pub fn artifact_roundtrip(
+    comp: &CompressedModel,
+    quant: &QuantizedModel,
+    frame: &Snapshot,
+    check: &mut Check,
+) {
+    let comp2 = model_io::compressed_from_bytes(&model_io::compressed_to_bytes(comp))
+        .expect("compressed bytes roundtrip");
+    check.exact(
+        comp.forward(frame).energy.to_bits() == comp2.forward(frame).energy.to_bits(),
+        || "reloaded DPCM energy differs bitwise".to_string(),
+    );
+    let quant2 = model_io::quantized_from_bytes(&model_io::quantized_to_bytes(quant))
+        .expect("quantized bytes roundtrip");
+    check.exact(
+        quant.energy(frame).to_bits() == quant2.energy(frame).to_bits(),
+        || "reloaded DPQT energy differs bitwise".to_string(),
+    );
+}
+
+/// Run the whole family: every paper system gets compressed and
+/// quantized from a fresh seeded model, then probed on held-out frames
+/// (generated at a different seed offset than the fit/calibration
+/// frames, so the budgets are measured off-calibration).
+pub fn run(seed: u64, profile: Profile) -> Vec<VerifyCheck> {
+    let n_frames = profile.compress_frames();
+    let mut out = Vec::new();
+
+    let gates = &["deepmd-core", "dp-mdsim"];
+    let mut energy = Check::new("compress", "compressed_energy", gates, TOL_ENERGY);
+    let mut forces = Check::new("compress", "compressed_forces", gates, TOL_FORCE);
+    let mut qenergy = Check::new("compress", "quantized_energy", gates, TOL_ENERGY);
+    let mut selfc = Check::new("compress", "compressed_force_fd", gates, TOL_SELF_FD);
+    let mut round = Check::new("compress", "artifact_roundtrip", &["deepmd-core"], 0.0);
+
+    for (si, &sys) in PaperSystem::ALL.iter().enumerate() {
+        let sseed = seed.wrapping_add(6000 + si as u64);
+        let (master, calib) = gen::system_model(sys, sseed, n_frames);
+        let comp = match CompressedModel::compress(&master, &CompressSpec::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                energy.exact(false, || format!("{sys:?}: compression failed: {e}"));
+                continue;
+            }
+        };
+        let quant = match QuantizedModel::quantize(&comp, &calib) {
+            Ok(q) => q,
+            Err(e) => {
+                qenergy.exact(false, || format!("{sys:?}: quantization failed: {e}"));
+                continue;
+            }
+        };
+        // Held-out probe frames: same lattice, fresh jitter stream.
+        let probes: Vec<Snapshot> = (0..n_frames)
+            .map(|i| gen::system_frame(sys, sseed.wrapping_add(900 + i as u64), 0.08))
+            .collect();
+        for frame in &probes {
+            compressed_energy(&master, &comp, frame, &mut energy);
+            compressed_forces(&master, &comp, frame, &mut forces);
+            quantized_energy(&master, &quant, frame, &mut qenergy);
+        }
+        compressed_self_consistency(&comp, &probes[0], sseed, &mut selfc);
+        artifact_roundtrip(&comp, &quant, &probes[0], &mut round);
+    }
+    out.push(energy.finish());
+    out.push(forces.finish());
+    out.push(qenergy.finish());
+    out.push(selfc.finish());
+    out.push(round.finish());
+
+    let mut cut = Check::new("compress", "cutoff_smoothness", &["deepmd-core"], TOL_CUT);
+    cutoff_smoothness(seed, &mut cut);
+    out.push(cut.finish());
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiers(seed: u64) -> (DeepPotModel, CompressedModel, QuantizedModel, Vec<Snapshot>) {
+        let (master, frames) = gen::system_model(PaperSystem::Al, seed, 2);
+        let comp = CompressedModel::compress(&master, &CompressSpec::default()).unwrap();
+        let quant = QuantizedModel::quantize(&comp, &frames).unwrap();
+        (master, comp, quant, frames)
+    }
+
+    #[test]
+    fn tiers_stay_inside_their_budgets() {
+        let (master, comp, quant, frames) = tiers(11);
+        let mut e = Check::new("compress", "t", &[], TOL_ENERGY);
+        let mut f = Check::new("compress", "t", &[], TOL_FORCE);
+        let mut q = Check::new("compress", "t", &[], TOL_ENERGY);
+        for frame in &frames {
+            compressed_energy(&master, &comp, frame, &mut e);
+            compressed_forces(&master, &comp, frame, &mut f);
+            quantized_energy(&master, &quant, frame, &mut q);
+        }
+        for r in [e.finish(), f.finish(), q.finish()] {
+            assert_eq!(r.failures, 0, "{}: {:?}", r.name, r.details);
+        }
+    }
+
+    #[test]
+    fn compressed_forces_are_self_consistent() {
+        let (_, comp, _, frames) = tiers(13);
+        let mut c = Check::new("compress", "t", &[], TOL_SELF_FD);
+        compressed_self_consistency(&comp, &frames[0], 13, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "self-FD: {:?}", r.details);
+    }
+
+    #[test]
+    fn compressed_cutoff_stays_smooth() {
+        let mut c = Check::new("compress", "t", &[], TOL_CUT);
+        cutoff_smoothness(17, &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "cutoff: {:?}", r.details);
+    }
+
+    #[test]
+    fn artifacts_roundtrip_bitwise() {
+        let (_, comp, quant, frames) = tiers(19);
+        let mut c = Check::new("compress", "t", &[], 0.0);
+        artifact_roundtrip(&comp, &quant, &frames[0], &mut c);
+        let r = c.finish();
+        assert_eq!(r.failures, 0, "roundtrip: {:?}", r.details);
+    }
+}

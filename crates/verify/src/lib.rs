@@ -7,7 +7,7 @@
 //! floor: a single harness that proves, on every CI run, that the fast
 //! paths still compute the same physics as the slow ones.
 //!
-//! Five oracle families (one module each):
+//! Six oracle families (one module each):
 //!
 //! 1. [`gradcheck`] — central finite-difference validation of the
 //!    analytic forces against `E(pos±h)` and of `∇θE` / `∇θ(cᵀF)`
@@ -29,6 +29,11 @@
 //!    surface, including lane-tail / empty / single-row shapes and
 //!    unaligned views: tolerance-banded for the reduction kernels,
 //!    bitwise for the FMA-free elementwise and `P`-update primitives.
+//! 6. [`compress`] — the spline-tabulated and int-quantized serving
+//!    tiers vs the f64 master: per-atom energy and per-component force
+//!    budgets across all eight paper systems, self-consistency of the
+//!    compressed forces (FD of the compressed energy), cutoff
+//!    smoothness, and bitwise `DPCM`/`DPQT` artifact roundtrips.
 //!
 //! Everything is generated from a seed by the vendored-dep-free
 //! [`gen`] library and reported through [`dp_bench::report`]'s
@@ -47,6 +52,7 @@
 //! the FD truncation itself.
 
 pub mod backends;
+pub mod compress;
 pub mod differential;
 pub mod gen;
 pub mod golden;
@@ -58,7 +64,7 @@ pub use dp_bench::report::{VerifyCheck, VerifyReport};
 /// How many generated cases each oracle runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Profile {
-    /// CI gate: fixed seed, small case counts, all four families and
+    /// CI gate: fixed seed, small case counts, all six families and
     /// every gated crate still covered (about a minute of work).
     Quick,
     /// Nightly sweep: more systems, more parameter probes, larger and
@@ -124,6 +130,16 @@ impl Profile {
         match self {
             Profile::Quick => 24,
             Profile::Full => 96,
+        }
+    }
+
+    /// Calibration/probe frames per system for the compressed- and
+    /// quantized-tier fidelity checks (all eight systems run in both
+    /// profiles; only the per-system frame count scales).
+    pub fn compress_frames(self) -> usize {
+        match self {
+            Profile::Quick => 2,
+            Profile::Full => 4,
         }
     }
 
@@ -270,6 +286,7 @@ mod tests {
     fn profile_knobs_are_ordered() {
         assert!(Profile::Quick.param_probes() < Profile::Full.param_probes());
         assert!(Profile::Quick.gemm_shapes() < Profile::Full.gemm_shapes());
+        assert!(Profile::Quick.compress_frames() < Profile::Full.compress_frames());
         assert_eq!(Profile::parse("quick"), Some(Profile::Quick));
         assert_eq!(Profile::parse("full"), Some(Profile::Full));
         assert_eq!(Profile::parse("nope"), None);

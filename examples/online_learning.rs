@@ -58,21 +58,36 @@ fn main() {
 
     println!("\nonline retraining loop:");
     let reports = looper.run_published(&mut exp.model, &shards, &mut |model, report| {
+        // Fit the cheap serving tiers from the freshly retrained
+        // weights: a spline-tabulated model for interactive force
+        // requests and an int-quantized energy-only model for degraded
+        // service. Either fit failing is not fatal — the publish just
+        // ships fewer tiers, and the stage report records which.
+        let compressed = CompressedModel::compress(model, &CompressSpec::default()).ok();
+        let quantized = compressed
+            .as_ref()
+            .and_then(|c| QuantizedModel::quantize(c, &shards[report.stage].frames).ok());
+        let set = FidelitySet {
+            compressed: compressed.is_some(),
+            quantized: quantized.is_some(),
+        };
         // A publish the registry refuses (corrupt bytes, validation
         // failure) is recorded on the stage report and skipped — the
         // loop keeps training and clients keep the last-good snapshot.
-        let v = registry.publish(model.clone()).map_err(|e| e.to_string())?;
+        let v = registry
+            .publish_with_artifacts(model.clone(), compressed, quantized)
+            .map_err(|e| e.to_string())?;
         // Inference goes through the serving path, not the raw model:
         // this is what an MD client sees right after the swap.
         let probe = shards[report.stage].frames[0].clone();
         let resp = engine.infer(probe.clone(), false).expect("engine is live");
         assert!(resp.version >= v, "a just-published model must be servable");
         println!(
-            "    published v{v}; served energy on the stage's first frame: {:.4} eV \
-             (label {:.4} eV, answered by v{})",
-            resp.energy, probe.energy, resp.version
+            "    published v{v} ({set}); served energy on the stage's first frame: \
+             {:.4} eV (label {:.4} eV, answered by v{} at {} fidelity)",
+            resp.energy, probe.energy, resp.version, resp.fidelity
         );
-        Ok(())
+        Ok(set)
     });
     for r in &reports {
         let note = r
@@ -81,14 +96,19 @@ fn main() {
             .map(|f| format!(" [FAILED: {f}]"))
             .or_else(|| r.publish_failure.as_deref().map(|f| format!(" [PUBLISH REFUSED: {f}]")))
             .unwrap_or_default();
+        let tiers = r
+            .published_fidelities
+            .map(|set| format!(", published {set}"))
+            .unwrap_or_default();
         println!(
-            "  stage {} ({:>4.0} K): combined RMSE {:.4} → {:.4} after {:.1}s ({} iterations){}",
+            "  stage {} ({:>4.0} K): combined RMSE {:.4} → {:.4} after {:.1}s ({} iterations){}{}",
             r.stage,
             r.temperature,
             r.before.combined(),
             r.after.combined(),
             r.retrain_s,
             r.iterations,
+            tiers,
             note
         );
     }

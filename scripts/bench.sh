@@ -4,9 +4,13 @@
 # BENCH_forward.json — the last adds forward/backward kernel timings,
 # FEKF frames/s with the env cache off vs on, and cache hit rates —
 # plus BENCH_serve.json: serving requests/s and latency percentiles at
-# max_batch 1/8/32, and BENCH_serve_slo.json: shed / deadline-miss /
-# breaker-trip / degradation counters and tail latency under the
-# seeded chaos overload soak).
+# max_batch 1/8/32 together with the fidelity sweep — per-tier
+# requests/s on a paper-sized model with master/compressed/quantized
+# pins (shape [0]/[1]/[2]) and the accuracy budget each cheap tier
+# spends (max per-atom energy error and, for the compressed tier, max
+# force-component error vs the f64 master) — and BENCH_serve_slo.json:
+# shed / deadline-miss / breaker-trip / degradation counters and tail
+# latency under the seeded chaos overload soak).
 #
 #   scripts/bench.sh                 # full sweep -> results/bench/
 #   scripts/bench.sh --smoke         # one shape per report (CI gate)

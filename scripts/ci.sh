@@ -54,11 +54,12 @@ DP_ENV_CACHE=0 DP_POOL_THREADS=4 cargo test --offline -p dp-train -q
 step "cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Correctness harness, quick profile: all five oracle families
+# Correctness harness, quick profile: all six oracle families
 # (gradient checks, physics invariants, differential equivalences,
-# golden fingerprints, SIMD-backend-vs-scalar) at a fixed seed, under
-# auto dispatch so the backend family sweeps every SIMD tier this CPU
-# has. The full sweep is documented in scripts/bench.sh.
+# golden fingerprints, SIMD-backend-vs-scalar, and compressed/
+# quantized-tier fidelity budgets vs the f64 master) at a fixed seed,
+# under auto dispatch so the backend family sweeps every SIMD tier
+# this CPU has. The full sweep is documented in scripts/bench.sh.
 step "verify (quick profile, seed 42, DP_BACKEND=auto)"
 DP_BACKEND=auto cargo run --release --offline -p dp-verify --bin verify -- --seed 42 --profile quick
 
@@ -66,8 +67,10 @@ step "bench smoke"
 BENCH_OUT="$(mktemp -d)" scripts/bench.sh --smoke
 
 # Serving engine smoke: 64 requests from 4 client threads with one
-# mid-run hot-swap; the binary asserts response/version consistency
-# and stats sanity (exits nonzero on any violation).
+# mid-run hot-swap, then a tiered publish (master + compressed +
+# quantized) with fidelity-routing assertions; the binary asserts
+# response/version consistency and stats sanity (exits nonzero on any
+# violation).
 step "serve smoke (DP_POOL_THREADS=4)"
 DP_POOL_THREADS=4 cargo run --release --offline -p dp-serve --bin serve_smoke
 

@@ -25,18 +25,21 @@ pub use dp_verify as verify;
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
+    pub use deepmd_core::compress::{CompressSpec, CompressedModel};
     pub use deepmd_core::config::ModelConfig;
     pub use deepmd_core::model::DeepPotModel;
     pub use deepmd_core::nnmd::DeepPotential;
+    pub use deepmd_core::quant::QuantizedModel;
     pub use dp_data::dataset::{Dataset, Snapshot};
     pub use dp_mdsim::systems::{PaperSystem, SystemPreset};
     pub use dp_optim::adam::{Adam, AdamConfig};
     pub use dp_optim::fekf::{Fekf, FekfConfig};
     pub use dp_optim::rlekf::Rlekf;
     pub use dp_serve::{
-        BatchPolicy, ChaosPlan, Engine, InferRequest, InferResponse, ModelRegistry, ServeError,
-        SloPolicy,
+        BatchPolicy, ChaosPlan, Engine, Fidelity, InferRequest, InferResponse, ModelRegistry,
+        ServeError, SloPolicy,
     };
+    pub use dp_train::online::FidelitySet;
     pub use dp_train::recipes;
     pub use dp_train::trainer::{TrainConfig, TrainOutcome, Trainer};
     pub use dp_verify::{Profile, VerifyCheck, VerifyReport};
