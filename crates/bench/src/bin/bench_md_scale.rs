@@ -1,0 +1,169 @@
+//! MD scaling benchmark for the domain-decomposed engine (`dp-domain`).
+//!
+//! Replicates the paper's 108-atom Cu cell to supercells of 10³–10⁶
+//! atoms and writes `BENCH_md_scale.json` (schema in
+//! `dp_bench::report`) with three record families:
+//!
+//! * `nl_celllist` / `nl_naive` — linked-cell vs `O(N²)` neighbour
+//!   construction, shape `[n_atoms]`. The acceptance bar for this PR is
+//!   a ≥ 10× cell-list win at ≥ 10⁵ atoms; the two paths are bitwise
+//!   interchangeable (dp-verify `domain` family), so this is a pure
+//!   speed comparison.
+//! * `md_step` — one velocity-Verlet NVE step (halo exchange +
+//!   migration + Sutton–Chen + reductions) under the decomposed engine,
+//!   shape `[n_atoms, gx, gy, gz]`, swept over domain grids ×
+//!   `dp_pool::set_threads {1, 2, 4}`.
+//! * `md_atoms_per_s` / `md_ns_per_day` — the same runs expressed as
+//!   throughput (the `median_ns` field holds the named value, following
+//!   the `fekf_frames_per_s` convention).
+//!
+//! Flags: `--smoke` (one small size, for CI), `--paper` (adds the
+//! 10⁶-atom supercell — ~2 GB resident), `--out=DIR` (default
+//! `results/bench`).
+
+use dp_bench::report::{measure, BenchReport};
+use dp_domain::{DecomposedMd, LocalSuttonChen};
+use dp_mdsim::neighbor::NeighborList;
+use dp_mdsim::potential::sutton_chen::SuttonChenParams;
+use dp_mdsim::state::State;
+use dp_mdsim::systems::PaperSystem;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+
+struct Opts {
+    smoke: bool,
+    paper: bool,
+    out: PathBuf,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts { smoke: false, paper: false, out: PathBuf::from("results/bench") };
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            o.smoke = true;
+        } else if arg == "--paper" {
+            o.paper = true;
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            o.out = PathBuf::from(v);
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("flags: --smoke --paper --out=DIR");
+            std::process::exit(0);
+        } else {
+            eprintln!("error: unknown flag '{arg}' (try --help)");
+            std::process::exit(2);
+        }
+    }
+    o
+}
+
+const CU_CUTOFF: f64 = 4.5;
+const THREADS: &[usize] = &[1, 2, 4];
+const DT_FS: f64 = 1.0;
+
+/// Replicated, jittered, thermalized Cu supercell (108·∏reps atoms).
+fn cu_state(reps: [usize; 3], seed: u64) -> State {
+    let (mut state, _) = PaperSystem::Cu.replicate(reps[0], reps[1], reps[2]);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    state.jitter_positions(0.05, &mut rng);
+    state.init_velocities(300.0, &mut rng);
+    state
+}
+
+fn bench_neighbor(rep: &mut BenchReport, opts: &Opts) {
+    let mut sizes: Vec<[usize; 3]> = if opts.smoke {
+        vec![[3, 3, 3]] // 2 916 atoms
+    } else {
+        vec![[3, 3, 3], [5, 5, 5], [10, 10, 10]] // up to 108 000 atoms
+    };
+    if opts.paper {
+        sizes.push([21, 21, 21]); // 1 000 188 atoms
+    }
+    for &reps in &sizes {
+        let state = cu_state(reps, 42);
+        let n = state.n_atoms();
+        let samples = if n >= 100_000 { 2 } else { 5 };
+        let (ns_fast, k) = measure(samples, || {
+            std::hint::black_box(NeighborList::build(&state.cell, &state.pos, CU_CUTOFF));
+        });
+        rep.push("nl_celllist", &[n], 1, ns_fast, k);
+        eprintln!("nl_celllist n={n}: {:.3} ms", ns_fast / 1e6);
+        // The O(N²) scan is the differential oracle, not a production
+        // path: one sample at the big sizes, skipped entirely at 10⁶
+        // (it would run for hours without telling us anything new).
+        if n <= 200_000 {
+            let samples = if n >= 50_000 { 1 } else { 3 };
+            let (ns_naive, k) = measure(samples, || {
+                std::hint::black_box(NeighborList::build_naive(&state.cell, &state.pos, CU_CUTOFF));
+            });
+            rep.push("nl_naive", &[n], 1, ns_naive, k);
+            eprintln!(
+                "nl_naive    n={n}: {:.3} ms ({:.1}x slower than cell list)",
+                ns_naive / 1e6,
+                ns_naive / ns_fast
+            );
+        }
+    }
+}
+
+fn bench_md_step(rep: &mut BenchReport, opts: &Opts) {
+    // (replication, domain grids): grids are capped by useful domain
+    // counts, not by the engine (any grid is valid at these box sizes).
+    let mut cases: Vec<([usize; 3], Vec<[usize; 3]>)> = if opts.smoke {
+        vec![([3, 3, 3], vec![[1, 1, 1], [2, 2, 1]])]
+    } else {
+        vec![
+            ([5, 5, 5], vec![[1, 1, 1], [2, 2, 2]]),
+            ([10, 10, 10], vec![[1, 1, 1], [2, 2, 2], [4, 2, 2]]),
+        ]
+    };
+    if opts.paper {
+        cases.push(([21, 21, 21], vec![[2, 2, 2], [4, 4, 4]]));
+    }
+    let samples = if opts.smoke { 3 } else { 5 };
+    for (reps, grids) in &cases {
+        let state = cu_state(*reps, 7);
+        let n = state.n_atoms();
+        for &dims in grids {
+            for &t in THREADS {
+                dp_pool::set_threads(t);
+                let pot = Box::new(LocalSuttonChen::new(SuttonChenParams::copper(), CU_CUTOFF));
+                let mut eng = DecomposedMd::new(&state, pot, dims).unwrap_or_else(|e| {
+                    eprintln!("error: decompose {n} atoms on grid {dims:?}: {e}");
+                    std::process::exit(1);
+                });
+                let samples = if n >= 500_000 { 2 } else { samples };
+                let (ns, k) = measure(samples, || {
+                    eng.step_nve(DT_FS);
+                });
+                let shape = [n, dims[0], dims[1], dims[2]];
+                rep.push("md_step", &shape, t, ns, k);
+                let sec = ns / 1e9;
+                let atoms_per_s = n as f64 / sec;
+                let ns_per_day = DT_FS * 1e-6 * 86_400.0 / sec;
+                rep.push("md_atoms_per_s", &shape, t, atoms_per_s, k);
+                rep.push("md_ns_per_day", &shape, t, ns_per_day, k);
+                eprintln!(
+                    "md_step n={n} grid {dims:?} t={t}: {:.3} ms/step, {:.2e} atoms/s, \
+                     {ns_per_day:.2} ns/day",
+                    ns / 1e6,
+                    atoms_per_s
+                );
+            }
+        }
+    }
+    dp_pool::set_threads(1);
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut rep = BenchReport::new("md_scale");
+    bench_neighbor(&mut rep, &opts);
+    bench_md_step(&mut rep, &opts);
+    let path = opts.out.join("BENCH_md_scale.json");
+    rep.write(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!("wrote {} ({} records)", path.display(), rep.records.len());
+}

@@ -84,6 +84,8 @@ pub struct DeepPotModel {
 /// the pass-level [`FrameEnv`] (shared, possibly cached geometry).
 struct AtomPass {
     ti: usize,
+    /// This atom's fitting-network output (energy residual, eV).
+    energy: f64,
     /// Normalized environment matrix, `nᵢ × 4`.
     r_mat: Mat,
     /// Stacked embedding output, `nᵢ × M`.
@@ -127,6 +129,15 @@ impl ForwardPass<'_> {
     /// used by the autograd baseline path).
     pub(crate) fn atom_envs(&self) -> impl Iterator<Item = (usize, &AtomEnv)> {
         self.atoms.iter().zip(self.env.envs.iter()).map(|(a, e)| (a.ti, e))
+    }
+
+    /// Per-atom energy residual (fitting-network output before the
+    /// type bias), in frame order. Summing these in ascending atom
+    /// order reproduces `energy_residual` bitwise — the hook the
+    /// domain-decomposed engine uses to reduce per-domain energies in
+    /// fixed global index order (DESIGN §15).
+    pub fn atom_energy_residual(&self, i: usize) -> f64 {
+        self.atoms[i].energy
     }
 }
 
@@ -390,8 +401,9 @@ impl DeepPotModel {
             let d = u.t_matmul(&v);
             let d_flat = Mat::from_vec(1, self.cfg.descriptor_dim(), d.into_vec());
             let (e_out, fit_cache) = self.fittings[ti].forward(&d_flat);
-            energy_residual += e_out.get(0, 0);
-            atoms.push(AtomPass { ti, r_mat, g, emb_caches, u, fit_cache });
+            let e_atom = e_out.get(0, 0);
+            energy_residual += e_atom;
+            atoms.push(AtomPass { ti, energy: e_atom, r_mat, g, emb_caches, u, fit_cache });
         }
         let energy = energy_residual + self.bias.reference_energy(&frame.types);
         ForwardPass { frame, env: frame_env, atoms, energy_residual, energy }

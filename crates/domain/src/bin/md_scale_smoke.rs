@@ -1,0 +1,95 @@
+//! CI gate for the domain-decomposed MD engine (`scripts/ci.sh`).
+//!
+//! Replicated Cu supercell on a 2×2×1 domain grid:
+//!
+//! 1. decomposed forces/energies must be bitwise equal to the
+//!    single-domain reference (the dp-verify `domain` family sweeps
+//!    more grids; this is the fast always-on check);
+//! 2. a short NVE run must conserve energy within the PR 5 gate bound
+//!    (Cu: < 5e-3 eV/atom drift per 1000 steps, applied pro rata);
+//! 3. the decomposition invariants (unique ownership, gid order,
+//!    wrapped in-region positions) must hold after migration.
+//!
+//! Exits nonzero on any violation.
+
+use dp_domain::{DecomposedMd, LocalSuttonChen};
+use dp_mdsim::potential::sutton_chen::SuttonChenParams;
+use dp_mdsim::systems::PaperSystem;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const CU_CUTOFF: f64 = 4.5;
+const STEPS: usize = 200;
+const DT: f64 = 1.0;
+/// PR 5 gate: 5e-3 eV/atom per 1000 steps, pro rata over `STEPS`.
+const DRIFT_BOUND: f64 = 5e-3 * (STEPS as f64 / 1000.0);
+
+fn engine(state: &dp_mdsim::state::State, dims: [usize; 3]) -> DecomposedMd {
+    let pot = Box::new(LocalSuttonChen::new(SuttonChenParams::copper(), CU_CUTOFF));
+    match DecomposedMd::new(state, pot, dims) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("md_scale_smoke: decomposition failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let (mut state, _) = PaperSystem::Cu.replicate(2, 2, 2); // 864 atoms
+    let mut rng = ChaCha8Rng::seed_from_u64(1234);
+    state.jitter_positions(0.05, &mut rng);
+    state.init_velocities(300.0, &mut rng);
+
+    // Gate 1: decomposed ≡ single-domain, bitwise.
+    let reference = engine(&state, [1, 1, 1]);
+    let decomposed = engine(&state, [2, 2, 1]);
+    let mut failures = 0usize;
+    if decomposed.energy().to_bits() != reference.energy().to_bits() {
+        eprintln!(
+            "FAIL: energy not bitwise equal: {} vs {}",
+            decomposed.energy(),
+            reference.energy()
+        );
+        failures += 1;
+    }
+    for (i, (a, b)) in decomposed.forces().iter().zip(reference.forces().iter()).enumerate() {
+        for k in 0..3 {
+            if a.0[k].to_bits() != b.0[k].to_bits() {
+                eprintln!("FAIL: force atom {i} comp {k}: {} vs {}", a.0[k], b.0[k]);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("md_scale_smoke: {failures} bitwise mismatches");
+        std::process::exit(1);
+    }
+
+    // Gates 2+3: NVE drift within the PR 5 bound; invariants hold.
+    let mut eng = decomposed;
+    let n = eng.n_atoms() as f64;
+    let e0 = (eng.energy() + eng.kinetic_energy()) / n;
+    let mut pe = 0.0;
+    for _ in 0..STEPS {
+        pe = eng.step_nve(DT);
+        if !pe.is_finite() {
+            eprintln!("FAIL: potential energy went non-finite");
+            std::process::exit(1);
+        }
+    }
+    eng.assert_invariants();
+    let e1 = (pe + eng.kinetic_energy()) / n;
+    let drift = (e1 - e0).abs();
+    if drift >= DRIFT_BOUND {
+        eprintln!(
+            "FAIL: NVE drift {drift:.3e} eV/atom over {STEPS} steps (bound {DRIFT_BOUND:.3e})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "md_scale_smoke: OK — {} atoms, grid 2x2x1, bitwise vs single-domain, NVE drift \
+         {drift:.3e} eV/atom over {STEPS} steps (bound {DRIFT_BOUND:.3e})",
+        eng.n_atoms()
+    );
+}

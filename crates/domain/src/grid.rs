@@ -1,0 +1,158 @@
+//! The 3D domain grid: a regular partition of the periodic box.
+//!
+//! Every atom is owned by exactly one domain — the one whose axis
+//! intervals contain its wrapped position ([`DomainGrid::domain_of`] is
+//! the authoritative ownership rule; the interval bounds are only used
+//! for halo-distance queries, where a ±1 ulp disagreement at a face is
+//! absorbed by the selection slack). Domains are indexed in row-major
+//! `(x, y, z)` order.
+
+use crate::DomainError;
+use dp_mdsim::cell::Cell;
+use dp_mdsim::vec3::Vec3;
+
+/// Regular `gx × gy × gz` partition of an orthorhombic periodic cell.
+#[derive(Clone, Debug)]
+pub struct DomainGrid {
+    dims: [usize; 3],
+    lens: [f64; 3],
+}
+
+impl DomainGrid {
+    /// Partition `cell` into `dims` domains per axis.
+    pub fn new(cell: &Cell, dims: [usize; 3]) -> Result<Self, DomainError> {
+        if dims.contains(&0) {
+            return Err(DomainError::BadGrid { dims });
+        }
+        Ok(DomainGrid { dims, lens: cell.lengths() })
+    }
+
+    /// Grid dimensions per axis.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total number of domains.
+    pub fn n_domains(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Row-major index of grid coordinate `c`.
+    pub fn index(&self, c: [usize; 3]) -> usize {
+        (c[0] * self.dims[1] + c[1]) * self.dims[2] + c[2]
+    }
+
+    /// Grid coordinate of domain `d`.
+    pub fn coord_of(&self, d: usize) -> [usize; 3] {
+        let z = d % self.dims[2];
+        let y = (d / self.dims[2]) % self.dims[1];
+        let x = d / (self.dims[1] * self.dims[2]);
+        [x, y, z]
+    }
+
+    /// Owning domain of a wrapped position (components in `[0, L)`).
+    pub fn domain_of(&self, p: &Vec3) -> usize {
+        let c: [usize; 3] = std::array::from_fn(|k| {
+            let b = (p.0[k] / self.lens[k] * self.dims[k] as f64).floor();
+            (b.max(0.0) as usize).min(self.dims[k] - 1)
+        });
+        self.index(c)
+    }
+
+    /// Axis interval `[lo, hi]` of domain coordinate `c` along axis `k`.
+    fn interval(&self, c: usize, k: usize) -> (f64, f64) {
+        let w = self.lens[k] / self.dims[k] as f64;
+        (c as f64 * w, (c + 1) as f64 * w)
+    }
+
+    /// Squared periodic distance from wrapped point `p` to the region
+    /// of domain `d` (0 inside). Used to decide ghost membership, so
+    /// callers always compare against a slightly slackened halo.
+    pub fn dist2_to_domain(&self, p: &Vec3, d: usize) -> f64 {
+        let c = self.coord_of(d);
+        let mut d2 = 0.0;
+        for (k, &ck) in c.iter().enumerate() {
+            let (lo, hi) = self.interval(ck, k);
+            let x = p.0[k];
+            let dx = if x < lo {
+                // Approach from below directly or by wrapping past hi.
+                (lo - x).min(x + self.lens[k] - hi)
+            } else if x > hi {
+                (x - hi).min(lo + self.lens[k] - x)
+            } else {
+                0.0
+            };
+            d2 += dx * dx;
+        }
+        d2
+    }
+
+    /// Distance from wrapped point `p` to the nearest face of its own
+    /// domain `d` along any axis (the quick-reject margin: an atom at
+    /// least `halo` from every face of its own region is at least
+    /// `halo` from every other region).
+    pub fn interior_margin(&self, p: &Vec3, d: usize) -> f64 {
+        let c = self.coord_of(d);
+        let mut margin = f64::INFINITY;
+        for (k, &ck) in c.iter().enumerate() {
+            if self.dims[k] == 1 {
+                // Sole domain on this axis: no other region is reachable
+                // across these faces.
+                continue;
+            }
+            let (lo, hi) = self.interval(ck, k);
+            margin = margin.min((p.0[k] - lo).min(hi - p.0[k]));
+        }
+        margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> DomainGrid {
+        DomainGrid::new(&Cell::orthorhombic(10.0, 20.0, 30.0), [2, 2, 3]).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        let err = DomainGrid::new(&Cell::cubic(5.0), [2, 0, 1]).unwrap_err();
+        assert!(matches!(err, DomainError::BadGrid { .. }));
+    }
+
+    #[test]
+    fn index_and_coord_roundtrip() {
+        let g = grid();
+        for d in 0..g.n_domains() {
+            assert_eq!(g.index(g.coord_of(d)), d);
+        }
+    }
+
+    #[test]
+    fn domain_of_respects_intervals() {
+        let g = grid();
+        assert_eq!(g.coord_of(g.domain_of(&Vec3::new(1.0, 1.0, 1.0))), [0, 0, 0]);
+        assert_eq!(g.coord_of(g.domain_of(&Vec3::new(7.0, 1.0, 1.0))), [1, 0, 0]);
+        assert_eq!(g.coord_of(g.domain_of(&Vec3::new(1.0, 15.0, 25.0))), [0, 1, 2]);
+    }
+
+    #[test]
+    fn dist_to_own_domain_is_zero_and_wraps_periodically() {
+        let g = grid();
+        let p = Vec3::new(0.5, 1.0, 1.0);
+        assert_eq!(g.dist2_to_domain(&p, g.domain_of(&p)), 0.0);
+        // The x-distance to the other x-slab wraps: 0.5 through x=0.
+        let other = g.index([1, 0, 0]);
+        let d2 = g.dist2_to_domain(&p, other);
+        assert!((d2 - 0.25).abs() < 1e-12, "wrapped distance, got {d2}");
+    }
+
+    #[test]
+    fn interior_margin_ignores_degenerate_axes() {
+        let g = DomainGrid::new(&Cell::orthorhombic(10.0, 20.0, 30.0), [2, 1, 1]).unwrap();
+        let p = Vec3::new(2.0, 0.01, 29.99);
+        // Only the x faces count: margin = min(2.0, 5.0 - 2.0) = 2.0.
+        assert!((g.interior_margin(&p, g.domain_of(&p)) - 2.0).abs() < 1e-12);
+    }
+}

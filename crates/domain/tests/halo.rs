@@ -1,0 +1,177 @@
+//! Halo-exchange correctness: decomposed forces/energies must be
+//! bitwise equal to the single-domain reference at any domain grid and
+//! any pool thread count, and atoms must migrate cleanly across
+//! periodic faces.
+
+use dp_domain::{DecomposedMd, DomainError, LocalSuttonChen};
+use dp_mdsim::integrate::evaluate;
+use dp_mdsim::potential::sutton_chen::{SuttonChen, SuttonChenParams};
+use dp_mdsim::state::State;
+use dp_mdsim::systems::PaperSystem;
+use dp_mdsim::vec3::Vec3;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
+
+/// The pool is process-global; serialize tests that resize it.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+const CU_CUTOFF: f64 = 4.5;
+
+/// Replicated, jittered, thermalized Cu supercell (deterministic).
+fn cu_state(reps: [usize; 3], seed: u64) -> State {
+    let (mut state, _) = PaperSystem::Cu.replicate(reps[0], reps[1], reps[2]);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    state.jitter_positions(0.08, &mut rng);
+    state.init_velocities(600.0, &mut rng);
+    state
+}
+
+fn cu_engine(state: &State, dims: [usize; 3]) -> DecomposedMd {
+    let pot = Box::new(LocalSuttonChen::new(SuttonChenParams::copper(), CU_CUTOFF));
+    DecomposedMd::new(state, pot, dims).expect("decompose")
+}
+
+fn assert_bits_eq(a: &[Vec3], b: &[Vec3], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        for k in 0..3 {
+            assert_eq!(x.0[k].to_bits(), y.0[k].to_bits(), "{what}: atom {i} component {k}");
+        }
+    }
+}
+
+#[test]
+fn decomposed_is_bitwise_equal_to_single_domain_across_grids_and_threads() {
+    let _g = POOL_LOCK.lock().unwrap();
+    let state = cu_state([2, 2, 2], 42); // 864 atoms
+    // Reference: single domain, single thread.
+    dp_pool::set_threads(1);
+    let reference = cu_engine(&state, [1, 1, 1]);
+    let (e_ref, f_ref, pa_ref) = (reference.energy(), reference.forces(), reference.energies());
+
+    for dims in [[1, 1, 1], [1, 2, 2], [2, 1, 1], [2, 2, 2], [4, 2, 1]] {
+        for threads in [1, 2, 8] {
+            dp_pool::set_threads(threads);
+            let eng = cu_engine(&state, dims);
+            eng.assert_invariants();
+            let label = format!("grid {dims:?} threads {threads}");
+            assert_eq!(
+                eng.energy().to_bits(),
+                e_ref.to_bits(),
+                "{label}: energy {} vs {}",
+                eng.energy(),
+                e_ref
+            );
+            assert_bits_eq(&eng.forces(), &f_ref, &label);
+            for (i, (a, b)) in eng.energies().iter().zip(&pa_ref).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label}: per-atom energy {i}");
+            }
+        }
+    }
+    dp_pool::set_threads(1);
+}
+
+#[test]
+fn nve_trajectories_are_bitwise_grid_invariant() {
+    let _g = POOL_LOCK.lock().unwrap();
+    let state = cu_state([2, 2, 1], 7); // 432 atoms
+    let run = |dims: [usize; 3], threads: usize| -> (Vec<Vec3>, Vec<Vec3>, f64) {
+        dp_pool::set_threads(threads);
+        let mut eng = cu_engine(&state, dims);
+        let mut e = 0.0;
+        for _ in 0..25 {
+            e = eng.step_nve(1.0);
+        }
+        eng.assert_invariants();
+        let s = eng.gather();
+        (s.pos, s.vel, e)
+    };
+    let (p_ref, v_ref, e_ref) = run([1, 1, 1], 1);
+    for (dims, threads) in [([2, 2, 2], 2), ([4, 2, 1], 8), ([1, 2, 2], 2)] {
+        let (p, v, e) = run(dims, threads);
+        let label = format!("grid {dims:?} threads {threads}");
+        assert_eq!(e.to_bits(), e_ref.to_bits(), "{label}: energy after 25 steps");
+        assert_bits_eq(&p, &p_ref, &format!("{label} positions"));
+        assert_bits_eq(&v, &v_ref, &format!("{label} velocities"));
+    }
+    dp_pool::set_threads(1);
+}
+
+#[test]
+fn local_sutton_chen_matches_the_pair_form_reference() {
+    let _g = POOL_LOCK.lock().unwrap();
+    dp_pool::set_threads(1);
+    let state = cu_state([2, 2, 2], 3);
+    let pair_form = SuttonChen::new(SuttonChenParams::copper(), CU_CUTOFF);
+    let (e_ref, f_ref) = evaluate(&pair_form, &state);
+    let eng = cu_engine(&state, [2, 2, 2]);
+    // Accumulation grouping differs (per-centre vs per-pair), so this
+    // is a tight-ULP differential, not a bitwise one.
+    let scale = 1.0 + e_ref.abs();
+    assert!(
+        (eng.energy() - e_ref).abs() / scale < 1e-12,
+        "energy {} vs pair-form {}",
+        eng.energy(),
+        e_ref
+    );
+    for (i, (a, b)) in eng.forces().iter().zip(&f_ref).enumerate() {
+        for k in 0..3 {
+            assert!(
+                (a.0[k] - b.0[k]).abs() < 1e-10 * (1.0 + b.0[k].abs()),
+                "force atom {i} comp {k}: {} vs {}",
+                a.0[k],
+                b.0[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn atoms_migrate_across_a_periodic_face() {
+    let _g = POOL_LOCK.lock().unwrap();
+    dp_pool::set_threads(1);
+    let (mut state, _) = PaperSystem::Cu.replicate(2, 1, 1);
+    // Freeze everything, then push one low-x atom backwards through
+    // the periodic x=0 face: it must re-enter at high x and migrate
+    // from domain 0 to domain 1.
+    for v in &mut state.vel {
+        *v = Vec3::ZERO;
+    }
+    let gid = (0..state.n_atoms())
+        .min_by(|&a, &b| state.pos[a].0[0].partial_cmp(&state.pos[b].0[0]).unwrap())
+        .unwrap();
+    state.vel[gid] = Vec3::new(-0.9, 0.0, 0.0);
+    let mut eng = cu_engine(&state, [2, 1, 1]);
+    assert_eq!(eng.owner_of(gid), Some(0), "starts in the low-x domain");
+    let n0 = eng.domain_len(0);
+    eng.step_nve(1.0);
+    eng.assert_invariants();
+    assert_eq!(eng.owner_of(gid), Some(1), "crossed the periodic face into the high-x domain");
+    assert_eq!(eng.domain_len(0), n0 - 1);
+    assert_eq!(eng.domain_len(0) + eng.domain_len(1), eng.n_atoms());
+    // The wrapped position really is at the far side of the box.
+    let s = eng.gather();
+    let lx = s.cell.lengths()[0];
+    assert!(s.pos[gid].0[0] > 0.5 * lx, "atom wrapped to x = {}", s.pos[gid].0[0]);
+}
+
+#[test]
+fn construction_errors_are_typed() {
+    let state = cu_state([1, 1, 1], 1); // 108 atoms, box 10.83 Å
+    let pot = || Box::new(LocalSuttonChen::new(SuttonChenParams::copper(), CU_CUTOFF));
+    assert!(matches!(
+        DecomposedMd::new(&state, pot(), [0, 1, 1]).err().unwrap(),
+        DomainError::BadGrid { .. }
+    ));
+    let fat = Box::new(LocalSuttonChen::new(SuttonChenParams::copper(), 6.0));
+    assert!(matches!(
+        DecomposedMd::new(&state, fat, [1, 1, 1]).err().unwrap(),
+        DomainError::CutoffTooLarge { .. }
+    ));
+    let (h2o, _) = PaperSystem::H2O.preset().instantiate();
+    assert!(matches!(
+        DecomposedMd::new(&h2o, pot(), [1, 1, 1]).err().unwrap(),
+        DomainError::UnsupportedTopology { .. }
+    ));
+}

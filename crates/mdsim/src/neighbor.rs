@@ -5,10 +5,23 @@
 //! three-body Stillinger–Weber terms, and the DeePMD environment
 //! matrix).
 //!
-//! For the box sizes of the paper's datasets (32–108 atoms) the
-//! minimum-image `O(N²)` search is fastest; a linked-cell search is used
-//! automatically once the box is at least three cutoffs wide so larger
-//! systems stay `O(N)`.
+//! [`NeighborList::build`] dispatches between two constructions that
+//! are **bitwise identical** in output:
+//!
+//! * the minimum-image `O(N²)` scan ([`NeighborList::build_naive`]),
+//!   used for the paper's single-cell datasets (32–108 atoms) and kept
+//!   as the differential oracle, and
+//! * a linked-cell `O(N)` search, used automatically once the box is at
+//!   least three cutoffs wide, so replicated supercells (`dp-domain`)
+//!   stay linear in atom count.
+//!
+//! Both emit *canonical ordering*: `pairs` in `(i, j)` lexicographic
+//! order and each full list ascending by neighbour index, with every
+//! displacement computed as `cell.min_image(&pos[i], &pos[j])`. The
+//! cell-list path therefore produces the same bits as the scan (DESIGN
+//! §15), which is what lets the domain-decomposed engine and every
+//! consumer above it (env rows inherit neighbour order) switch paths
+//! without perturbing golden fingerprints.
 
 use crate::cell::Cell;
 use crate::vec3::Vec3;
@@ -49,51 +62,76 @@ pub struct NeighborList {
 impl NeighborList {
     /// Build the list for `pos` in `cell` with interaction `cutoff`.
     ///
+    /// Uses the linked-cell search when the box is at least three
+    /// cutoffs wide on every axis, and the `O(N²)` scan otherwise; the
+    /// two constructions are bitwise identical, so the dispatch is
+    /// invisible to every consumer.
+    ///
     /// # Panics
     /// Panics if the cutoff exceeds half the shortest box length (the
     /// minimum-image convention would otherwise miss images).
     pub fn build(cell: &Cell, pos: &[Vec3], cutoff: f64) -> Self {
-        assert!(
-            cutoff <= 0.5 * cell.min_length() + 1e-9,
-            "cutoff {} exceeds half the min box length {}",
-            cutoff,
-            0.5 * cell.min_length()
-        );
+        Self::check_cutoff(cell, cutoff);
+        if cutoff > 0.0 && cell.min_length() >= 3.0 * cutoff {
+            Self::build_cells_impl(cell, pos, cutoff)
+        } else {
+            Self::build_naive(cell, pos, cutoff)
+        }
+    }
+
+    /// The `O(N²)` minimum-image scan — the differential oracle the
+    /// linked-cell path is checked against (dp-verify `domain` family).
+    ///
+    /// # Panics
+    /// Same cutoff precondition as [`NeighborList::build`].
+    pub fn build_naive(cell: &Cell, pos: &[Vec3], cutoff: f64) -> Self {
+        Self::check_cutoff(cell, cutoff);
         let n = pos.len();
         let mut pairs = Vec::new();
         let mut full: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
         let cut2 = cutoff * cutoff;
-
-        let use_cells = cutoff > 0.0 && cell.min_length() >= 3.0 * cutoff && n >= 64;
-        if use_cells {
-            Self::build_celllist(cell, pos, cutoff, cut2, &mut pairs, &mut full);
-        } else {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let rij = cell.min_image(&pos[i], &pos[j]);
-                    let d2 = rij.norm2();
-                    if d2 < cut2 && d2 > 0.0 {
-                        let dist = d2.sqrt();
-                        pairs.push(Pair { i, j, rij, dist });
-                        full[i].push(Neighbor { j, rij, dist });
-                        full[j].push(Neighbor { j: i, rij: -rij, dist });
-                    }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let rij = cell.min_image(&pos[i], &pos[j]);
+                let d2 = rij.norm2();
+                if d2 < cut2 && d2 > 0.0 {
+                    let dist = d2.sqrt();
+                    pairs.push(Pair { i, j, rij, dist });
+                    full[i].push(Neighbor { j, rij, dist });
+                    full[j].push(Neighbor { j: i, rij: -rij, dist });
                 }
             }
         }
         NeighborList { cutoff, pairs, full }
     }
 
-    fn build_celllist(
-        cell: &Cell,
-        pos: &[Vec3],
-        cutoff: f64,
-        cut2: f64,
-        pairs: &mut Vec<Pair>,
-        full: &mut [Vec<Neighbor>],
-    ) {
+    fn check_cutoff(cell: &Cell, cutoff: f64) {
+        assert!(
+            cutoff <= 0.5 * cell.min_length() + 1e-9,
+            "cutoff {} exceeds half the min box length {}",
+            cutoff,
+            0.5 * cell.min_length()
+        );
+    }
+
+    /// Linked-cell construction. Precondition (checked by the caller):
+    /// `min_length >= 3 * cutoff`, which guarantees at least three bins
+    /// per axis so the 27-stencil visits each bin at most once.
+    ///
+    /// Per-centre candidates from the 27 surrounding bins are sorted
+    /// ascending by index before emission, and `full[j]` entries are
+    /// recomputed from centre `j` rather than negated — `min_image` is
+    /// exactly antisymmetric (round ties away from zero), so the output
+    /// is bit-for-bit the naive scan's.
+    fn build_cells_impl(cell: &Cell, pos: &[Vec3], cutoff: f64) -> Self {
+        let n = pos.len();
+        let mut pairs = Vec::new();
+        let mut full: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let cut2 = cutoff * cutoff;
+
         let lens = cell.lengths();
         let nbin: [usize; 3] = std::array::from_fn(|k| ((lens[k] / cutoff).floor() as usize).max(1));
+        debug_assert!(nbin.iter().all(|&b| b >= 3), "caller must ensure >= 3 bins per axis");
         let bin_of = |r: &Vec3| -> [usize; 3] {
             let w = cell.wrap(r);
             std::array::from_fn(|k| {
@@ -106,8 +144,10 @@ impl NeighborList {
         for (i, p) in pos.iter().enumerate() {
             bins[idx(&bin_of(p))].push(i);
         }
+        let mut cand: Vec<Neighbor> = Vec::new();
         for (i, p) in pos.iter().enumerate() {
             let b = bin_of(p);
+            cand.clear();
             for dx in -1i64..=1 {
                 for dy in -1i64..=1 {
                     for dz in -1i64..=1 {
@@ -116,22 +156,27 @@ impl NeighborList {
                             ((b[k] as i64 + d).rem_euclid(nbin[k] as i64)) as usize
                         });
                         for &j in &bins[idx(&nb)] {
-                            if j <= i {
+                            if j == i {
                                 continue;
                             }
-                            let rij = cell.min_image(&pos[i], &pos[j]);
+                            let rij = cell.min_image(p, &pos[j]);
                             let d2 = rij.norm2();
                             if d2 < cut2 && d2 > 0.0 {
-                                let dist = d2.sqrt();
-                                pairs.push(Pair { i, j, rij, dist });
-                                full[i].push(Neighbor { j, rij, dist });
-                                full[j].push(Neighbor { j: i, rij: -rij, dist });
+                                cand.push(Neighbor { j, rij, dist: d2.sqrt() });
                             }
                         }
                     }
                 }
             }
+            cand.sort_unstable_by_key(|nb| nb.j);
+            for nb in &cand {
+                if nb.j > i {
+                    pairs.push(Pair { i, j: nb.j, rij: nb.rij, dist: nb.dist });
+                }
+            }
+            full[i].extend_from_slice(&cand);
         }
+        NeighborList { cutoff, pairs, full }
     }
 
     /// The cutoff used to build the list.
@@ -165,6 +210,31 @@ mod tests {
     use super::*;
     use crate::lattice::{fcc, Species};
 
+    /// Bitwise list equality: same pair sequence, same per-atom
+    /// neighbour sequences, identical displacement/distance bits.
+    fn assert_bitwise_eq(a: &NeighborList, b: &NeighborList) {
+        assert_eq!(a.pairs().len(), b.pairs().len());
+        for (pa, pb) in a.pairs().iter().zip(b.pairs()) {
+            assert_eq!((pa.i, pa.j), (pb.i, pb.j));
+            for k in 0..3 {
+                assert_eq!(pa.rij.0[k].to_bits(), pb.rij.0[k].to_bits());
+            }
+            assert_eq!(pa.dist.to_bits(), pb.dist.to_bits());
+        }
+        assert_eq!(a.n_atoms(), b.n_atoms());
+        for i in 0..a.n_atoms() {
+            let (fa, fb) = (a.neighbors_of(i), b.neighbors_of(i));
+            assert_eq!(fa.len(), fb.len(), "atom {i}");
+            for (na, nb) in fa.iter().zip(fb) {
+                assert_eq!(na.j, nb.j, "atom {i}");
+                for k in 0..3 {
+                    assert_eq!(na.rij.0[k].to_bits(), nb.rij.0[k].to_bits());
+                }
+                assert_eq!(na.dist.to_bits(), nb.dist.to_bits());
+            }
+        }
+    }
+
     #[test]
     fn fcc_first_shell_has_12_neighbors() {
         let s = fcc(Species::new("Cu", 63.5), 3.6, [3, 3, 3]);
@@ -189,22 +259,45 @@ mod tests {
     }
 
     #[test]
-    fn celllist_matches_n_squared() {
-        // A box big enough to trigger the cell-list path.
-        let s = fcc(Species::new("Cu", 63.5), 3.6, [4, 4, 4]);
-        let cutoff = 3.0;
-        assert!(s.cell.min_length() >= 3.0 * cutoff);
-        let nl = NeighborList::build(&s.cell, &s.pos, cutoff);
-        // Brute-force reference.
-        let mut count = 0;
-        for i in 0..s.n_atoms() {
-            for j in (i + 1)..s.n_atoms() {
-                if s.cell.min_image(&s.pos[i], &s.pos[j]).norm() < cutoff {
-                    count += 1;
-                }
+    fn celllist_is_bitwise_identical_to_naive() {
+        // A box big enough to trigger the cell-list path, with
+        // deterministic pseudo-random jitter so positions carry no
+        // lattice symmetry the orderings could hide behind.
+        let mut s = fcc(Species::new("Cu", 63.5), 3.6, [4, 4, 4]);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for p in &mut s.pos {
+            for k in 0..3 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.0[k] += 0.3 * ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
             }
         }
-        assert_eq!(nl.pairs().len(), count);
+        let cutoff = 4.5;
+        assert!(s.cell.min_length() >= 3.0 * cutoff);
+        let fast = NeighborList::build(&s.cell, &s.pos, cutoff);
+        let naive = NeighborList::build_naive(&s.cell, &s.pos, cutoff);
+        assert!(!fast.pairs().is_empty());
+        assert_bitwise_eq(&fast, &naive);
+    }
+
+    #[test]
+    fn full_lists_are_ascending_by_index() {
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [4, 4, 4]);
+        for cutoff in [1.7, 4.5] {
+            let nl = NeighborList::build(&s.cell, &s.pos, cutoff);
+            for i in 0..s.n_atoms() {
+                let js: Vec<usize> = nl.neighbors_of(i).iter().map(|nb| nb.j).collect();
+                assert!(js.windows(2).all(|w| w[0] < w[1]), "atom {i} cutoff {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_boxes_use_the_naive_path_unchanged() {
+        // min_length < 3*cutoff: build() must fall back to the scan.
+        let s = fcc(Species::new("Cu", 63.5), 3.6, [2, 2, 2]);
+        let fast = NeighborList::build(&s.cell, &s.pos, 3.0);
+        let naive = NeighborList::build_naive(&s.cell, &s.pos, 3.0);
+        assert_bitwise_eq(&fast, &naive);
     }
 
     #[test]

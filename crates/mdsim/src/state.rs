@@ -131,6 +131,62 @@ impl State {
         }
     }
 
+    /// Tile the periodic cell `nx × ny × nz` times into a supercell.
+    ///
+    /// Image `(ax, ay, az)` of atom `i` lands at index
+    /// `(ax*ny + ay)*nz + az)*n + i` — images are ordered
+    /// lexicographically by image coordinate and keep the base-cell
+    /// atom order within each image, so replication is deterministic
+    /// and the first `n` atoms of the supercell are the original cell.
+    /// Velocities are copied per image and bonded topology indices are
+    /// offset per image (bonds/angles never span images; the base-cell
+    /// builders keep molecules whole).
+    ///
+    /// # Panics
+    /// Panics if any factor is zero.
+    pub fn replicate(&self, reps: [usize; 3]) -> State {
+        let [nx, ny, nz] = reps;
+        assert!(nx > 0 && ny > 0 && nz > 0, "replication factors must be positive");
+        let lens = self.cell.lengths();
+        let cell = Cell::orthorhombic(lens[0] * nx as f64, lens[1] * ny as f64, lens[2] * nz as f64);
+        let n = self.n_atoms();
+        let n_images = nx * ny * nz;
+        let mut types = Vec::with_capacity(n * n_images);
+        let mut pos = Vec::with_capacity(n * n_images);
+        let mut vel = Vec::with_capacity(n * n_images);
+        let mut topology = Topology::default();
+        for ax in 0..nx {
+            for ay in 0..ny {
+                for az in 0..nz {
+                    let shift =
+                        Vec3::new(ax as f64 * lens[0], ay as f64 * lens[1], az as f64 * lens[2]);
+                    let off = pos.len();
+                    types.extend_from_slice(&self.types);
+                    pos.extend(self.pos.iter().map(|p| *p + shift));
+                    vel.extend_from_slice(&self.vel);
+                    topology.bonds.extend(
+                        self.topology.bonds.iter().map(|b| Bond { i: b.i + off, j: b.j + off }),
+                    );
+                    topology.angles.extend(
+                        self.topology
+                            .angles
+                            .iter()
+                            .map(|a| Angle { i: a.i + off, j: a.j + off, k: a.k + off }),
+                    );
+                }
+            }
+        }
+        State {
+            cell,
+            type_names: self.type_names.clone(),
+            masses: self.masses.clone(),
+            types,
+            pos,
+            vel,
+            topology,
+        }
+    }
+
     /// Count of atoms per type id.
     pub fn type_counts(&self) -> Vec<usize> {
         let mut counts = vec![0; self.type_names.len()];
@@ -191,6 +247,37 @@ mod tests {
         s.vel[0] = Vec3::new(0.01, 0.0, 0.0);
         let expect = KE_CONV * 10.0 * 0.0001;
         assert!((s.kinetic_energy() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicate_tiles_cell_atoms_and_topology() {
+        let mut s = two_atom_state();
+        s.vel[1] = Vec3::new(0.01, -0.02, 0.03);
+        s.topology.bonds.push(Bond { i: 0, j: 1 });
+        s.topology.angles.push(Angle { i: 0, j: 1, k: 0 });
+        let r = s.replicate([2, 1, 3]);
+        assert_eq!(r.n_atoms(), 12);
+        assert_eq!(r.cell.lengths(), [20.0, 10.0, 30.0]);
+        assert_eq!(r.topology.bonds.len(), 6);
+        assert_eq!(r.topology.angles.len(), 6);
+        // First image is the original cell verbatim.
+        assert_eq!(r.pos[0].0, s.pos[0].0);
+        assert_eq!(r.pos[1].0, s.pos[1].0);
+        // Image (1, 0, 2) of atom 1: index ((1*1 + 0)*3 + 2)*2 + 1 = 11.
+        let idx = 11;
+        assert_eq!(r.pos[idx].0, [11.0, 0.0, 20.0]);
+        assert_eq!(r.vel[idx].0, s.vel[1].0);
+        assert_eq!(r.types[idx], s.types[1]);
+        // Topology indices are offset per image and never span images.
+        for (img, b) in r.topology.bonds.iter().enumerate() {
+            assert_eq!((b.i, b.j), (2 * img, 2 * img + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn replicate_rejects_zero_factor() {
+        let _ = two_atom_state().replicate([2, 0, 1]);
     }
 
     #[test]

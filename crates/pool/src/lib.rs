@@ -363,6 +363,38 @@ fn run_region(
     }
 }
 
+/// Run `body(i, &mut items[i])` for every element, distributing over
+/// the pool. Blocks until all tasks completed.
+///
+/// The per-domain building block of `dp-domain`: each task gets
+/// exclusive `&mut` access to its own element (safe because
+/// [`parallel_for`] claims every index exactly once, so the mutable
+/// borrows are provably disjoint), letting a 3D grid of domain states
+/// be advanced in place without interior mutability or cloning. All
+/// [`parallel_for`] guarantees carry over — in particular the outcome
+/// is independent of the thread count and of index-to-worker
+/// assignment whenever the per-element effects are disjoint.
+pub fn parallel_for_each_mut<T: Send>(items: &mut [T], body: &(dyn Fn(usize, &mut T) + Sync)) {
+    struct Base<T>(*mut T);
+    // SAFETY: the pointer is only dereferenced at distinct offsets by
+    // distinct tasks (exactly-once index claim), and `T: Send` lets the
+    // resulting `&mut T` cross threads.
+    unsafe impl<T: Send> Sync for Base<T> {}
+    let base = Base(items.as_mut_ptr());
+    // Capture the Sync wrapper itself, not its raw-pointer field
+    // (edition-2021 closures capture field paths).
+    let base = &base;
+    let n = items.len();
+    parallel_for(n, &|i| {
+        debug_assert!(i < n);
+        // SAFETY: `i` is claimed exactly once per region, so no two
+        // tasks alias this element; the slice outlives the region
+        // because `parallel_for` blocks until completion.
+        let item = unsafe { &mut *base.0.add(i) };
+        body(i, item);
+    });
+}
+
 /// True when called from inside a pool task (useful for diagnostics).
 pub fn in_worker() -> bool {
     IN_WORKER.with(|w| w.get())
@@ -410,6 +442,44 @@ mod tests {
         for ((x, y), z) in a.iter().zip(&b).zip(&c) {
             assert_eq!(x.to_bits(), y.to_bits());
             assert_eq!(x.to_bits(), z.to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_mut_gives_exclusive_disjoint_access() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let mut items: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64; 4]).collect();
+        parallel_for_each_mut(&mut items, &|i, item| {
+            for (k, v) in item.iter_mut().enumerate() {
+                *v = *v * 2.0 + k as f64;
+            }
+            item.push(i as f64);
+        });
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.len(), 5);
+            for (k, &v) in item.iter().take(4).enumerate() {
+                assert_eq!(v, i as f64 * 2.0 + k as f64);
+            }
+            assert_eq!(item[4], i as f64);
+        }
+    }
+
+    #[test]
+    fn for_each_mut_identical_across_thread_counts() {
+        let _g = LOCK.lock().unwrap();
+        let run = |threads: usize| -> Vec<f64> {
+            set_threads(threads);
+            let mut items = vec![0.0f64; 257];
+            parallel_for_each_mut(&mut items, &|i, v| {
+                *v = (i as f64 * 0.37).sin() * (i as f64 + 1.0).ln();
+            });
+            items
+        };
+        let a = run(1);
+        let b = run(8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -1,4 +1,4 @@
-//! `verify` — drive all six oracle families and emit a machine-
+//! `verify` — drive all seven oracle families and emit a machine-
 //! readable report.
 //!
 //! ```text
@@ -11,7 +11,8 @@
 //! * `--profile` picks the case counts: `quick` is the CI gate
 //!   (`scripts/ci.sh`), `full` the nightly sweep (`scripts/bench.sh`).
 //! * `--family` restricts to a subset (repeatable): `gradcheck`,
-//!   `invariants`, `differential`, `golden`, `backend`, `compress`.
+//!   `invariants`, `differential`, `golden`, `backend`, `compress`,
+//!   `domain`.
 //! * `--bless` regenerates the committed golden fingerprints instead
 //!   of comparing against them (commit the result).
 //!
@@ -23,12 +24,14 @@
 //! Writes `<out>/VERIFY_report.json` and exits non-zero when any check
 //! fails — wire-breakage in any gated crate turns CI red.
 
-use dp_verify::{backends, compress, differential, golden, gradcheck, invariants, Profile, VerifyReport};
+use dp_verify::{
+    backends, compress, differential, domain, golden, gradcheck, invariants, Profile, VerifyReport,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const FAMILIES: [&str; 6] =
-    ["gradcheck", "invariants", "differential", "golden", "backend", "compress"];
+const FAMILIES: [&str; 7] =
+    ["gradcheck", "invariants", "differential", "golden", "backend", "compress", "domain"];
 
 struct Args {
     seed: u64,
@@ -132,6 +135,7 @@ fn main() -> ExitCode {
             "golden" => golden::run(&args.golden_dir, args.profile, args.bless),
             "backend" => backends::run(args.seed, args.profile),
             "compress" => compress::run(args.seed, args.profile),
+            "domain" => domain::run(args.seed, args.profile),
             _ => unreachable!("families validated at parse time"),
         };
         let dt = t0.elapsed().as_secs_f64();

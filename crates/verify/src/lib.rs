@@ -7,7 +7,7 @@
 //! floor: a single harness that proves, on every CI run, that the fast
 //! paths still compute the same physics as the slow ones.
 //!
-//! Six oracle families (one module each):
+//! Seven oracle families (one module each):
 //!
 //! 1. [`gradcheck`] — central finite-difference validation of the
 //!    analytic forces against `E(pos±h)` and of `∇θE` / `∇θ(cᵀF)`
@@ -34,6 +34,12 @@
 //!    budgets across all eight paper systems, self-consistency of the
 //!    compressed forces (FD of the compressed energy), cutoff
 //!    smoothness, and bitwise `DPCM`/`DPQT` artifact roundtrips.
+//! 7. [`domain`] — the decomposed MD engine (`dp-domain`) vs its
+//!    single-domain reference: forces/energies and whole NVE
+//!    trajectories bitwise across domain grids × pool thread counts,
+//!    the linked-cell neighbour search vs the `O(N²)` scan, the
+//!    per-atom EAM vs the pair-form reference, and the per-domain
+//!    sub-frame DeePMD path vs a global `predict`.
 //!
 //! Everything is generated from a seed by the vendored-dep-free
 //! [`gen`] library and reported through [`dp_bench::report`]'s
@@ -54,6 +60,7 @@
 pub mod backends;
 pub mod compress;
 pub mod differential;
+pub mod domain;
 pub mod gen;
 pub mod golden;
 pub mod gradcheck;
@@ -140,6 +147,31 @@ impl Profile {
         match self {
             Profile::Quick => 2,
             Profile::Full => 4,
+        }
+    }
+
+    /// Domain grids the `domain` family sweeps against the
+    /// single-domain reference.
+    pub fn domain_grids(self) -> &'static [[usize; 3]] {
+        match self {
+            Profile::Quick => &[[2, 1, 1], [2, 2, 1], [2, 2, 2]],
+            Profile::Full => &[[2, 1, 1], [1, 2, 2], [2, 2, 1], [2, 2, 2], [4, 2, 1]],
+        }
+    }
+
+    /// Pool thread counts the `domain` family crosses with the grids.
+    pub fn domain_threads(self) -> &'static [usize] {
+        match self {
+            Profile::Quick => &[1, 4],
+            Profile::Full => &[1, 2, 8],
+        }
+    }
+
+    /// NVE steps of the `domain` family's trajectory-invariance check.
+    pub fn domain_steps(self) -> usize {
+        match self {
+            Profile::Quick => 10,
+            Profile::Full => 40,
         }
     }
 

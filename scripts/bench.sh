@@ -8,9 +8,13 @@
 # requests/s on a paper-sized model with master/compressed/quantized
 # pins (shape [0]/[1]/[2]) and the accuracy budget each cheap tier
 # spends (max per-atom energy error and, for the compressed tier, max
-# force-component error vs the f64 master) — and BENCH_serve_slo.json:
+# force-component error vs the f64 master) — BENCH_serve_slo.json:
 # shed / deadline-miss / breaker-trip / degradation counters and tail
-# latency under the seeded chaos overload soak).
+# latency under the seeded chaos overload soak — and
+# BENCH_md_scale.json: linked-cell vs O(N²) neighbour construction and
+# decomposed-MD NVE step throughput (atoms/s, ns/day) across supercell
+# sizes, domain grids, and thread counts; --paper adds the 10⁶-atom
+# supercell (~2 GB resident)).
 #
 #   scripts/bench.sh                 # full sweep -> results/bench/
 #   scripts/bench.sh --smoke         # one shape per report (CI gate)
@@ -44,7 +48,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-results/bench}"
 
-cargo build --release --offline -p dp-bench --bin bench_kernels --bin bench_forward
+cargo build --release --offline -p dp-bench --bin bench_kernels --bin bench_forward --bin bench_md_scale
 cargo build --release --offline -p dp-serve --bin bench_serve
 cargo build --release --offline --example overload_soak
 
@@ -60,5 +64,6 @@ done
 
 cargo run --release --offline -p dp-bench --bin bench_kernels -- "--out=${OUT}" "${KERNEL_ARGS[@]+"${KERNEL_ARGS[@]}"}"
 cargo run --release --offline -p dp-bench --bin bench_forward -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
+cargo run --release --offline -p dp-bench --bin bench_md_scale -- "--out=${OUT}" "${KERNEL_ARGS[@]+"${KERNEL_ARGS[@]}"}"
 cargo run --release --offline -p dp-serve --bin bench_serve -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
 exec cargo run --release --offline --example overload_soak -- --profile "${SOAK_PROFILE}" --seed 1234 "--out=${OUT}"

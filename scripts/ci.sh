@@ -54,14 +54,23 @@ DP_ENV_CACHE=0 DP_POOL_THREADS=4 cargo test --offline -p dp-train -q
 step "cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Correctness harness, quick profile: all six oracle families
+# Correctness harness, quick profile: all seven oracle families
 # (gradient checks, physics invariants, differential equivalences,
-# golden fingerprints, SIMD-backend-vs-scalar, and compressed/
-# quantized-tier fidelity budgets vs the f64 master) at a fixed seed,
+# golden fingerprints, SIMD-backend-vs-scalar, compressed/quantized-tier
+# fidelity budgets vs the f64 master, and the domain-decomposition
+# bitwise contract) at a fixed seed,
 # under auto dispatch so the backend family sweeps every SIMD tier
 # this CPU has. The full sweep is documented in scripts/bench.sh.
 step "verify (quick profile, seed 42, DP_BACKEND=auto)"
 DP_BACKEND=auto cargo run --release --offline -p dp-verify --bin verify -- --seed 42 --profile quick
+
+# Decomposed-MD gate: a replicated Cu supercell on a 2x2x1 domain grid
+# must be bitwise equal to the single-domain reference, hold the PR 5
+# NVE drift bound (5e-3 eV/atom per 1000 steps, pro rata), and keep the
+# decomposition invariants through migration. Exits nonzero on any
+# violation.
+step "md_scale smoke (DP_POOL_THREADS=4)"
+DP_POOL_THREADS=4 cargo run --release --offline -p dp-domain --bin md_scale_smoke
 
 step "bench smoke"
 BENCH_OUT="$(mktemp -d)" scripts/bench.sh --smoke

@@ -15,6 +15,7 @@
 
 pub use deepmd_core as core;
 pub use dp_data as data;
+pub use dp_domain as domain;
 pub use dp_mdsim as mdsim;
 pub use dp_optim as optim;
 pub use dp_parallel as parallel;
@@ -31,6 +32,7 @@ pub mod prelude {
     pub use deepmd_core::nnmd::DeepPotential;
     pub use deepmd_core::quant::QuantizedModel;
     pub use dp_data::dataset::{Dataset, Snapshot};
+    pub use dp_domain::{DecomposedMd, DeepDomainPotential, DomainGrid, LocalSuttonChen};
     pub use dp_mdsim::systems::{PaperSystem, SystemPreset};
     pub use dp_optim::adam::{Adam, AdamConfig};
     pub use dp_optim::fekf::{Fekf, FekfConfig};
