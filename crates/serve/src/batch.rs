@@ -48,6 +48,15 @@ pub struct InferRequest {
     pub deadline: Option<Duration>,
     /// Which model tier may serve this request (see [`Fidelity`]).
     pub fidelity: Fidelity,
+    /// Which published model serves this request. Model ids index the
+    /// engine's `ModelTable`; id 0 is the default model, so the
+    /// single-model API is the `model == 0` special case. A request
+    /// naming an unknown id resolves with [`ServeError::UnknownModel`].
+    pub model: u64,
+    /// The tenant this request is accounted to (per-tenant latency and
+    /// outcome counters in the fleet's `TenantTable`). Purely
+    /// telemetry: tenancy never changes the computed numbers.
+    pub tenant: u64,
 }
 
 impl InferRequest {
@@ -59,6 +68,8 @@ impl InferRequest {
             priority: Priority::Interactive,
             deadline: None,
             fidelity: Fidelity::Auto,
+            model: 0,
+            tenant: 0,
         }
     }
 
@@ -78,6 +89,19 @@ impl InferRequest {
     /// verification traffic that must be bitwise against the f64 path).
     pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
         self.fidelity = fidelity;
+        self
+    }
+
+    /// Address a specific published model (multi-model engines; id 0
+    /// is the default model every engine serves).
+    pub fn for_model(mut self, model: u64) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Account this request to a tenant.
+    pub fn from_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -185,6 +209,21 @@ pub enum ServeError {
     /// produces non-finite output). Repeated eval failures trip the
     /// engine's circuit breaker.
     EvalFailed(String),
+    /// The request addressed a model id this engine does not serve.
+    UnknownModel {
+        /// The id the request carried.
+        model: u64,
+    },
+    /// A retained-snapshot lookup named a version that was pruned from
+    /// the registry's history (or never published). The typed answer
+    /// to the stale-`Arc` footgun: callers asking for a reclaimed
+    /// version get this, never a dangling or wrong snapshot.
+    SnapshotPruned {
+        /// The version that was asked for.
+        version: u64,
+        /// The registry's current version at lookup time.
+        current: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -202,6 +241,13 @@ impl std::fmt::Display for ServeError {
                 budget.as_secs_f64() * 1e3
             ),
             ServeError::EvalFailed(m) => write!(f, "model evaluation failed: {m}"),
+            ServeError::UnknownModel { model } => {
+                write!(f, "unknown model id {model}: not in this engine's model table")
+            }
+            ServeError::SnapshotPruned { version, current } => write!(
+                f,
+                "snapshot version {version} was pruned (current is {current})"
+            ),
         }
     }
 }

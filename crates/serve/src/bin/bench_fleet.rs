@@ -1,0 +1,155 @@
+//! Fleet serving benchmark: open-loop, multi-tenant, sharded.
+//!
+//! Writes `BENCH_serve_fleet.json` (schema in `dp_bench::report`). For
+//! each shard count, two tenants drive the fleet *open-loop*: requests
+//! are issued on a bounded-Pareto arrival clock
+//! (`dp_bench::load::OpenLoop`, `u^-0.8` capped at 100× the base gap)
+//! that never waits for completions — a drainer thread collects the
+//! tickets — so the recorded tail is the tail of the fleet, not of a
+//! politely self-throttling client. Tenant 1 is interactive
+//! (energy+forces); tenant 2 rides the bulk lane at a faster arrival
+//! clock (energy-only).
+//!
+//! Report rows, per shard count:
+//!
+//! * `serve_fleet_requests_per_s` — completed requests per wall-clock
+//!   second, shape `[shards]`;
+//! * `serve_fleet_{p50_ns,p99_ns,p999_ns,requests,ok,errors,degraded}`
+//!   — per-tenant end-to-end latency percentiles and outcome counters,
+//!   shape `[tenant_id, shards]`.
+//!
+//! Flags: `--smoke` (fewer requests, for CI), `--out=DIR` (default
+//! `results/bench`).
+
+use dp_bench::load::{BoundedPareto, OpenLoop};
+use dp_bench::report::BenchReport;
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::shard::{Fleet, FleetConfig};
+use dp_serve::{InferRequest, ModelRegistry, ModelTable};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    smoke: bool,
+    out: PathBuf,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts { smoke: false, out: PathBuf::from("results/bench") };
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            o.smoke = true;
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            o.out = PathBuf::from(v);
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("flags: --smoke --out=DIR");
+            std::process::exit(0);
+        } else {
+            eprintln!("error: unknown flag '{arg}' (try --help)");
+            std::process::exit(2);
+        }
+    }
+    o
+}
+
+const MODEL_IDS: [u64; 3] = [0, 7, 42];
+
+/// (tenant id, base inter-arrival gap, bulk lane, want forces)
+const TENANTS: [(u64, Duration, bool, bool); 2] = [
+    (1, Duration::from_micros(300), false, true),
+    (2, Duration::from_micros(150), true, false),
+];
+
+fn main() {
+    let opts = parse_opts();
+    let per_tenant = if opts.smoke { 150 } else { 1500 };
+    let shard_counts: &[u32] = if opts.smoke { &[1, 3] } else { &[1, 2, 4, 8] };
+    let threads = dp_pool::current_threads();
+    let mut rep = BenchReport::new("serve_fleet");
+
+    for &shards in shard_counts {
+        let models = ModelTable::with_models(
+            MODEL_IDS
+                .iter()
+                .map(|&id| (id, Arc::new(ModelRegistry::new(demo_model(id + 1))))),
+        );
+        let fleet = Arc::new(Fleet::start(FleetConfig::new(shards), models));
+
+        let t0 = Instant::now();
+        let generators: Vec<_> = TENANTS
+            .iter()
+            .enumerate()
+            .map(|(t_idx, &(tenant, base_gap, bulk, forces))| {
+                let fleet = Arc::clone(&fleet);
+                std::thread::spawn(move || {
+                    // Open loop: the arrival clock never waits for a
+                    // response; a drainer owns the tickets.
+                    let (tx, rx) = mpsc::channel();
+                    let drainer = std::thread::spawn(move || {
+                        let mut ok = 0u64;
+                        for ticket in rx {
+                            let resp: Result<_, _> = dp_serve::Ticket::wait(ticket);
+                            if let Ok(r) = resp {
+                                assert!(r.energy.is_finite());
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    });
+                    let mut clock = OpenLoop::new(
+                        BoundedPareto::serving_default(base_gap),
+                        0x10ad_0000 + tenant,
+                    );
+                    for i in 0..per_tenant {
+                        std::thread::sleep(clock.next_gap());
+                        let model = MODEL_IDS[(t_idx + i) % MODEL_IDS.len()];
+                        let mut req = InferRequest::new(demo_frame((i % 12) as u64), forces)
+                            .for_model(model)
+                            .from_tenant(tenant);
+                        if bulk {
+                            req = req.bulk();
+                        }
+                        let ticket = fleet.submit(req).expect("live fleet must accept");
+                        tx.send(ticket).expect("drainer alive");
+                    }
+                    drop(tx);
+                    drainer.join().expect("drainer must not panic")
+                })
+            })
+            .collect();
+
+        let mut completed = 0u64;
+        for g in generators {
+            completed += g.join().expect("generator must not panic");
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let total = (TENANTS.len() * per_tenant) as u64;
+        assert_eq!(completed, total, "open-loop run must complete every request");
+        let rps = completed as f64 / secs;
+
+        rep.push("serve_fleet_requests_per_s", &[shards as usize], threads, rps, total as usize);
+        fleet.tenants().report_into(&mut rep, "serve_fleet", shards as usize);
+        for (tenant, snap) in fleet.tenants().snapshots() {
+            eprintln!(
+                "shards={shards} tenant={tenant}: p50 {:.0} ns, p99 {:.0} ns, p999 {:.0} ns \
+                 ({} requests, {} ok)",
+                snap.p50_ns.unwrap_or(0.0),
+                snap.p99_ns.unwrap_or(0.0),
+                snap.p999_ns.unwrap_or(0.0),
+                snap.requests,
+                snap.ok
+            );
+        }
+        eprintln!("shards={shards}: {rps:.0} req/s over {total} open-loop requests");
+        fleet.shutdown();
+    }
+
+    let path = opts.out.join("BENCH_serve_fleet.json");
+    rep.write(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!("wrote {} ({} records)", path.display(), rep.records.len());
+}

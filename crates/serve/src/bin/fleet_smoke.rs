@@ -1,0 +1,185 @@
+//! CI smoke test for the sharded serving fleet: 3 shards, 3 models,
+//! 2 tenants hammering the fleet from 4 client threads *through the
+//! wire protocol*, one mid-run publish over a wire frame, then one
+//! shard killed. Every assertion is an invariant of the fleet design:
+//! traffic pinned to a dead shard fails with the typed `Closed` (never
+//! a hang, never silent migration), surviving shards keep serving, the
+//! health and stats frames tell the truth, and per-tenant accounting
+//! adds up. Any violation panics (nonzero exit), so `scripts/ci.sh`
+//! gates on it directly.
+
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::shard::{Fleet, FleetConfig};
+use dp_serve::wire::{
+    self, decode, decode_infer_reply, encode_infer, Frame, Loopback, WireClient, WireServer,
+};
+use dp_serve::{InferRequest, ModelRegistry, ModelTable, ServeError};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const MODEL_IDS: [u64; 3] = [0, 7, 42];
+const TENANTS: [u64; 2] = [1, 2];
+const CLIENTS: usize = 4;
+const PER_CLIENT: usize = 24;
+
+fn main() {
+    let models = ModelTable::with_models(
+        MODEL_IDS
+            .iter()
+            .map(|&id| (id, Arc::new(ModelRegistry::new(demo_model(id + 1))))),
+    );
+    let fleet = Arc::new(Fleet::start(FleetConfig::new(3), models));
+
+    // ── Phase 1: concurrent wire traffic + a mid-run publish ─────────
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let fleet = Arc::clone(&fleet);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let loopback = Loopback::new(&fleet);
+                let tenant = TENANTS[c % TENANTS.len()];
+                barrier.wait();
+                let mut ok = 0u64;
+                for i in 0..PER_CLIENT {
+                    let model = MODEL_IDS[(c + i) % MODEL_IDS.len()];
+                    let req = InferRequest::new(demo_frame((i % 6) as u64), i % 2 == 0)
+                        .for_model(model)
+                        .from_tenant(tenant);
+                    let reply = loopback.call(&encode_infer(&req));
+                    let resp = decode_infer_reply(&reply)
+                        .expect("reply frame must decode")
+                        .expect("live fleet must serve");
+                    assert!(resp.energy.is_finite(), "served energy must be finite");
+                    ok += 1;
+                }
+                (tenant, ok)
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(1));
+    // Publish a new snapshot for model 7 over the wire, mid-traffic.
+    let loopback = Loopback::new(&fleet);
+    let blob = deepmd_core::model_io::to_bytes(&demo_model(777));
+    match decode(&loopback.call(&wire::encode_publish(7, &blob))).expect("publish reply") {
+        Frame::PublishOk { model: 7, version: 2 } => {}
+        other => panic!("mid-run publish failed: {other:?}"),
+    }
+
+    let mut per_tenant = std::collections::BTreeMap::new();
+    for c in clients {
+        let (tenant, ok) = c.join().expect("client thread must not panic");
+        *per_tenant.entry(tenant).or_insert(0u64) += ok;
+    }
+    // Anything after the publish serves version 2 of model 7.
+    let req = InferRequest::new(demo_frame(0), false).for_model(7);
+    let resp = decode_infer_reply(&loopback.call(&encode_infer(&req))).unwrap().unwrap();
+    assert_eq!(resp.version, 2, "post-publish traffic must see the new snapshot");
+
+    // Tenant accounting adds up: every client's successes are visible
+    // in its tenant's counters.
+    let snapshots = fleet.tenants().snapshots();
+    for &tenant in &TENANTS {
+        let snap = snapshots
+            .iter()
+            .find(|(id, _)| *id == tenant)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("tenant {tenant} missing from the table"));
+        let sent = per_tenant[&tenant];
+        assert!(
+            snap.ok >= sent,
+            "tenant {tenant}: {} ok recorded, {sent} sent",
+            snap.ok
+        );
+        assert_eq!(snap.errors, 0, "tenant {tenant} saw no failures in phase 1");
+    }
+
+    // ── Phase 2: kill one shard; typed failure, no migration ─────────
+    let victim_model = MODEL_IDS[2];
+    let victim_shard = fleet.route(victim_model);
+    assert!(fleet.kill(victim_shard), "first kill must report true");
+    assert!(!fleet.kill(victim_shard), "second kill is a no-op");
+
+    let req = InferRequest::new(demo_frame(1), false).for_model(victim_model).from_tenant(1);
+    let reply = loopback.call(&encode_infer(&req));
+    assert_eq!(
+        decode_infer_reply(&reply).unwrap().unwrap_err(),
+        ServeError::Closed,
+        "traffic pinned to a dead shard must fail typed, not migrate"
+    );
+    let mut survivors = 0;
+    for &m in MODEL_IDS.iter().filter(|&&m| fleet.route(m) != victim_shard) {
+        let req = InferRequest::new(demo_frame(2), true).for_model(m);
+        let resp = decode_infer_reply(&loopback.call(&encode_infer(&req))).unwrap();
+        assert!(resp.is_ok(), "model {m} on a surviving shard must keep serving");
+        survivors += 1;
+    }
+
+    // Health over the wire reflects the kill.
+    match decode(&loopback.call(&wire::encode_health())).expect("health reply") {
+        Frame::HealthOk(h) => {
+            assert_eq!(h.shards, 3);
+            assert_eq!(h.alive, 2, "one shard was killed");
+            assert_eq!(h.models, 3);
+            // The two named tenants plus the default tenant 0 that the
+            // un-attributed phase-2 probes land under.
+            assert_eq!(h.tenants as usize, TENANTS.len() + 1);
+        }
+        other => panic!("expected HealthOk, got {other:?}"),
+    }
+    // Per-shard stats frames: the fleet served everything somewhere.
+    let mut wire_requests = 0u64;
+    for &shard in fleet.shard_set().ids() {
+        match decode(&loopback.call(&wire::encode_stats_query(shard))).expect("stats reply") {
+            Frame::Stats(s) => wire_requests += s.requests,
+            other => panic!("expected Stats for shard {shard}, got {other:?}"),
+        }
+    }
+    // Everything served: the client streams, the post-publish probe,
+    // and the survivor probes. The dead-shard request was refused at
+    // submit, so no shard ever counted it.
+    let sent_total = (CLIENTS * PER_CLIENT) as u64 + 1 + survivors;
+    assert!(
+        wire_requests >= sent_total,
+        "shards account {wire_requests} requests, clients sent at least {sent_total}"
+    );
+    // Unknown shard and a corrupt frame are typed errors, not hangs.
+    match decode(&loopback.call(&wire::encode_stats_query(99))).unwrap() {
+        Frame::Error(e) => assert!(matches!(e.to_error(), ServeError::BadRequest(_))),
+        other => panic!("unknown shard gave {other:?}"),
+    }
+    let mut bad = encode_infer(&InferRequest::new(demo_frame(0), false));
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    match decode(&loopback.call(&bad)).unwrap() {
+        Frame::Error(e) => assert!(matches!(e.to_error(), ServeError::BadRequest(_))),
+        other => panic!("corrupt frame gave {other:?}"),
+    }
+
+    // ── Phase 3: the same frames over a real socket ──────────────────
+    let sock = std::env::temp_dir().join(format!("dp-fleet-smoke-{}.sock", std::process::id()));
+    let mut server = WireServer::bind(Arc::clone(&fleet), &sock).expect("bind UDS");
+    let mut client = WireClient::connect(&sock).expect("connect UDS");
+    let req = InferRequest::new(demo_frame(3), true).for_model(0).from_tenant(2);
+    let reply = client.call(&encode_infer(&req)).expect("socket round trip");
+    let resp = decode_infer_reply(&reply).unwrap().expect("fleet serves over UDS");
+    assert!(resp.energy.is_finite() && resp.forces.is_some());
+    drop(client);
+    server.shutdown();
+
+    let alive = fleet
+        .shard_set()
+        .ids()
+        .iter()
+        .filter(|&&s| fleet.is_alive(s))
+        .count();
+    println!(
+        "fleet smoke OK: {} wire requests over 3 shards ({alive} alive after kill), \
+         {} tenants, 1 mid-run publish, dead-shard traffic typed Closed, UDS round trip OK",
+        wire_requests,
+        TENANTS.len()
+    );
+    fleet.shutdown();
+}

@@ -1,11 +1,18 @@
 //! The serving engine: one dispatcher thread draining the
-//! [`BatchQueue`], computing each micro-batch against the registry's
-//! current snapshot with the per-frame work fanned across `dp-pool`.
+//! [`BatchQueue`], computing each micro-batch against the current
+//! snapshots of the models it serves, with the per-frame work fanned
+//! across `dp-pool`.
+//!
+//! An engine serves a whole [`ModelTable`] (model-id → registry); the
+//! single-model constructors are the `model == 0` special case. A
+//! request naming an id outside the table resolves with
+//! [`ServeError::UnknownModel`] before any compute is spent.
 //!
 //! Consistency contract: the dispatcher takes **one** snapshot per
-//! batch, so every request in a batch — and every number inside one
-//! response — is computed against exactly one published model. A
-//! hot-swap lands between batches, never inside one.
+//! *model* per batch, so every request in a batch — and every number
+//! inside one response — is computed against exactly one published
+//! snapshot of its model. A hot-swap lands between batches, never
+//! inside one.
 //!
 //! Determinism contract: requests are independent (each one reads the
 //! snapshot and writes only its own response slot), so batching K
@@ -29,17 +36,25 @@ use crate::batch::{
     BatchPolicy, BatchQueue, Fidelity, InferRequest, InferResponse, Pending, ServeError, Ticket,
 };
 use crate::chaos::ChaosPlan;
-use crate::registry::{ModelRegistry, PublishedModel};
+use crate::registry::{ModelRegistry, ModelTable, PublishedModel};
 use crate::slo::{CircuitBreaker, DegradeController, SloPolicy};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::tenant::{TenantStats, TenantTable};
 use dp_data::dataset::Snapshot;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 struct Shared {
+    /// Every model this engine serves, by id.
+    models: Arc<ModelTable>,
+    /// The default model's registry (id 0, or the lowest id) — the
+    /// single-model API surface and the stats-folding anchor.
     registry: Arc<ModelRegistry>,
+    /// Per-tenant accounting, shared across a fleet's shards.
+    tenants: Arc<TenantTable>,
     queue: BatchQueue,
     stats: Arc<ServeStats>,
     slo: SloPolicy,
@@ -78,9 +93,35 @@ impl Engine {
         slo: SloPolicy,
         chaos: ChaosPlan,
     ) -> Arc<Engine> {
+        let models = ModelTable::single(registry);
+        Self::start_shard(models, slo, chaos, Arc::new(TenantTable::new()))
+    }
+
+    /// Start a fleet shard: a dispatcher over a full [`ModelTable`]
+    /// with per-tenant accounting into a (typically shared)
+    /// [`TenantTable`]. The table must hold at least one model; id 0
+    /// (or, failing that, the lowest id) becomes the default model the
+    /// single-model API surface ([`Engine::registry`],
+    /// [`Engine::infer`]) operates on.
+    pub fn start_shard(
+        models: Arc<ModelTable>,
+        slo: SloPolicy,
+        chaos: ChaosPlan,
+        tenants: Arc<TenantTable>,
+    ) -> Arc<Engine> {
+        let default_id = models
+            .ids()
+            .first()
+            .copied()
+            .expect("dp-serve: an engine needs at least one model");
+        let registry = models
+            .get(default_id)
+            .expect("dp-serve: default model disappeared during startup");
         let stats = Arc::new(ServeStats::new());
         let shared = Arc::new(Shared {
+            models,
             registry,
+            tenants,
             queue: BatchQueue::bounded(slo.queue_capacity, Arc::clone(&stats)),
             stats,
             slo,
@@ -109,10 +150,22 @@ impl Engine {
         self.submit(InferRequest::new(frame, want_forces))?.wait()
     }
 
-    /// The registry this engine serves from (publish into it to
-    /// hot-swap the model).
+    /// The default model's registry (publish into it to hot-swap the
+    /// model the single-model API serves).
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.shared.registry
+    }
+
+    /// Every model this engine serves, by id. Insert into the table to
+    /// bring a new model online; requests name it via
+    /// [`InferRequest::for_model`].
+    pub fn models(&self) -> &Arc<ModelTable> {
+        &self.shared.models
+    }
+
+    /// Per-tenant accounting (shared across shards in a fleet).
+    pub fn tenants(&self) -> &Arc<TenantTable> {
+        &self.shared.tenants
     }
 
     /// The policy the engine runs under.
@@ -238,11 +291,12 @@ fn resolve_fidelity(
 }
 
 fn dispatch_loop(shared: &Shared) {
-    // The dispatcher remembers the snapshot it last served from so a
-    // swap can fold the retired snapshot's cache counters into the
-    // engine-lifetime stats.
-    let mut last: Option<Arc<PublishedModel>> = None;
-    let mut breaker = CircuitBreaker::new(shared.slo.breaker_threshold);
+    // Per model id: the snapshot last served from (so a swap can fold
+    // the retired snapshot's cache counters into the engine-lifetime
+    // stats) and a circuit breaker (one model's poisoned snapshot must
+    // not take the whole engine's traffic with it).
+    let mut last: HashMap<u64, Arc<PublishedModel>> = HashMap::new();
+    let mut breakers: HashMap<u64, CircuitBreaker> = HashMap::new();
     let mut degrade = DegradeController::new(&shared.slo);
     let mut batch_idx: u64 = 0;
     let mut req_idx: u64 = 0;
@@ -254,22 +308,6 @@ fn dispatch_loop(shared: &Shared) {
             std::thread::sleep(shared.chaos.stall);
         }
         batch_idx += 1;
-        let current = shared.registry.current();
-        let routed = breaker.route(current.version);
-        let snapshot = if routed == current.version {
-            current
-        } else {
-            // Route around the poisoned snapshot; if the fallback was
-            // pruned, there is nothing better than current.
-            shared.registry.snapshot_at(routed).unwrap_or(current)
-        };
-        if let Some(prev) = &last {
-            if prev.version != snapshot.version {
-                let retired = prev.cache.stats();
-                shared.stats.record_cache(retired.hits, retired.misses);
-            }
-        }
-        last = Some(Arc::clone(&snapshot));
         shared.stats.record_batch(
             drained.batch.len(),
             drained.depth,
@@ -294,6 +332,10 @@ fn dispatch_loop(shared: &Shared) {
                 if waited + projection > budget {
                     shared.stats.record_deadline_miss();
                     shared.stats.record_request(waited.as_nanos() as u64);
+                    shared
+                        .tenants
+                        .handle(p.request().tenant)
+                        .record(waited.as_nanos() as u64, false, false);
                     p.fulfill(Err(ServeError::DeadlineExceeded { waited, budget }));
                     continue;
                 }
@@ -304,17 +346,85 @@ fn dispatch_loop(shared: &Shared) {
             continue;
         }
 
+        // Resolve one snapshot per distinct model id in the batch
+        // (first-seen order — deterministic given the batch contents).
+        // Per model, the breaker may route to the last-good version.
+        let mut snaps: Vec<Arc<PublishedModel>> = Vec::new();
+        let mut snap_models: Vec<u64> = Vec::new();
+        let mut snap_of: HashMap<u64, Option<usize>> = HashMap::new();
+        for p in &eval {
+            let id = p.request().model;
+            if snap_of.contains_key(&id) {
+                continue;
+            }
+            let resolved = shared.models.get(id).map(|reg| {
+                let current = reg.current();
+                let breaker = breakers
+                    .entry(id)
+                    .or_insert_with(|| CircuitBreaker::new(shared.slo.breaker_threshold));
+                let routed = breaker.route(current.version);
+                let snapshot = if routed == current.version {
+                    current
+                } else {
+                    // Route around the poisoned snapshot; if the
+                    // fallback was pruned, there is nothing better
+                    // than current.
+                    reg.snapshot_at(routed).unwrap_or(current)
+                };
+                if let Some(prev) = last.get(&id) {
+                    if prev.version != snapshot.version {
+                        let retired = prev.cache.stats();
+                        shared.stats.record_cache(retired.hits, retired.misses);
+                    }
+                }
+                last.insert(id, Arc::clone(&snapshot));
+                snap_models.push(id);
+                snaps.push(snapshot);
+                snaps.len() - 1
+            });
+            snap_of.insert(id, resolved);
+        }
+
+        // Fulfill unknown-model requests with the typed error before
+        // any fan-out; pre-resolve each surviving request's snapshot
+        // index and tenant handle so workers never touch a lock.
+        let mut batch: Vec<Pending> = Vec::with_capacity(eval.len());
+        let mut snap_idx: Vec<usize> = Vec::with_capacity(eval.len());
+        let mut tenant_stats: Vec<Arc<TenantStats>> = Vec::with_capacity(eval.len());
+        for p in eval {
+            let id = p.request().model;
+            match snap_of[&id] {
+                None => {
+                    let waited = p.submitted().elapsed().as_nanos() as u64;
+                    shared.stats.record_request(waited);
+                    shared.tenants.handle(p.request().tenant).record(waited, false, false);
+                    p.fulfill(Err(ServeError::UnknownModel { model: id }));
+                }
+                Some(si) => {
+                    snap_idx.push(si);
+                    tenant_stats.push(shared.tenants.handle(p.request().tenant));
+                    batch.push(p);
+                }
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
         let outcomes: Vec<AtomicU8> =
-            (0..eval.len()).map(|_| AtomicU8::new(OUTCOME_CLIENT_ERR)).collect();
+            (0..batch.len()).map(|_| AtomicU8::new(OUTCOME_CLIENT_ERR)).collect();
         let t_eval = Instant::now();
-        let eval_ref = &eval;
+        let batch_ref = &batch;
         let outcomes_ref = &outcomes;
-        let snapshot_ref = &snapshot;
+        let snaps_ref = &snaps;
+        let snap_idx_ref = &snap_idx;
+        let tenants_ref = &tenant_stats;
         let stats_ref = &shared.stats;
         let chaos_ref = &shared.chaos;
         let default_fidelity = shared.default_fidelity;
-        dp_pool::parallel_for(eval.len(), &|i| {
-            let pending = &eval_ref[i];
+        dp_pool::parallel_for(batch.len(), &|i| {
+            let pending = &batch_ref[i];
+            let snapshot_ref = &snaps_ref[snap_idx_ref[i]];
             let result = match validate(&pending.req, snapshot_ref) {
                 Err(e) => Err(e),
                 Ok(()) if chaos_ref.poisons(req_idx + i as u64) => {
@@ -378,24 +488,35 @@ fn dispatch_loop(shared: &Shared) {
                     }
                 }
             };
-            stats_ref.record_request(pending.submitted.elapsed().as_nanos() as u64);
+            let latency_ns = pending.submitted.elapsed().as_nanos() as u64;
+            stats_ref.record_request(latency_ns);
+            let (ok, was_degraded) = match &result {
+                Ok(r) => (true, r.degraded),
+                Err(_) => (false, false),
+            };
+            tenants_ref[i].record(latency_ns, ok, was_degraded);
             pending.fulfill(result);
         });
-        req_idx += eval.len() as u64;
-        let per_req_ns = t_eval.elapsed().as_nanos() as f64 / eval.len() as f64;
+        req_idx += batch.len() as u64;
+        let per_req_ns = t_eval.elapsed().as_nanos() as f64 / batch.len() as f64;
         ewma_service_ns = if ewma_service_ns == 0.0 {
             per_req_ns
         } else {
             0.8 * ewma_service_ns + 0.2 * per_req_ns
         };
-        // Feed the breaker in index order (deterministic given the
-        // batch contents — the parallel fan-out only wrote the codes).
-        for o in &outcomes {
+        // Feed each model's breaker in index order (deterministic given
+        // the batch contents — the parallel fan-out only wrote codes).
+        for (i, o) in outcomes.iter().enumerate() {
+            let si = snap_idx[i];
+            let version = snaps[si].version;
+            let breaker = breakers
+                .get_mut(&snap_models[si])
+                .expect("breaker exists for every served model");
             match o.load(Ordering::Relaxed) {
                 OUTCOME_OK => {
-                    breaker.on_result(snapshot.version, true);
+                    breaker.on_result(version, true);
                 }
-                OUTCOME_EVAL_FAILED if breaker.on_result(snapshot.version, false) => {
+                OUTCOME_EVAL_FAILED if breaker.on_result(version, false) => {
                     shared.stats.record_breaker_trip();
                 }
                 _ => {}
@@ -774,8 +895,73 @@ mod tests {
         let r = InferRequest::new(frame(1), true);
         assert_eq!(r.priority, Priority::Interactive);
         assert_eq!(r.deadline, None);
-        let r = r.bulk().with_deadline(Duration::from_millis(7));
+        assert_eq!((r.model, r.tenant), (0, 0));
+        let r = r
+            .bulk()
+            .with_deadline(Duration::from_millis(7))
+            .for_model(3)
+            .from_tenant(9);
         assert_eq!(r.priority, Priority::Bulk);
         assert_eq!(r.deadline, Some(Duration::from_millis(7)));
+        assert_eq!((r.model, r.tenant), (3, 9));
+    }
+
+    #[test]
+    fn multi_model_batches_serve_each_id_from_its_own_registry() {
+        use crate::registry::ModelTable;
+        use crate::tenant::TenantTable;
+        let table = ModelTable::single(Arc::new(ModelRegistry::new(model(21))));
+        table.insert(5, Arc::new(ModelRegistry::new(model(22))));
+        let e = Engine::start_shard(
+            Arc::clone(&table),
+            SloPolicy::unbounded(BatchPolicy::default()),
+            ChaosPlan::none(),
+            Arc::new(TenantTable::new()),
+        );
+        let f = frame(33);
+        let d0 = table.get(0).unwrap().current().model.predict(&f);
+        let d5 = table.get(5).unwrap().current().model.predict(&f);
+        assert_ne!(d0.energy.to_bits(), d5.energy.to_bits(), "distinct models");
+        // Same batch, two models: each request must hit its own model.
+        let t0 = e.submit(InferRequest::new(f.clone(), false)).unwrap();
+        let t5 = e.submit(InferRequest::new(f.clone(), false).for_model(5)).unwrap();
+        assert_eq!(t0.wait().unwrap().energy.to_bits(), d0.energy.to_bits());
+        assert_eq!(t5.wait().unwrap().energy.to_bits(), d5.energy.to_bits());
+        // An unknown id is a typed error, and the engine keeps serving.
+        let e9 = e.submit(InferRequest::new(f.clone(), false).for_model(9)).unwrap();
+        assert_eq!(e9.wait().unwrap_err(), ServeError::UnknownModel { model: 9 });
+        assert!(e.infer(f, false).unwrap().energy.is_finite());
+        e.shutdown();
+    }
+
+    #[test]
+    fn tenants_are_accounted_separately() {
+        use crate::registry::ModelTable;
+        use crate::tenant::TenantTable;
+        let table = ModelTable::single(Arc::new(ModelRegistry::new(model(23))));
+        let tenants = Arc::new(TenantTable::new());
+        let e = Engine::start_shard(
+            table,
+            SloPolicy::unbounded(BatchPolicy::default()),
+            ChaosPlan::none(),
+            Arc::clone(&tenants),
+        );
+        for i in 0..3 {
+            let _ = e
+                .submit(InferRequest::new(frame(40 + i), false).from_tenant(1))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let bad = e
+            .submit(InferRequest::new(frame(44), false).from_tenant(2).for_model(77))
+            .unwrap()
+            .wait();
+        assert!(matches!(bad, Err(ServeError::UnknownModel { model: 77 })));
+        let t1 = tenants.get(1).unwrap().snapshot();
+        let t2 = tenants.get(2).unwrap().snapshot();
+        assert_eq!((t1.requests, t1.ok, t1.errors), (3, 3, 0));
+        assert_eq!((t2.requests, t2.ok, t2.errors), (1, 0, 1));
+        e.shutdown();
     }
 }

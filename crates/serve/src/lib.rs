@@ -39,8 +39,11 @@ pub mod chaos;
 pub mod demo;
 pub mod engine;
 pub mod registry;
+pub mod shard;
 pub mod slo;
 pub mod stats;
+pub mod tenant;
+pub mod wire;
 
 pub use batch::{
     BatchPolicy, BatchQueue, Drained, Fidelity, InferRequest, InferResponse, Pending, ServeError,
@@ -48,6 +51,8 @@ pub use batch::{
 };
 pub use chaos::ChaosPlan;
 pub use engine::Engine;
-pub use registry::{ModelRegistry, PublishedModel};
+pub use registry::{ModelRegistry, ModelTable, PublishedModel};
+pub use shard::{Fleet, FleetConfig, ShardSet};
 pub use slo::{infer_with_retry, Priority, RetryBudget, RetryPolicy, SloPolicy};
 pub use stats::{ServeStats, StatsSnapshot};
+pub use tenant::{TenantStats, TenantTable};

@@ -23,15 +23,17 @@
 //! history stays small. [`ModelRegistry::prune`] reclaims old
 //! snapshots when the caller can prove exclusivity (`&mut self`).
 
+use crate::batch::ServeError;
 use deepmd_core::compress::CompressedModel;
 use deepmd_core::env_cache::EnvCache;
 use deepmd_core::model::DeepPotModel;
 use deepmd_core::model_io;
 use deepmd_core::quant::QuantizedModel;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// An immutable published model snapshot: the weights, a monotonically
 /// increasing version tag, and the snapshot's own environment cache
@@ -157,7 +159,14 @@ impl ModelRegistry {
     /// Look up a retained snapshot by version — the engine's circuit
     /// breaker uses this to route batches back to the last-good
     /// version when the current snapshot keeps failing evaluation.
-    /// `None` if that version was pruned (or never existed).
+    ///
+    /// `None` if that version was pruned (or never existed). This is a
+    /// genuine lookup of the retained history, never a cached alias:
+    /// once [`ModelRegistry::prune`] drops a version, asking for it
+    /// returns `None` — a stale `Arc` to a pruned snapshot can only be
+    /// held by whoever captured it *before* the prune. Callers that
+    /// need the distinction as a typed error use
+    /// [`ModelRegistry::snapshot_checked`].
     pub fn snapshot_at(&self, version: u64) -> Option<Arc<PublishedModel>> {
         self.history
             .lock()
@@ -165,6 +174,17 @@ impl ModelRegistry {
             .iter()
             .find(|s| s.version == version)
             .map(Arc::clone)
+    }
+
+    /// Like [`ModelRegistry::snapshot_at`], but a miss is the typed
+    /// [`ServeError::SnapshotPruned`] carrying the version asked for
+    /// and the registry's current version — the answer the wire
+    /// protocol and fleet paths propagate instead of a bare `None`.
+    pub fn snapshot_checked(&self, version: u64) -> Result<Arc<PublishedModel>, ServeError> {
+        self.snapshot_at(version).ok_or(ServeError::SnapshotPruned {
+            version,
+            current: self.current_version(),
+        })
     }
 
     /// Publish a new model: validate it against the serving contract
@@ -257,6 +277,14 @@ impl ModelRegistry {
     /// [`ModelRegistry::current`], so freeing old snapshots cannot race
     /// it. Snapshots still held by in-flight responses survive via
     /// their own `Arc`s. The current snapshot is always kept.
+    ///
+    /// Concurrent usage across shards therefore wraps the registry in
+    /// a `RwLock`: readers (`current`, `publish`, `snapshot_at` — all
+    /// `&self`) share the read lock, the pruner takes the write lock.
+    /// After a prune, [`ModelRegistry::snapshot_at`] on a dropped
+    /// version returns `None` and
+    /// [`ModelRegistry::snapshot_checked`] returns
+    /// [`ServeError::SnapshotPruned`] — never a stale snapshot.
     pub fn prune(&mut self, keep: usize) {
         let mut history = self.history.lock().unwrap_or_else(|e| e.into_inner());
         let keep = keep.max(1);
@@ -264,6 +292,81 @@ impl ModelRegistry {
             let drop_n = history.len() - keep;
             history.drain(..drop_n);
         }
+    }
+}
+
+/// Model-id → registry table: the multi-tenant face of the registry.
+///
+/// A fleet serves many independent potentials (per-user, per-system);
+/// each gets its own [`ModelRegistry`] under a `u64` model id. Id 0 is
+/// the *default* model — the single-model engine API is exactly the
+/// `model == 0` row, so every pre-fleet caller keeps working
+/// unchanged. The map is read-mostly (per-batch lookups take a read
+/// lock on a `BTreeMap`; registration is rare), and iteration order is
+/// deterministic by id.
+#[derive(Debug)]
+pub struct ModelTable {
+    models: RwLock<BTreeMap<u64, Arc<ModelRegistry>>>,
+}
+
+impl ModelTable {
+    /// A table serving `registry` as model 0 (the single-model case).
+    pub fn single(registry: Arc<ModelRegistry>) -> Arc<Self> {
+        let mut map = BTreeMap::new();
+        map.insert(0, registry);
+        Arc::new(ModelTable { models: RwLock::new(map) })
+    }
+
+    /// A table with an explicit initial set of models.
+    pub fn with_models(models: impl IntoIterator<Item = (u64, Arc<ModelRegistry>)>) -> Arc<Self> {
+        Arc::new(ModelTable {
+            models: RwLock::new(models.into_iter().collect()),
+        })
+    }
+
+    /// Register (or replace) the registry behind `id`. Replacing is an
+    /// atomic map update; requests in flight against the old registry
+    /// finish on the snapshot `Arc`s they already hold.
+    pub fn insert(&self, id: u64, registry: Arc<ModelRegistry>) {
+        self.models
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, registry);
+    }
+
+    /// The registry behind `id`, if registered.
+    pub fn get(&self, id: u64) -> Option<Arc<ModelRegistry>> {
+        self.models
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .map(Arc::clone)
+    }
+
+    /// The registry behind `id`, or the typed
+    /// [`ServeError::UnknownModel`].
+    pub fn get_checked(&self, id: u64) -> Result<Arc<ModelRegistry>, ServeError> {
+        self.get(id).ok_or(ServeError::UnknownModel { model: id })
+    }
+
+    /// Registered model ids, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.models
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -361,6 +464,41 @@ mod tests {
         let cur = reg.current();
         assert!(cur.compressed.is_none());
         assert!(cur.quantized.is_none());
+    }
+
+    #[test]
+    fn snapshot_checked_types_the_pruned_miss() {
+        let mut reg = ModelRegistry::new(model(1));
+        for s in 2..5 {
+            reg.publish(model(s)).unwrap();
+        }
+        assert_eq!(reg.snapshot_checked(2).unwrap().version, 2);
+        reg.prune(1);
+        assert!(reg.snapshot_at(2).is_none(), "pruned version must not resolve");
+        assert_eq!(
+            reg.snapshot_checked(2).unwrap_err(),
+            ServeError::SnapshotPruned { version: 2, current: 4 }
+        );
+        // A version that never existed gets the same typed answer.
+        assert!(matches!(
+            reg.snapshot_checked(99).unwrap_err(),
+            ServeError::SnapshotPruned { version: 99, current: 4 }
+        ));
+    }
+
+    #[test]
+    fn model_table_routes_ids_and_types_the_miss() {
+        let table = ModelTable::single(Arc::new(ModelRegistry::new(model(1))));
+        assert_eq!(table.ids(), vec![0]);
+        table.insert(7, Arc::new(ModelRegistry::new(model(2))));
+        assert_eq!(table.ids(), vec![0, 7]);
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        assert!(table.get(7).is_some());
+        assert_eq!(
+            table.get_checked(3).unwrap_err(),
+            ServeError::UnknownModel { model: 3 }
+        );
     }
 
     #[test]

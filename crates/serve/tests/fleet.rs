@@ -1,0 +1,216 @@
+//! Differential test: a seeded request stream pushed through an
+//! N-shard fleet — over the *wire*, via the loopback transport — must
+//! produce bitwise identical numbers to a single engine serving the
+//! same models, at every shard count and thread count. Routing,
+//! framing, and fan-out are allowed to change *where* work runs,
+//! never *what* it computes.
+
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::shard::{Fleet, FleetConfig};
+use dp_serve::wire::{decode_infer_reply, encode_infer, Loopback};
+use dp_serve::{
+    BatchPolicy, Engine, InferRequest, ModelRegistry, ModelTable, ServeError,
+};
+use std::sync::Arc;
+
+/// Deterministic stream generator (mirrors the verify-crate one).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+const MODEL_IDS: [u64; 3] = [0, 7, 42];
+
+fn table() -> Arc<ModelTable> {
+    ModelTable::with_models(
+        MODEL_IDS
+            .iter()
+            .map(|&id| (id, Arc::new(ModelRegistry::new(demo_model(id + 1))))),
+    )
+}
+
+/// The seeded request stream: (model id, frame seed, want_forces).
+fn stream(seed: u64, len: usize) -> Vec<(u64, u64, bool)> {
+    let mut rng = XorShift64(seed);
+    (0..len)
+        .map(|_| {
+            let model = MODEL_IDS[(rng.next() % 3) as usize];
+            let frame_seed = rng.next() % 17;
+            let forces = rng.next().is_multiple_of(2);
+            (model, frame_seed, forces)
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_over_the_wire_is_bitwise_identical_to_a_single_engine() {
+    let requests = stream(0x5eed_0001, 48);
+
+    // Reference: one single-model engine per registry, no fleet, no
+    // wire — the path the batching-determinism suite already pins to
+    // sequential predict.
+    let reference: Vec<_> = {
+        let table = table();
+        let engines: Vec<(u64, Arc<Engine>)> = MODEL_IDS
+            .iter()
+            .map(|&id| (id, Engine::start(table.get(id).unwrap(), BatchPolicy::default())))
+            .collect();
+        let out: Vec<_> = requests
+            .iter()
+            .map(|&(model, frame_seed, forces)| {
+                let engine = &engines.iter().find(|(id, _)| *id == model).unwrap().1;
+                engine.infer(demo_frame(frame_seed), forces).unwrap()
+            })
+            .collect();
+        for (_, e) in engines {
+            e.shutdown();
+        }
+        out
+    };
+
+    let saved_threads = dp_pool::current_threads();
+    for shards in [1u32, 2, 5] {
+        for threads in [1usize, 4] {
+            dp_pool::set_threads(threads);
+            let fleet = Fleet::start(FleetConfig::new(shards), table());
+            let loopback = Loopback::new(&fleet);
+            for (i, &(model, frame_seed, forces)) in requests.iter().enumerate() {
+                let req = InferRequest::new(demo_frame(frame_seed), forces)
+                    .for_model(model)
+                    .from_tenant(1 + model % 2);
+                let reply = loopback.call(&encode_infer(&req));
+                let got = decode_infer_reply(&reply)
+                    .expect("reply frame must decode")
+                    .unwrap_or_else(|e| {
+                        panic!("shards={shards} threads={threads} req {i}: {e}")
+                    });
+                let want = &reference[i];
+                assert_eq!(
+                    got.energy.to_bits(),
+                    want.energy.to_bits(),
+                    "shards={shards} threads={threads} req {i} (model {model}, \
+                     frame {frame_seed}): energy diverged"
+                );
+                match (&got.forces, &want.forces) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.len(), b.len());
+                        for (fa, fb) in a.iter().zip(b) {
+                            assert_eq!(
+                                fa.0.map(f64::to_bits),
+                                fb.0.map(f64::to_bits),
+                                "shards={shards} threads={threads} req {i}: force diverged"
+                            );
+                        }
+                    }
+                    other => panic!(
+                        "shards={shards} threads={threads} req {i}: force presence \
+                         mismatch {other:?}"
+                    ),
+                }
+            }
+            fleet.shutdown();
+        }
+    }
+    dp_pool::set_threads(saved_threads);
+}
+
+#[test]
+fn publish_mid_stream_keeps_fleet_and_single_engine_aligned() {
+    // Hot-swap model 7 halfway through: both sides serve the stream
+    // with an explicit barrier at the swap point, so versioning is
+    // deterministic and the comparison stays bitwise.
+    let requests = stream(0x5eed_0002, 24);
+    let swap_at = requests.len() / 2;
+
+    let run = |serve: &dyn Fn(&InferRequest) -> Result<dp_serve::InferResponse, ServeError>,
+               publish: &dyn Fn()| {
+        let mut out = Vec::new();
+        for (i, &(model, frame_seed, forces)) in requests.iter().enumerate() {
+            if i == swap_at {
+                publish();
+            }
+            let req = InferRequest::new(demo_frame(frame_seed), forces).for_model(model);
+            out.push(serve(&req).unwrap());
+        }
+        out
+    };
+
+    let single_table = table();
+    let single_engines: Vec<(u64, Arc<Engine>)> = MODEL_IDS
+        .iter()
+        .map(|&id| (id, Engine::start(single_table.get(id).unwrap(), BatchPolicy::default())))
+        .collect();
+    let reference = run(
+        &|req| {
+            let engine = &single_engines.iter().find(|(id, _)| *id == req.model).unwrap().1;
+            // A single-model engine's table holds its registry at id 0;
+            // the routing id is the fleet's concern, not the model's.
+            let mut local = req.clone();
+            local.model = 0;
+            engine.submit(local)?.wait()
+        },
+        &|| {
+            single_table.get(7).unwrap().publish(demo_model(777)).unwrap();
+        },
+    );
+    for (_, e) in single_engines {
+        e.shutdown();
+    }
+
+    let fleet = Fleet::start(FleetConfig::new(3), table());
+    let loopback = Loopback::new(&fleet);
+    let got = run(
+        &|req| decode_infer_reply(&loopback.call(&encode_infer(req))).unwrap(),
+        &|| {
+            fleet.models().get(7).unwrap().publish(demo_model(777)).unwrap();
+        },
+    );
+    fleet.shutdown();
+
+    for (i, (g, w)) in got.iter().zip(&reference).enumerate() {
+        assert_eq!(g.energy.to_bits(), w.energy.to_bits(), "req {i}: energy diverged");
+        assert_eq!(g.version, w.version, "req {i}: served version diverged");
+    }
+    // The swap actually happened on both sides: some later request hit v2.
+    assert!(
+        got.iter().skip(swap_at).any(|r| r.version == 2),
+        "no post-swap request observed version 2"
+    );
+}
+
+#[test]
+fn killed_shard_fails_typed_while_survivors_serve() {
+    let fleet = Fleet::start(FleetConfig::new(4), table());
+    let loopback = Loopback::new(&fleet);
+    // Find a model id per routing bucket so we can hit both the dead
+    // shard and a live one.
+    let victim_model = MODEL_IDS
+        .iter()
+        .copied()
+        .find(|&m| fleet.route(m) != fleet.route(MODEL_IDS[0]))
+        .unwrap_or(MODEL_IDS[1]);
+    let victim_shard = fleet.route(victim_model);
+    assert!(fleet.kill(victim_shard));
+
+    // Traffic pinned to the dead shard: typed Closed over the wire.
+    let req = InferRequest::new(demo_frame(1), false).for_model(victim_model);
+    let reply = loopback.call(&encode_infer(&req));
+    assert_eq!(decode_infer_reply(&reply).unwrap().unwrap_err(), ServeError::Closed);
+
+    // Every other model still serves.
+    for &m in MODEL_IDS.iter().filter(|&&m| fleet.route(m) != victim_shard) {
+        let req = InferRequest::new(demo_frame(2), true).for_model(m);
+        let resp = decode_infer_reply(&loopback.call(&encode_infer(&req))).unwrap();
+        assert!(resp.is_ok(), "model {m} on a live shard must keep serving");
+    }
+    fleet.shutdown();
+}

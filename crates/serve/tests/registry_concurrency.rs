@@ -1,0 +1,156 @@
+//! Regression tests for the `ModelRegistry::prune` footgun: pruning
+//! drops retired snapshots while readers may still be asking for them
+//! by version. The contract is that a pruned version comes back as a
+//! typed [`ServeError::SnapshotPruned`] (via `snapshot_checked`) — a
+//! `None`, never a stale `Arc`, never a torn read — and that `current`
+//! stays lock-free-valid while publishers and a pruner race it.
+//!
+//! `prune` takes `&mut self`, so concurrent use goes through
+//! `RwLock<ModelRegistry>`: readers (serving shards calling `current`
+//! / `publish` / `snapshot_at`) share the read lock, the pruner takes
+//! the write lock. This test is the documented pattern, exercised hot.
+
+use deepmd_core::model_io;
+use dp_serve::demo::demo_model;
+use dp_serve::{ModelRegistry, ServeError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+
+#[test]
+fn pruned_snapshot_is_a_typed_error_not_a_stale_arc() {
+    let registry = ModelRegistry::new(demo_model(1));
+    let mut registry = registry;
+    for seed in 2..=4 {
+        registry.publish(demo_model(seed)).unwrap();
+    }
+    assert_eq!(registry.current_version(), 4);
+
+    // Versions 1–3 exist before the prune…
+    for v in 1..=4 {
+        assert!(registry.snapshot_at(v).is_some(), "version {v} should pre-exist");
+    }
+    registry.prune(1);
+
+    // …and afterwards only the head survives; the rest are typed.
+    assert_eq!(registry.snapshot_at(4).unwrap().version, 4);
+    for v in 1..=3 {
+        assert!(registry.snapshot_at(v).is_none(), "version {v} must be gone");
+        match registry.snapshot_checked(v) {
+            Err(ServeError::SnapshotPruned { version, current }) => {
+                assert_eq!((version, current), (v, 4));
+            }
+            other => panic!("version {v}: expected SnapshotPruned, got {other:?}"),
+        }
+    }
+    // A version that never existed reports the same typed miss.
+    match registry.snapshot_checked(99) {
+        Err(ServeError::SnapshotPruned { version: 99, current: 4 }) => {}
+        other => panic!("expected SnapshotPruned for v99, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_publish_prune_and_current_never_tear() {
+    // 2 publishers + 2 readers + 1 pruner over a RwLock'd registry.
+    // Invariants checked hot, on every observation:
+    //   * `current()` always returns a model whose version is
+    //     monotonically non-decreasing per observer;
+    //   * `snapshot_at(current_version)` from a read-lock holder is
+    //     never None (prune always keeps the head);
+    //   * a denied `snapshot_checked` is always the typed error.
+    let registry = Arc::new(RwLock::new(ModelRegistry::new(demo_model(10))));
+    let stop = Arc::new(AtomicBool::new(false));
+    let publishes = Arc::new(AtomicU64::new(0));
+    let blob = model_io::to_bytes(&demo_model(11));
+
+    let mut handles = Vec::new();
+    for p in 0..2u64 {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        let publishes = Arc::clone(&publishes);
+        let blob = blob.clone();
+        handles.push(thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let guard = registry.read().unwrap();
+                if p == 0 {
+                    guard.publish(demo_model(100 + n)).unwrap();
+                } else {
+                    guard.publish_bytes(&blob).unwrap();
+                }
+                drop(guard);
+                publishes.fetch_add(1, Ordering::Relaxed);
+                n += 1;
+                if n >= 200 {
+                    break;
+                }
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        handles.push(thread::spawn(move || {
+            let mut last_seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let guard = registry.read().unwrap();
+                let cur = guard.current();
+                assert!(
+                    cur.version >= last_seen,
+                    "current went backwards: {} after {last_seen}",
+                    cur.version
+                );
+                last_seen = cur.version;
+                // Under the same read lock the head cannot be pruned
+                // out from underneath us.
+                assert!(
+                    guard.snapshot_at(cur.version).is_some(),
+                    "head version {} pruned while a reader held it",
+                    cur.version
+                );
+                // Version 0 never existed; the miss is always typed.
+                match guard.snapshot_checked(0) {
+                    Err(ServeError::SnapshotPruned { version: 0, .. }) => {}
+                    other => panic!("expected typed miss for v0, got {other:?}"),
+                }
+                // The model itself is usable (the Arc is alive).
+                assert!(cur.model.n_params() > 0);
+            }
+        }));
+    }
+    {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        handles.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let mut guard = registry.write().unwrap();
+                guard.prune(2);
+                drop(guard);
+                thread::yield_now();
+            }
+        }));
+    }
+
+    while publishes.load(Ordering::Relaxed) < 400 {
+        thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("no participant may panic");
+    }
+
+    // Endgame: prune to one and check the typed-miss story end to end.
+    let mut registry = Arc::try_unwrap(registry)
+        .unwrap_or_else(|_| panic!("all clones joined"))
+        .into_inner()
+        .unwrap();
+    registry.prune(1);
+    let head = registry.current_version();
+    assert!(head >= 401, "2 publishers x >=200 publishes + seed, got {head}");
+    assert!(registry.snapshot_at(head).is_some());
+    assert!(matches!(
+        registry.snapshot_checked(head - 1),
+        Err(ServeError::SnapshotPruned { .. })
+    ));
+}

@@ -1,0 +1,157 @@
+//! Property tests for rendezvous routing: the model-id → shard map
+//! must be a pure function, spread load uniformly, and remap the
+//! minimum possible key set when the shard topology changes. These are
+//! the invariants the fleet's correctness leans on — a pure map means
+//! any two routers agree with no coordination; minimal remap means a
+//! shard loss does not stampede every model's cache.
+
+use dp_serve::shard::{rendezvous_score, ShardSet};
+use std::collections::HashMap;
+
+const MODELS: u64 = 1000;
+
+#[test]
+fn routing_is_a_pure_total_function_at_every_shard_count() {
+    for shards in 1..=16u32 {
+        let set = ShardSet::contiguous(shards);
+        for model in 0..MODELS {
+            let a = set.route(model).expect("non-empty set routes every id");
+            let b = set.route(model).unwrap();
+            assert_eq!(a, b, "shards={shards} model={model}: route must be pure");
+            assert!(set.contains(a), "shards={shards}: route target must be a member");
+        }
+    }
+    assert_eq!(ShardSet::new([]).route(42), None, "empty set routes nowhere");
+}
+
+#[test]
+fn routing_is_independent_of_member_enumeration_order() {
+    // The same membership presented in any order yields the same map —
+    // ShardSet normalizes, and the rendezvous argmax has a total
+    // tie-break. Two fleets that merely *listed* their shards
+    // differently must agree on every placement.
+    let forward = ShardSet::new([0, 1, 2, 3, 4, 5, 6, 7]);
+    let shuffled = ShardSet::new([5, 2, 7, 0, 3, 6, 1, 4, 4, 0]);
+    for model in 0..MODELS {
+        assert_eq!(forward.route(model), shuffled.route(model), "model={model}");
+    }
+}
+
+#[test]
+fn load_is_uniform_within_twice_the_ideal_share() {
+    for shards in 1..=16u32 {
+        let set = ShardSet::contiguous(shards);
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for model in 0..MODELS {
+            *counts.entry(set.route(model).unwrap()).or_default() += 1;
+        }
+        let ideal = MODELS as f64 / f64::from(shards);
+        for &shard in set.ids() {
+            let got = counts.get(&shard).copied().unwrap_or(0) as f64;
+            assert!(
+                got < 2.0 * ideal,
+                "shards={shards} shard={shard}: {got} of {MODELS} ids \
+                 exceeds 2x the ideal share {ideal:.1}"
+            );
+            assert!(
+                got > 0.0 || ideal < 2.0,
+                "shards={shards} shard={shard}: starved (0 of {MODELS} ids)"
+            );
+        }
+    }
+}
+
+#[test]
+fn removing_one_shard_remaps_only_its_own_keys() {
+    // The rendezvous property: dropping shard `s` moves exactly the
+    // models that lived on `s`; every other placement is untouched.
+    for shards in 2..=16u32 {
+        let full = ShardSet::contiguous(shards);
+        for victim in full.ids().to_vec() {
+            let reduced = full.without(victim);
+            let mut moved = 0u64;
+            for model in 0..MODELS {
+                let before = full.route(model).unwrap();
+                let after = reduced.route(model).unwrap();
+                if before == victim {
+                    moved += 1;
+                    assert_ne!(after, victim, "model={model} still routed to the removed shard");
+                } else {
+                    assert_eq!(
+                        before, after,
+                        "shards={shards} victim={victim} model={model}: \
+                         a surviving shard's key moved"
+                    );
+                }
+            }
+            // The victim's share really does redistribute (it owned
+            // roughly MODELS/shards keys).
+            assert!(
+                moved > 0,
+                "shards={shards} victim={victim}: victim owned no keys out of {MODELS}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_a_shard_steals_only_what_it_wins() {
+    // The dual property: growing the set only moves keys *onto* the
+    // new member, never between old members.
+    for shards in 1..=15u32 {
+        let small = ShardSet::contiguous(shards);
+        let grown = ShardSet::contiguous(shards + 1);
+        for model in 0..MODELS {
+            let before = small.route(model).unwrap();
+            let after = grown.route(model).unwrap();
+            assert!(
+                after == before || after == shards,
+                "shards={shards} model={model}: moved {before} -> {after}, \
+                 but only the new shard {shards} may win keys"
+            );
+        }
+    }
+}
+
+#[test]
+fn rendezvous_scores_match_pinned_goldens() {
+    // Golden scores pin the hash constants: a flipped salt, a changed
+    // mixer constant, or a reordered mix round shows up here even
+    // though purity and uniformity would still hold. The fleet's
+    // placement is part of its persistent contract — two builds must
+    // agree on where a model lives.
+    let goldens: [(u64, u32, u64); 6] = [
+        (0, 0, 0x0188_bf9e_b088_37e8),
+        (1, 0, 0x302c_9333_8dfa_cdb1),
+        (0, 1, 0x3636_1327_b1bb_377e),
+        (12345, 7, 0x9dc0_a474_2da7_9411),
+        (u64::MAX, 15, 0x4b5a_db07_98d2_857b),
+        (0xdead_beef, 3, 0xfb5a_c71d_b641_0b8b),
+    ];
+    for (model, shard, score) in goldens {
+        assert_eq!(
+            rendezvous_score(model, shard),
+            score,
+            "score({model}, {shard}) drifted from its pinned golden"
+        );
+    }
+    // Pinned placements over the golden topology: these exact
+    // assignments were produced by the shipped constants and must
+    // never drift silently.
+    let set = ShardSet::contiguous(8);
+    let placements: Vec<u32> = (0..32).map(|m| set.route(m).unwrap()).collect();
+    assert_eq!(
+        placements,
+        [
+            6, 2, 3, 5, 0, 7, 1, 0, 6, 7, 4, 0, 5, 4, 1, 3, 3, 7, 3, 4, 2, 5, 0, 6, 3, 7, 4,
+            6, 3, 0, 3, 0
+        ],
+        "model placement over 8 shards drifted from the pinned golden"
+    );
+    // Distinct inputs produce distinct scores in practice (64-bit
+    // mixer, 6 probes): a degenerate constant-returning hash fails.
+    let mut scores: Vec<u64> = goldens.iter().map(|g| g.2).collect();
+    scores.sort_unstable();
+    scores.dedup();
+    assert_eq!(scores.len(), 6, "mixer collapsed distinct inputs");
+}

@@ -1,0 +1,374 @@
+//! Corrupt-input hardening for the dp-serve wire protocol: every
+//! malformed frame must come back as a typed [`WireError`], never a
+//! panic, never an over-read, never a silently wrong decode. The
+//! fleet's socket transport feeds `decode` whatever bytes arrive, so
+//! this surface is adversarial by construction — the sweeps below
+//! cover every frame type with truncations, CRC flips, payload byte
+//! flips, oversized length headers, and unknown versions/tags.
+
+use dp_serve::batch::{Fidelity, InferRequest, InferResponse, ServeError};
+use dp_serve::demo::demo_frame;
+use dp_serve::wire::{
+    self, decode, Frame, HealthFrame, StatsFrame, MAX_WIRE_ATOMS, WIRE_VERSION,
+};
+use dp_tensor::wire::{crc32, WireError, Writer};
+use std::time::Duration;
+
+/// Deterministic generator for seeded corruption positions.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Recompute the CRC-32 trailer after an intentional payload patch, so
+/// a test reaches the decoder *behind* the checksum.
+fn refresh_crc(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let crc = crc32(&bytes[..n - 4]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// One well-formed exemplar of every frame type on the wire.
+fn exemplar_frames() -> Vec<(&'static str, Vec<u8>)> {
+    let req = InferRequest::new(demo_frame(11), true)
+        .for_model(3)
+        .from_tenant(7)
+        .with_deadline(Duration::from_millis(50));
+    let resp = InferResponse {
+        energy: -12.5,
+        forces: Some(demo_frame(11).pos),
+        version: 4,
+        degraded: false,
+        fidelity: Fidelity::Master,
+    };
+    let stats = StatsFrame {
+        shard: 1,
+        requests: 10,
+        batches: 2,
+        shed: 0,
+        deadline_miss: 0,
+        breaker_trips: 0,
+        degraded: 0,
+        eval_failures: 0,
+        max_depth: 4,
+        p50_ns: 100.0,
+        p99_ns: 900.0,
+        p999_ns: 1200.0,
+    };
+    vec![
+        ("infer", wire::encode_infer(&req)),
+        ("infer_ok", wire::encode_infer_ok(&resp)),
+        (
+            "error",
+            wire::encode_error(&ServeError::SnapshotPruned { version: 2, current: 5 }),
+        ),
+        ("publish", wire::encode_publish(3, b"model blob bytes")),
+        ("publish_ok", wire::encode_publish_ok(3, 2)),
+        ("stats_query", wire::encode_stats_query(1)),
+        ("stats", wire::encode_stats(&stats)),
+        ("health", wire::encode_health()),
+        (
+            "health_ok",
+            wire::encode_health_ok(&HealthFrame { shards: 3, alive: 2, models: 1, tenants: 4 }),
+        ),
+    ]
+}
+
+#[test]
+fn every_frame_type_roundtrips_clean() {
+    for (name, bytes) in exemplar_frames() {
+        decode(&bytes).unwrap_or_else(|e| panic!("{name}: clean frame must decode, got {e}"));
+    }
+}
+
+#[test]
+fn every_truncation_of_every_frame_is_a_typed_error() {
+    for (name, bytes) in exemplar_frames() {
+        // All short prefixes plus a stride through the long ones.
+        let mut lengths: Vec<usize> = (0..bytes.len().min(64)).collect();
+        let stride = (bytes.len() / 256).max(1);
+        lengths.extend((64..bytes.len()).step_by(stride));
+        lengths.push(bytes.len() - 1);
+        for len in lengths {
+            let e = decode(&bytes[..len])
+                .expect_err(&format!("{name}: truncation to {len} bytes must fail"));
+            assert!(
+                matches!(
+                    e,
+                    WireError::Truncated { .. } | WireError::BadCrc { .. } | WireError::Invalid(_)
+                ),
+                "{name}: truncation to {len} gave unexpected error {e:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flipped_crc_trailer_byte_is_rejected_on_every_frame() {
+    for (name, bytes) in exemplar_frames() {
+        let n = bytes.len();
+        for i in n - 4..n {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            match decode(&bad) {
+                Err(WireError::BadCrc { stored, computed }) => {
+                    assert_ne!(stored, computed, "{name}: trailer byte {i}")
+                }
+                other => panic!("{name}: trailer flip at {i} gave {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn any_single_byte_flip_is_detected_on_every_frame() {
+    // The CRC trailer guarantees any single-byte payload corruption is
+    // detected before the decoder runs; sweep a stride plus seeded
+    // random positions across every frame type.
+    let mut rng = XorShift64(0x5eed_f00d);
+    for (name, bytes) in exemplar_frames() {
+        let stride = (bytes.len() / 128).max(1);
+        let mut positions: Vec<usize> = (0..bytes.len()).step_by(stride).collect();
+        positions.extend((0..32).map(|_| rng.index(bytes.len())));
+        for i in positions {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(
+                decode(&bad).is_err(),
+                "{name}: 0xFF flip at byte {i} must be detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_wire_version_is_rejected_behind_a_valid_checksum() {
+    for (name, bytes) in exemplar_frames() {
+        // The version is the u16 right after the 4-byte magic.
+        let mut bad = bytes.clone();
+        bad[4..6].copy_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+        refresh_crc(&mut bad);
+        match decode(&bad) {
+            Err(WireError::Invalid(m)) => {
+                assert!(m.contains("version"), "{name}: want a version diagnostic, got {m}")
+            }
+            other => panic!("{name}: unknown version gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_frame_tag_and_bad_magic_are_rejected() {
+    let bytes = wire::encode_health();
+    // Tag byte sits right after magic (4) + version (2).
+    let mut bad = bytes.clone();
+    bad[6] = 0xEE;
+    refresh_crc(&mut bad);
+    match decode(&bad) {
+        Err(WireError::Invalid(m)) => assert!(m.contains("frame type"), "got {m}"),
+        other => panic!("unknown tag gave {other:?}"),
+    }
+    let mut bad = bytes.clone();
+    bad[0..4].copy_from_slice(b"NOPE");
+    refresh_crc(&mut bad);
+    match decode(&bad) {
+        Err(WireError::Invalid(m)) => assert!(m.contains("magic"), "got {m}"),
+        other => panic!("bad magic gave {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_headers_never_allocate_or_over_read() {
+    // A hostile atom count: header claims 2^24+1 atoms over a tiny
+    // payload. The plausibility gate must refuse before any reserve.
+    let mut w = Writer::new();
+    w.raw(b"DPWF");
+    w.u16(WIRE_VERSION);
+    w.u8(1); // Infer
+    w.u64(0); // model
+    w.u64(0); // tenant
+    w.u8(0); // flags
+    w.u8(0); // fidelity
+    w.u64(u64::MAX); // no deadline
+    for _ in 0..3 {
+        w.f64(10.0); // cell
+    }
+    w.u32(0); // no species names
+    w.u32(MAX_WIRE_ATOMS + 1); // hostile atom count
+    let bytes = w.into_bytes_with_crc();
+    match decode(&bytes) {
+        Err(WireError::Invalid(m)) => assert!(m.contains("atom count"), "got {m}"),
+        other => panic!("oversized atom count gave {other:?}"),
+    }
+
+    // A hostile species count trips its own gate.
+    let mut w = Writer::new();
+    w.raw(b"DPWF");
+    w.u16(WIRE_VERSION);
+    w.u8(1);
+    w.u64(0);
+    w.u64(0);
+    w.u8(0);
+    w.u8(0);
+    w.u64(u64::MAX);
+    for _ in 0..3 {
+        w.f64(10.0);
+    }
+    w.u32(1 << 30); // hostile species count
+    let bytes = w.into_bytes_with_crc();
+    match decode(&bytes) {
+        Err(WireError::Invalid(m)) => assert!(m.contains("species"), "got {m}"),
+        other => panic!("oversized species count gave {other:?}"),
+    }
+
+    // A plausible atom count over a truncated payload is Truncated,
+    // not a read past the buffer.
+    let mut w = Writer::new();
+    w.raw(b"DPWF");
+    w.u16(WIRE_VERSION);
+    w.u8(1);
+    w.u64(0);
+    w.u64(0);
+    w.u8(0);
+    w.u8(0);
+    w.u64(u64::MAX);
+    for _ in 0..3 {
+        w.f64(10.0);
+    }
+    w.u32(0);
+    w.u32(1000); // claims 1000 atoms, carries none
+    let bytes = w.into_bytes_with_crc();
+    match decode(&bytes) {
+        Err(WireError::Truncated { .. }) => {}
+        other => panic!("undelivered atoms gave {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_publish_blob_length_is_typed() {
+    // Patch a publish frame's blob length header (u64 right after the
+    // model id) to claim far more bytes than the frame carries.
+    let bytes = wire::encode_publish(3, b"model blob bytes");
+    // Layout: magic 4 + version 2 + tag 1 + model u64 8 = 15, then the
+    // u64 length prefix of `bytes()`.
+    let mut bad = bytes.clone();
+    bad[15..23].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    refresh_crc(&mut bad);
+    match decode(&bad) {
+        Err(WireError::Invalid(_) | WireError::Truncated { .. }) => {}
+        other => panic!("oversized blob length gave {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_fidelity_degraded_and_flag_bits_are_typed() {
+    let req = InferRequest::new(demo_frame(12), false);
+    let clean = wire::encode_infer(&req);
+    // Fidelity byte: magic 4 + version 2 + tag 1 + model 8 + tenant 8
+    // + flags 1 = 24.
+    let mut bad = clean.clone();
+    bad[24] = 9;
+    refresh_crc(&mut bad);
+    match decode(&bad) {
+        Err(WireError::Invalid(m)) => assert!(m.contains("fidelity"), "got {m}"),
+        other => panic!("unknown fidelity gave {other:?}"),
+    }
+    // Undefined flag bits are refused, not silently ignored.
+    let mut bad = clean.clone();
+    bad[23] = 0xF0;
+    refresh_crc(&mut bad);
+    match decode(&bad) {
+        Err(WireError::Invalid(m)) => assert!(m.contains("flags"), "got {m}"),
+        other => panic!("undefined flags gave {other:?}"),
+    }
+    // Bad degraded flag on a response frame.
+    let resp = InferResponse {
+        energy: 1.0,
+        forces: None,
+        version: 1,
+        degraded: false,
+        fidelity: Fidelity::Master,
+    };
+    let mut bad = wire::encode_infer_ok(&resp);
+    bad[15] = 7; // degraded byte: 4+2+1+8 = 15
+    refresh_crc(&mut bad);
+    match decode(&bad) {
+        Err(WireError::Invalid(m)) => assert!(m.contains("degraded"), "got {m}"),
+        other => panic!("bad degraded flag gave {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_behind_a_valid_payload_is_rejected() {
+    for (name, bytes) in exemplar_frames() {
+        let mut bad = bytes[..bytes.len() - 4].to_vec();
+        bad.extend_from_slice(&[0xAB; 7]);
+        let crc = crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        assert!(
+            decode(&bad).is_err(),
+            "{name}: trailing garbage must be rejected by expect_end"
+        );
+    }
+}
+
+#[test]
+fn empty_and_garbage_streams_are_typed_errors() {
+    assert!(matches!(decode(&[]), Err(WireError::Truncated { .. })));
+    assert!(decode(b"not a frame").is_err());
+    assert!(decode(&[0u8; 4]).is_err());
+    // A frame that is *only* a valid CRC over an empty payload still
+    // fails on the missing magic.
+    let crc = crc32(&[]);
+    assert!(matches!(
+        decode(&crc.to_le_bytes()),
+        Err(WireError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn seeded_multi_byte_corruption_storm_never_panics() {
+    // 512 seeded corruptions per frame type: 1–8 byte flips at random
+    // positions. Decode must return *something* typed every time —
+    // this is the no-panic/no-over-read property, the exact error
+    // variant is free.
+    let mut rng = XorShift64(0xdead_beef_cafe);
+    for (name, bytes) in exemplar_frames() {
+        for round in 0..512 {
+            let mut bad = bytes.clone();
+            let flips = 1 + rng.index(8);
+            for _ in 0..flips {
+                let at = rng.index(bad.len());
+                bad[at] ^= (1 + rng.index(255)) as u8;
+            }
+            // Either it still decodes (flip cancelled out / hit a
+            // don't-care bit pattern that re-validated) or it's a
+            // typed error; both are fine, panicking is not.
+            let _ = std::panic::catch_unwind(|| decode(&bad).map(|_| ()))
+                .unwrap_or_else(|_| panic!("{name}: corruption round {round} panicked"));
+        }
+    }
+}
+
+#[test]
+fn infer_reply_decoder_rejects_mismatched_frames() {
+    // A valid non-reply frame arriving where an infer reply is
+    // expected is a typed protocol error.
+    let e = wire::decode_infer_reply(&wire::encode_health()).unwrap_err();
+    assert!(matches!(e, WireError::Invalid(_)));
+    let Frame::Health = decode(&wire::encode_health()).unwrap() else {
+        panic!("health frame must still decode as itself")
+    };
+}

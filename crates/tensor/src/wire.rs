@@ -108,6 +108,11 @@ impl Writer {
         self.buf.push(v);
     }
 
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `u32`.
     pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -209,6 +214,12 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
         let s = self.take(4)?;
@@ -254,6 +265,28 @@ impl<'a> Reader<'a> {
         self.take(n)
     }
 
+    /// Borrow the little-endian bytes of `n` packed `f64`s without
+    /// copying or allocating — the zero-copy read path for bulk numeric
+    /// payloads (wire frames carrying positions or forces). The slice
+    /// is length-validated up front; decode individual values with
+    /// [`f64_at`].
+    pub fn f64_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let bytes = n.checked_mul(8).ok_or_else(|| {
+            WireError::Invalid(format!("implausible f64 count {n}"))
+        })?;
+        self.take(bytes)
+    }
+
+    /// Borrow the little-endian bytes of `n` packed `u32`s without
+    /// copying (wire frames carrying type-id arrays). Decode individual
+    /// values with [`u32_at`].
+    pub fn u32_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let bytes = n.checked_mul(4).ok_or_else(|| {
+            WireError::Invalid(format!("implausible u32 count {n}"))
+        })?;
+        self.take(bytes)
+    }
+
     /// Fail unless the stream is fully consumed (trailing garbage is
     /// as suspicious as truncation in a checkpoint).
     pub fn expect_end(&self) -> Result<(), WireError> {
@@ -265,6 +298,27 @@ impl<'a> Reader<'a> {
         }
         Ok(())
     }
+}
+
+/// The `i`-th `f64` of a packed little-endian slice obtained from
+/// [`Reader::f64_bytes`].
+///
+/// # Panics
+/// Panics when `8 * (i + 1)` exceeds the slice (the reader validated
+/// the total length at decode time, so an in-range index cannot).
+pub fn f64_at(bytes: &[u8], i: usize) -> f64 {
+    let s = &bytes[8 * i..8 * i + 8];
+    f64::from_le_bytes(s.try_into().unwrap())
+}
+
+/// The `i`-th `u32` of a packed little-endian slice obtained from
+/// [`Reader::u32_bytes`].
+///
+/// # Panics
+/// Panics when `4 * (i + 1)` exceeds the slice.
+pub fn u32_at(bytes: &[u8], i: usize) -> u32 {
+    let s = &bytes[4 * i..4 * i + 4];
+    u32::from_le_bytes(s.try_into().unwrap())
 }
 
 #[cfg(test)]
@@ -324,6 +378,35 @@ mod tests {
         let mut r = Reader::new(&buf);
         r.u32().unwrap();
         assert_eq!(r.u64(), Err(WireError::Truncated { at: 4, needed: 8 }));
+    }
+
+    #[test]
+    fn zero_copy_views_roundtrip_and_validate_length() {
+        let mut w = Writer::new();
+        w.u16(0xBEEF);
+        for v in [1.5f64, -2.25, 1e300] {
+            w.f64(v);
+        }
+        for v in [7u32, 0, u32::MAX] {
+            w.u32(v);
+        }
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        let fb = r.f64_bytes(3).unwrap();
+        assert_eq!(f64_at(fb, 0), 1.5);
+        assert_eq!(f64_at(fb, 1), -2.25);
+        assert_eq!(f64_at(fb, 2), 1e300);
+        let ub = r.u32_bytes(3).unwrap();
+        assert_eq!(u32_at(ub, 0), 7);
+        assert_eq!(u32_at(ub, 2), u32::MAX);
+        r.expect_end().unwrap();
+
+        // A short stream fails with Truncated, and an overflowing count
+        // fails with Invalid instead of wrapping.
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.f64_bytes(1 << 40), Err(WireError::Truncated { .. })));
+        assert!(matches!(r.f64_bytes(usize::MAX / 4), Err(WireError::Invalid(_))));
     }
 
     #[test]

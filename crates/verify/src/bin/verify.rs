@@ -1,4 +1,4 @@
-//! `verify` — drive all seven oracle families and emit a machine-
+//! `verify` — drive all eight oracle families and emit a machine-
 //! readable report.
 //!
 //! ```text
@@ -12,7 +12,7 @@
 //!   (`scripts/ci.sh`), `full` the nightly sweep (`scripts/bench.sh`).
 //! * `--family` restricts to a subset (repeatable): `gradcheck`,
 //!   `invariants`, `differential`, `golden`, `backend`, `compress`,
-//!   `domain`.
+//!   `domain`, `fleet`.
 //! * `--bless` regenerates the committed golden fingerprints instead
 //!   of comparing against them (commit the result).
 //!
@@ -25,13 +25,22 @@
 //! fails — wire-breakage in any gated crate turns CI red.
 
 use dp_verify::{
-    backends, compress, differential, domain, golden, gradcheck, invariants, Profile, VerifyReport,
+    backends, compress, differential, domain, fleet, golden, gradcheck, invariants, Profile,
+    VerifyReport,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const FAMILIES: [&str; 7] =
-    ["gradcheck", "invariants", "differential", "golden", "backend", "compress", "domain"];
+const FAMILIES: [&str; 8] = [
+    "gradcheck",
+    "invariants",
+    "differential",
+    "golden",
+    "backend",
+    "compress",
+    "domain",
+    "fleet",
+];
 
 struct Args {
     seed: u64,
@@ -136,6 +145,7 @@ fn main() -> ExitCode {
             "backend" => backends::run(args.seed, args.profile),
             "compress" => compress::run(args.seed, args.profile),
             "domain" => domain::run(args.seed, args.profile),
+            "fleet" => fleet::run(args.seed, args.profile),
             _ => unreachable!("families validated at parse time"),
         };
         let dt = t0.elapsed().as_secs_f64();

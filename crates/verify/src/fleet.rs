@@ -1,0 +1,301 @@
+//! Oracle family 8 — the sharded serving fleet and its wire protocol
+//! (`dp-serve`).
+//!
+//! The fleet's contract has three legs, each with its own oracle:
+//!
+//! * `routing/golden_scores` — pinned rendezvous-hash scores and a
+//!   pinned 32-model placement over 8 shards. Purity and uniformity
+//!   survive a flipped [`ROUTING_SALT`] or mixer constant; these
+//!   literals do not. Placement is part of the persistent contract:
+//!   two builds must agree on where a model lives.
+//! * `routing/properties` — the structural invariants at every shard
+//!   count of the profile: the map is pure and total, spreads ids
+//!   within 2× the ideal share, is independent of member enumeration
+//!   order, and removing one shard remaps *only* that shard's keys.
+//! * `wire/corrupt_frames_typed` — every frame type on the wire,
+//!   swept with truncations, CRC-trailer flips, seeded payload flips,
+//!   and an unknown protocol version: every one must come back as a
+//!   typed [`WireError`], never a panic or over-read. The IEEE CRC-32
+//!   check vector (`crc32("123456789") == 0xCBF43926`) is pinned so a
+//!   mutated CRC table or polynomial is caught directly.
+//! * `serve/fleet_vs_single` — the differential: a seeded multi-model
+//!   request stream pushed through an N-shard fleet *over encoded
+//!   wire frames* (loopback transport) must be bitwise identical to a
+//!   single engine serving the same registries, at every shard count
+//!   × pool thread count of the profile.
+
+use crate::gen::XorShift64;
+use crate::{Check, Profile, VerifyCheck};
+use dp_serve::batch::{InferRequest, InferResponse, ServeError};
+use dp_serve::demo::{demo_frame, demo_model};
+use dp_serve::shard::{rendezvous_score, Fleet, FleetConfig, ShardSet};
+use dp_serve::wire::{self, decode, decode_infer_reply, encode_infer, Loopback};
+use dp_serve::{BatchPolicy, Engine, ModelRegistry, ModelTable};
+use dp_tensor::wire::crc32;
+use std::sync::Arc;
+
+const GATES: [&str; 2] = ["dp-serve", "dp-tensor"];
+
+/// Pinned rendezvous goldens: `(model, shard, score)` produced by the
+/// shipped salt and splitmix64 constants. Any drift is a contract
+/// break, not a refactor.
+const GOLDEN_SCORES: [(u64, u32, u64); 6] = [
+    (0, 0, 0x0188_bf9e_b088_37e8),
+    (1, 0, 0x302c_9333_8dfa_cdb1),
+    (0, 1, 0x3636_1327_b1bb_377e),
+    (12345, 7, 0x9dc0_a474_2da7_9411),
+    (u64::MAX, 15, 0x4b5a_db07_98d2_857b),
+    (0xdead_beef, 3, 0xfb5a_c71d_b641_0b8b),
+];
+
+/// Pinned placement of models `0..32` over `ShardSet::contiguous(8)`.
+const GOLDEN_PLACEMENT: [u32; 32] = [
+    6, 2, 3, 5, 0, 7, 1, 0, 6, 7, 4, 0, 5, 4, 1, 3, 3, 7, 3, 4, 2, 5, 0, 6, 3, 7, 4, 6, 3, 0,
+    3, 0,
+];
+
+/// Pinned hash constants and placements — the mutation tripwire.
+pub fn routing_goldens() -> VerifyCheck {
+    let mut check = Check::new("fleet", "routing/golden_scores", &GATES, 0.0);
+    check.exact(crc32(b"123456789") == 0xCBF4_3926, || {
+        format!(
+            "IEEE CRC-32 check vector drifted: crc32(\"123456789\") = {:#010x}",
+            crc32(b"123456789")
+        )
+    });
+    for (model, shard, want) in GOLDEN_SCORES {
+        let got = rendezvous_score(model, shard);
+        check.exact(got == want, || {
+            format!("score({model}, {shard}) = {got:#018x}, golden {want:#018x}")
+        });
+    }
+    let set = ShardSet::contiguous(8);
+    for (model, &want) in GOLDEN_PLACEMENT.iter().enumerate() {
+        let got = set.route(model as u64).expect("non-empty set routes");
+        check.exact(got == want, || {
+            format!("route({model}) over 8 shards = {got}, golden {want}")
+        });
+    }
+    check.finish()
+}
+
+/// Purity, totality, order independence, uniformity, minimal remap.
+pub fn routing_properties(seed: u64, profile: Profile) -> VerifyCheck {
+    let mut check = Check::new("fleet", "routing/properties", &GATES, 0.0);
+    let ids = profile.fleet_route_ids();
+    let mut rng = XorShift64::new(seed ^ 0xf1ee_7000);
+    for &shards in profile.fleet_shards() {
+        let set = ShardSet::contiguous(shards);
+        let mut counts = vec![0u64; shards as usize];
+        for _ in 0..ids {
+            let model = rng.next_u64();
+            let a = set.route(model).expect("total over a non-empty set");
+            let b = set.route(model).expect("total over a non-empty set");
+            check.exact(a == b && set.contains(a), || {
+                format!("shards={shards} model={model}: impure or out-of-set route {a}/{b}")
+            });
+            counts[a as usize] += 1;
+        }
+        let ideal = ids as f64 / f64::from(shards);
+        for (shard, &got) in counts.iter().enumerate() {
+            check.exact((got as f64) < 2.0 * ideal, || {
+                format!(
+                    "shards={shards} shard={shard}: {got} of {ids} ids, \
+                     over 2x ideal {ideal:.1}"
+                )
+            });
+        }
+        if shards >= 2 {
+            // Minimal remap: drop each member in turn; only its keys move.
+            for victim in set.ids().to_vec() {
+                let reduced = set.without(victim);
+                let mut rng = XorShift64::new(seed ^ u64::from(victim) ^ 0xdead_10cc);
+                for _ in 0..ids / u64::from(shards) {
+                    let model = rng.next_u64();
+                    let before = set.route(model).unwrap();
+                    let after = reduced.route(model).unwrap();
+                    let ok = if before == victim { after != victim } else { before == after };
+                    check.exact(ok, || {
+                        format!(
+                            "shards={shards} victim={victim} model={model}: \
+                             moved {before} -> {after}"
+                        )
+                    });
+                }
+            }
+        }
+    }
+    // Enumeration order must not matter.
+    let forward = ShardSet::new(0..12);
+    let scrambled = ShardSet::new([7, 3, 11, 0, 5, 9, 1, 10, 2, 8, 4, 6, 6, 0]);
+    for model in 0..256u64 {
+        check.exact(forward.route(model) == scrambled.route(model), || {
+            format!("model={model}: placement depends on enumeration order")
+        });
+    }
+    check.finish()
+}
+
+/// Every frame type × seeded corruption → typed error, never a panic.
+pub fn wire_corruption(seed: u64, profile: Profile) -> VerifyCheck {
+    let mut check = Check::new("fleet", "wire/corrupt_frames_typed", &GATES, 0.0);
+    let req = InferRequest::new(demo_frame(5), true).for_model(3).from_tenant(2);
+    let resp = InferResponse {
+        energy: -3.25,
+        forces: Some(demo_frame(5).pos),
+        version: 2,
+        degraded: false,
+        fidelity: dp_serve::Fidelity::Master,
+    };
+    let frames: Vec<(&str, Vec<u8>)> = vec![
+        ("infer", encode_infer(&req)),
+        ("infer_ok", wire::encode_infer_ok(&resp)),
+        ("error", wire::encode_error(&ServeError::UnknownModel { model: 7 })),
+        ("publish", wire::encode_publish(1, b"blob")),
+        ("publish_ok", wire::encode_publish_ok(1, 3)),
+        ("stats_query", wire::encode_stats_query(0)),
+        ("health", wire::encode_health()),
+    ];
+    let flips = match profile {
+        Profile::Quick => 48,
+        Profile::Full => 256,
+    };
+    let mut rng = XorShift64::new(seed ^ 0x3173_f11b);
+    for (name, bytes) in &frames {
+        check.exact(decode(bytes).is_ok(), || format!("{name}: clean frame failed to decode"));
+        // Truncations: all frames reject every strict prefix.
+        let stride = (bytes.len() / 64).max(1);
+        for len in (0..bytes.len()).step_by(stride).chain([bytes.len() - 1]) {
+            check.exact(decode(&bytes[..len]).is_err(), || {
+                format!("{name}: truncation to {len} bytes decoded")
+            });
+        }
+        // CRC trailer flips.
+        for i in bytes.len() - 4..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            check.exact(decode(&bad).is_err(), || {
+                format!("{name}: CRC trailer flip at byte {i} decoded")
+            });
+        }
+        // Seeded payload flips: detected by the CRC before the decoder.
+        for _ in 0..flips {
+            let at = rng.index(bytes.len());
+            let mut bad = bytes.clone();
+            bad[at] ^= (1 + rng.index(255)) as u8;
+            check.exact(decode(&bad).is_err(), || {
+                format!("{name}: byte flip at {at} decoded")
+            });
+        }
+        // Unknown protocol version behind a refreshed checksum.
+        let mut bad = bytes.clone();
+        bad[4..6].copy_from_slice(&(wire::WIRE_VERSION + 7).to_le_bytes());
+        let n = bad.len();
+        let crc = crc32(&bad[..n - 4]);
+        bad[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        check.exact(
+            matches!(decode(&bad), Err(dp_tensor::wire::WireError::Invalid(_))),
+            || format!("{name}: unknown wire version accepted"),
+        );
+    }
+    check.finish()
+}
+
+const MODEL_IDS: [u64; 3] = [0, 7, 42];
+
+fn table() -> Arc<ModelTable> {
+    ModelTable::with_models(
+        MODEL_IDS
+            .iter()
+            .map(|&id| (id, Arc::new(ModelRegistry::new(demo_model(id + 1))))),
+    )
+}
+
+/// Bitwise fleet ≡ single engine, through real wire frames, at every
+/// shard count × thread count.
+pub fn fleet_vs_single(seed: u64, profile: Profile) -> VerifyCheck {
+    let mut check = Check::new(
+        "fleet",
+        "serve/fleet_vs_single",
+        &["dp-serve", "dp-tensor", "dp-pool"],
+        0.0,
+    );
+    let saved_threads = dp_pool::current_threads();
+    let mut rng = XorShift64::new(seed ^ 0x5eed_f1ee);
+    let stream: Vec<(u64, u64, bool)> = (0..profile.fleet_requests())
+        .map(|_| (MODEL_IDS[rng.index(3)], rng.next_u64() % 17, rng.next_u64().is_multiple_of(2)))
+        .collect();
+
+    // Reference: one single-model engine per registry, no wire.
+    let reference: Vec<InferResponse> = {
+        let table = table();
+        let engines: Vec<(u64, Arc<Engine>)> = MODEL_IDS
+            .iter()
+            .map(|&id| (id, Engine::start(table.get(id).unwrap(), BatchPolicy::default())))
+            .collect();
+        let out = stream
+            .iter()
+            .map(|&(model, frame_seed, forces)| {
+                let engine = &engines.iter().find(|(id, _)| *id == model).unwrap().1;
+                engine.infer(demo_frame(frame_seed), forces).expect("reference serve")
+            })
+            .collect();
+        for (_, e) in engines {
+            e.shutdown();
+        }
+        out
+    };
+
+    for &shards in profile.fleet_shards() {
+        for &threads in profile.fleet_threads() {
+            dp_pool::set_threads(threads);
+            let fleet = Fleet::start(FleetConfig::new(shards), table());
+            let loopback = Loopback::new(&fleet);
+            for (i, &(model, frame_seed, forces)) in stream.iter().enumerate() {
+                let req = InferRequest::new(demo_frame(frame_seed), forces).for_model(model);
+                let got = match decode_infer_reply(&loopback.call(&encode_infer(&req))) {
+                    Ok(Ok(resp)) => resp,
+                    other => {
+                        check.exact(false, || {
+                            format!("shards={shards} threads={threads} req {i}: {other:?}")
+                        });
+                        continue;
+                    }
+                };
+                let want = &reference[i];
+                let energy_ok = got.energy.to_bits() == want.energy.to_bits();
+                let forces_ok = match (&got.forces, &want.forces) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => {
+                        a.len() == b.len()
+                            && a.iter().zip(b).all(|(x, y)| {
+                                x.0.map(f64::to_bits) == y.0.map(f64::to_bits)
+                            })
+                    }
+                    _ => false,
+                };
+                check.exact(energy_ok && forces_ok, || {
+                    format!(
+                        "shards={shards} threads={threads} req {i} (model {model}, \
+                         frame {frame_seed}): fleet diverged from single engine \
+                         (energy {} vs {})",
+                        got.energy, want.energy
+                    )
+                });
+            }
+            fleet.shutdown();
+        }
+    }
+    dp_pool::set_threads(saved_threads);
+    check.finish()
+}
+
+/// Run the whole family.
+pub fn run(seed: u64, profile: Profile) -> Vec<VerifyCheck> {
+    vec![
+        routing_goldens(),
+        routing_properties(seed, profile),
+        wire_corruption(seed, profile),
+        fleet_vs_single(seed, profile),
+    ]
+}

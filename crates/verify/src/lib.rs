@@ -7,7 +7,7 @@
 //! floor: a single harness that proves, on every CI run, that the fast
 //! paths still compute the same physics as the slow ones.
 //!
-//! Seven oracle families (one module each):
+//! Eight oracle families (one module each):
 //!
 //! 1. [`gradcheck`] — central finite-difference validation of the
 //!    analytic forces against `E(pos±h)` and of `∇θE` / `∇θ(cᵀF)`
@@ -40,6 +40,14 @@
 //!    the linked-cell neighbour search vs the `O(N²)` scan, the
 //!    per-atom EAM vs the pair-form reference, and the per-domain
 //!    sub-frame DeePMD path vs a global `predict`.
+//! 8. [`fleet`] — the multi-tenant sharded serving fleet and its wire
+//!    protocol: pinned rendezvous-hash goldens (a flipped salt or
+//!    mixer constant fails here even though purity and uniformity
+//!    still hold), minimal-remap and load-uniformity properties,
+//!    seeded corruption of every wire frame type (typed `WireError`,
+//!    never a panic, with the IEEE CRC-32 check vector pinned), and
+//!    the bitwise fleet-vs-single-engine differential driven through
+//!    real encoded frames at every shard count × thread count.
 //!
 //! Everything is generated from a seed by the vendored-dep-free
 //! [`gen`] library and reported through [`dp_bench::report`]'s
@@ -61,6 +69,7 @@ pub mod backends;
 pub mod compress;
 pub mod differential;
 pub mod domain;
+pub mod fleet;
 pub mod gen;
 pub mod golden;
 pub mod gradcheck;
@@ -172,6 +181,40 @@ impl Profile {
         match self {
             Profile::Quick => 10,
             Profile::Full => 40,
+        }
+    }
+
+    /// Shard counts the `fleet` family sweeps for routing properties
+    /// and the fleet-vs-single differential.
+    pub fn fleet_shards(self) -> &'static [u32] {
+        match self {
+            Profile::Quick => &[1, 3],
+            Profile::Full => &[1, 2, 5, 8],
+        }
+    }
+
+    /// Pool thread counts the `fleet` family crosses with the shard
+    /// counts.
+    pub fn fleet_threads(self) -> &'static [usize] {
+        match self {
+            Profile::Quick => &[1, 4],
+            Profile::Full => &[1, 2, 8],
+        }
+    }
+
+    /// Requests in the seeded stream of the fleet differential.
+    pub fn fleet_requests(self) -> usize {
+        match self {
+            Profile::Quick => 32,
+            Profile::Full => 128,
+        }
+    }
+
+    /// Model ids probed per shard count by the routing property checks.
+    pub fn fleet_route_ids(self) -> u64 {
+        match self {
+            Profile::Quick => 400,
+            Profile::Full => 2000,
         }
     }
 

@@ -138,7 +138,11 @@ impl Outcomes {
             Err(ServeError::DeadlineExceeded { .. }) => self.deadline.fetch_add(1, Ordering::Relaxed),
             Err(ServeError::EvalFailed(_)) => self.eval_failed.fetch_add(1, Ordering::Relaxed),
             Err(ServeError::Closed) => self.closed.fetch_add(1, Ordering::Relaxed),
-            Err(e @ ServeError::BadRequest(_)) => panic!("soak sends no bad requests: {e}"),
+            Err(
+                e @ (ServeError::BadRequest(_)
+                | ServeError::UnknownModel { .. }
+                | ServeError::SnapshotPruned { .. }),
+            ) => panic!("soak sends no bad/unknown/pruned requests: {e}"),
         };
     }
 }

@@ -10,7 +10,10 @@
 # spends (max per-atom energy error and, for the compressed tier, max
 # force-component error vs the f64 master) — BENCH_serve_slo.json:
 # shed / deadline-miss / breaker-trip / degradation counters and tail
-# latency under the seeded chaos overload soak — and
+# latency under the seeded chaos overload soak —
+# BENCH_serve_fleet.json: open-loop multi-tenant fleet serving
+# (bounded-Pareto arrivals, per-tenant p50/p99/p999 and outcome
+# counters at shard counts 1/2/4/8) — and
 # BENCH_md_scale.json: linked-cell vs O(N²) neighbour construction and
 # decomposed-MD NVE step throughput (atoms/s, ns/day) across supercell
 # sizes, domain grids, and thread counts; --paper adds the 10⁶-atom
@@ -49,7 +52,7 @@ cd "$(dirname "$0")/.."
 OUT="${BENCH_OUT:-results/bench}"
 
 cargo build --release --offline -p dp-bench --bin bench_kernels --bin bench_forward --bin bench_md_scale
-cargo build --release --offline -p dp-serve --bin bench_serve
+cargo build --release --offline -p dp-serve --bin bench_serve --bin bench_fleet
 cargo build --release --offline --example overload_soak
 
 KERNEL_ARGS=()
@@ -66,4 +69,5 @@ cargo run --release --offline -p dp-bench --bin bench_kernels -- "--out=${OUT}" 
 cargo run --release --offline -p dp-bench --bin bench_forward -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
 cargo run --release --offline -p dp-bench --bin bench_md_scale -- "--out=${OUT}" "${KERNEL_ARGS[@]+"${KERNEL_ARGS[@]}"}"
 cargo run --release --offline -p dp-serve --bin bench_serve -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
+cargo run --release --offline -p dp-serve --bin bench_fleet -- "--out=${OUT}" "${FORWARD_ARGS[@]+"${FORWARD_ARGS[@]}"}"
 exec cargo run --release --offline --example overload_soak -- --profile "${SOAK_PROFILE}" --seed 1234 "--out=${OUT}"

@@ -54,11 +54,13 @@ DP_ENV_CACHE=0 DP_POOL_THREADS=4 cargo test --offline -p dp-train -q
 step "cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Correctness harness, quick profile: all seven oracle families
+# Correctness harness, quick profile: all eight oracle families
 # (gradient checks, physics invariants, differential equivalences,
 # golden fingerprints, SIMD-backend-vs-scalar, compressed/quantized-tier
-# fidelity budgets vs the f64 master, and the domain-decomposition
-# bitwise contract) at a fixed seed,
+# fidelity budgets vs the f64 master, the domain-decomposition
+# bitwise contract, and the serving fleet — pinned rendezvous-routing
+# goldens, wire-frame corruption sweeps, and the bitwise
+# fleet-vs-single-engine differential) at a fixed seed,
 # under auto dispatch so the backend family sweeps every SIMD tier
 # this CPU has. The full sweep is documented in scripts/bench.sh.
 step "verify (quick profile, seed 42, DP_BACKEND=auto)"
@@ -82,6 +84,15 @@ BENCH_OUT="$(mktemp -d)" scripts/bench.sh --smoke
 # violation).
 step "serve smoke (DP_POOL_THREADS=4)"
 DP_POOL_THREADS=4 cargo run --release --offline -p dp-serve --bin serve_smoke
+
+# Fleet smoke: 3 shards x 3 models x 2 tenants over the wire protocol
+# (loopback and a real Unix socket), one mid-run publish frame, then a
+# killed shard. The binary asserts the fleet invariants — dead-shard
+# traffic fails with the typed Closed (no hang, no silent migration),
+# survivors keep serving, health/stats frames tell the truth, tenant
+# accounting adds up — and exits nonzero on any violation.
+step "fleet smoke (DP_POOL_THREADS=4)"
+DP_POOL_THREADS=4 cargo run --release --offline -p dp-serve --bin fleet_smoke
 
 step "fault soak (${SOAK_SECONDS}s, seed ${SOAK_SEED})"
 cargo run --release --offline --example fault_soak -- "$SOAK_SEED" "$SOAK_SECONDS"
